@@ -1,0 +1,171 @@
+// Ablations of the design choices the paper fixes by convention:
+//   (a) partial-verification recall r (paper: 0.8);
+//   (b) partial-verification cost ratio V/V* (paper: 1/100);
+//   (c) error-rate scaling (how the two-level gain grows toward exascale);
+//   (d) disk/memory cost ratio (when does the second level stop paying?).
+// All sweeps report the ADMV (or ADMV*) optimum at n = 50, Uniform.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/emit.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace chainckpt;
+
+double normalized(core::Algorithm a, const platform::Platform& p,
+                  std::size_t n = 50) {
+  const platform::CostModel costs(p);
+  const auto chain = chain::make_uniform(n, 25000.0);
+  return core::optimize(a, chain, costs).expected_makespan / 25000.0;
+}
+
+void recall_sweep(const bench::HarnessOptions& options) {
+  std::cout << "-- (a) Recall sweep on Hera (V = V*/100 fixed) --\n";
+  util::TextTable table({"recall r", "ADMV normalized", "#partials",
+                         "gain vs ADMV*"});
+  report::Series series;
+  series.name = "ADMV(r)";
+  const double admv_star =
+      normalized(core::Algorithm::kADMVstar, platform::hera());
+  for (double r : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0}) {
+    platform::Platform p = platform::hera();
+    p.recall = r;
+    const platform::CostModel costs(p);
+    const auto chain = chain::make_uniform(50, 25000.0);
+    const auto result = core::optimize(core::Algorithm::kADMV, chain, costs);
+    const double norm = result.expected_makespan / 25000.0;
+    series.add(r, norm);
+    table.add_row({util::TextTable::num(r, 2), util::TextTable::num(norm, 5),
+                   std::to_string(result.plan.interior_counts().partial),
+                   util::TextTable::num((1.0 - norm / admv_star) * 100.0,
+                                        3) +
+                       "%"});
+  }
+  std::cout << table.render() << '\n';
+  bench::maybe_csv(options, "ablation_recall.csv", {series});
+}
+
+void partial_cost_sweep(const bench::HarnessOptions& options) {
+  std::cout << "-- (b) Partial-verification cost sweep on Coastal SSD "
+               "(r = 0.8 fixed) --\n";
+  util::TextTable table(
+      {"V / V*", "ADMV normalized", "#partials", "#guaranteed"});
+  report::Series series;
+  series.name = "ADMV(V/V*)";
+  for (double ratio : {0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    platform::Platform p = platform::coastal_ssd();
+    p.v_partial = p.v_guaranteed * ratio;
+    const platform::CostModel costs(p);
+    const auto chain = chain::make_uniform(50, 25000.0);
+    const auto result = core::optimize(core::Algorithm::kADMV, chain, costs);
+    const double norm = result.expected_makespan / 25000.0;
+    const auto counts = result.plan.interior_counts();
+    series.add(ratio, norm);
+    table.add_row({util::TextTable::num(ratio, 3),
+                   util::TextTable::num(norm, 5),
+                   std::to_string(counts.partial),
+                   std::to_string(counts.guaranteed)});
+  }
+  std::cout << table.render() << '\n';
+  bench::maybe_csv(options, "ablation_partial_cost.csv", {series});
+}
+
+void rate_scaling_sweep(const bench::HarnessOptions& options) {
+  std::cout << "-- (c) Error-rate scaling on Hera (both rates x k): "
+               "two-level gain toward exascale --\n";
+  util::TextTable table({"rate multiplier", "ADV*", "ADMV*", "ADMV",
+                         "2-level gain"});
+  report::Series gain;
+  gain.name = "gain(ADMV* vs ADV*)";
+  for (double k : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    platform::Platform p = platform::hera();
+    p.lambda_f *= k;
+    p.lambda_s *= k;
+    const double adv = normalized(core::Algorithm::kADVstar, p);
+    const double admv_star = normalized(core::Algorithm::kADMVstar, p);
+    const double admv = normalized(core::Algorithm::kADMV, p);
+    const double g = (1.0 - admv_star / adv) * 100.0;
+    gain.add(k, g);
+    table.add_row({util::TextTable::num(k, 2), util::TextTable::num(adv, 5),
+                   util::TextTable::num(admv_star, 5),
+                   util::TextTable::num(admv, 5),
+                   util::TextTable::num(g, 2) + "%"});
+  }
+  std::cout << table.render() << '\n';
+  bench::maybe_csv(options, "ablation_rate_scaling.csv", {gain});
+}
+
+void disk_cost_sweep(const bench::HarnessOptions& options) {
+  std::cout << "-- (d) Disk-cost sweep on Hera (C_D = R_D scaled): when "
+               "does the second level pay? --\n";
+  util::TextTable table({"C_D (s)", "ADV*", "ADMV*", "2-level gain",
+                         "#interior disk", "#interior mem"});
+  report::Series gain;
+  gain.name = "gain vs C_D";
+  for (double cd : {30.0, 100.0, 300.0, 1000.0, 3000.0}) {
+    platform::Platform p = platform::hera();
+    p.c_disk = cd;
+    p.r_disk = cd;
+    const platform::CostModel costs(p);
+    const auto chain = chain::make_uniform(50, 25000.0);
+    const auto adv =
+        core::optimize(core::Algorithm::kADVstar, chain, costs);
+    const auto admv_star =
+        core::optimize(core::Algorithm::kADMVstar, chain, costs);
+    const double g =
+        (1.0 - admv_star.expected_makespan / adv.expected_makespan) * 100.0;
+    gain.add(cd, g);
+    const auto counts = admv_star.plan.interior_counts();
+    table.add_row(
+        {util::TextTable::num(cd, 0),
+         util::TextTable::num(adv.expected_makespan / 25000.0, 5),
+         util::TextTable::num(admv_star.expected_makespan / 25000.0, 5),
+         util::TextTable::num(g, 2) + "%", std::to_string(counts.disk),
+         std::to_string(counts.memory)});
+  }
+  std::cout << table.render() << '\n';
+  bench::maybe_csv(options, "ablation_disk_cost.csv", {gain});
+}
+
+void baseline_comparison(const bench::HarnessOptions& options) {
+  std::cout << "-- (e) Baseline placements vs the optimal DP (Uniform, "
+               "n = 50) --\n";
+  util::TextTable table({"platform", "AD", "Daly", "Periodic", "ADMV*",
+                         "ADMV"});
+  for (const auto& plat : platform::table1_platforms()) {
+    table.add_row(
+        {plat.name,
+         util::TextTable::num(normalized(core::Algorithm::kAD, plat), 5),
+         util::TextTable::num(normalized(core::Algorithm::kDaly, plat), 5),
+         util::TextTable::num(normalized(core::Algorithm::kPeriodic, plat),
+                              5),
+         util::TextTable::num(normalized(core::Algorithm::kADMVstar, plat),
+                              5),
+         util::TextTable::num(normalized(core::Algorithm::kADMV, plat),
+                              5)});
+  }
+  std::cout << table.render() << '\n';
+  (void)options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parser = chainckpt::bench::make_parser();
+  const auto options = chainckpt::bench::parse_harness(
+      parser, argc, argv,
+      "bench_ablation: recall / cost / rate ablations of the model");
+  recall_sweep(options);
+  partial_cost_sweep(options);
+  rate_scaling_sweep(options);
+  disk_cost_sweep(options);
+  baseline_comparison(options);
+  return 0;
+}

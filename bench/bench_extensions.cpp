@@ -1,0 +1,123 @@
+// Extension experiments beyond the paper:
+//   (a) tail risk: makespan percentiles of AD / ADV* / ADMV* / ADMV --
+//       checkpointing and verification shorten the tail more than the
+//       mean;
+//   (b) budget-constrained optimization: makespan vs memory-checkpoint
+//       budget (Lagrangian relaxation);
+//   (c) first-order theory vs exact DP across platforms.
+#include <iostream>
+
+#include "analysis/first_order.hpp"
+#include "bench_common.hpp"
+#include "chain/patterns.hpp"
+#include "core/budget.hpp"
+#include "core/optimizer.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "sim/distribution.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace chainckpt;
+
+void tail_risk(const bench::HarnessOptions& options) {
+  std::cout << "-- (a) Tail risk on Atlas (Uniform, n = 25, "
+            << (options.fast ? 4000 : 40000) << " replicas) --\n";
+  const auto chain = chain::make_uniform(25, 25000.0);
+  const platform::CostModel costs(platform::atlas());
+  const sim::Simulator simulator(chain, costs);
+  sim::DistributionOptions mc;
+  mc.replicas = options.fast ? 4000 : 40000;
+  mc.seed = 1234;
+
+  util::TextTable table({"algorithm", "mean", "P50", "P95", "P99", "P99.9",
+                         "max"});
+  report::Series p99;
+  p99.name = "P99";
+  int idx = 0;
+  for (core::Algorithm a :
+       {core::Algorithm::kAD, core::Algorithm::kADVstar,
+        core::Algorithm::kADMVstar, core::Algorithm::kADMV}) {
+    const auto plan = core::optimize(a, chain, costs).plan;
+    const auto d = sim::sample_distribution(simulator, plan, mc);
+    table.add_row({core::to_string(a), util::TextTable::num(d.mean(), 0),
+                   util::TextTable::num(d.percentile(0.50), 0),
+                   util::TextTable::num(d.percentile(0.95), 0),
+                   util::TextTable::num(d.percentile(0.99), 0),
+                   util::TextTable::num(d.percentile(0.999), 0),
+                   util::TextTable::num(d.max(), 0)});
+    p99.add(idx++, d.percentile(0.99));
+  }
+  std::cout << table.render() << '\n';
+  bench::maybe_csv(options, "ext_tail_p99.csv", {p99});
+}
+
+void budget_sweep(const bench::HarnessOptions& options) {
+  std::cout << "-- (b) Memory-checkpoint budget on Hera (ADMV*, Uniform, "
+               "n = 50; unconstrained optimum uses 5) --\n";
+  const auto chain = chain::make_uniform(50, 25000.0);
+  const platform::CostModel costs(platform::hera());
+  util::TextTable table({"budget K_M", "normalized makespan",
+                         "#memory used", "memory penalty (s)"});
+  report::Series curve;
+  curve.name = "makespan(K_M)";
+  for (std::size_t k : {0u, 1u, 2u, 3u, 5u, 8u}) {
+    core::BudgetConstraint budget;
+    budget.max_interior_memory = k;
+    const auto result = core::optimize_with_budget(
+        core::Algorithm::kADMVstar, chain, costs, budget);
+    const double norm = result.expected_makespan / 25000.0;
+    curve.add(static_cast<double>(k), norm);
+    table.add_row({std::to_string(k), util::TextTable::num(norm, 5),
+                   std::to_string(result.plan.interior_counts().memory),
+                   util::TextTable::num(result.memory_penalty, 1)});
+  }
+  std::cout << table.render() << '\n';
+  bench::maybe_csv(options, "ext_budget.csv", {curve});
+}
+
+void first_order_vs_dp(const bench::HarnessOptions& options) {
+  (void)options;
+  std::cout << "-- (c) First-order theory vs exact DP (Uniform, n = 50, "
+               "final bundle excluded from the DP overhead) --\n";
+  util::TextTable table({"platform", "predicted overhead", "DP overhead",
+                         "predicted #mem", "DP #mem", "predicted #disk",
+                         "DP #disk"});
+  for (const auto& p : platform::table1_platforms()) {
+    const auto fo = analysis::first_order_prediction(p);
+    const auto chain = chain::make_uniform(50, 25000.0);
+    const platform::CostModel costs(p);
+    const auto dp =
+        core::optimize(core::Algorithm::kADMVstar, chain, costs);
+    const double final_bundle = p.c_disk + p.c_mem + p.v_guaranteed;
+    const double dp_overhead =
+        (dp.expected_makespan - final_bundle) / 25000.0 - 1.0;
+    const auto counts = dp.plan.interior_counts();
+    table.add_row(
+        {p.name, util::TextTable::num(fo.overhead * 100.0, 2) + "%",
+         util::TextTable::num(dp_overhead * 100.0, 2) + "%",
+         std::to_string(fo.expected_memory(25000.0)),
+         std::to_string(counts.memory),
+         std::to_string(fo.expected_disk(25000.0)),
+         std::to_string(counts.disk)});
+  }
+  std::cout << table.render() << '\n';
+  std::cout << "First-order periods quantify the paper's intuition; the "
+               "DP refines them by task quantization and the interplay "
+               "between levels.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parser = chainckpt::bench::make_parser();
+  const auto options = chainckpt::bench::parse_harness(
+      parser, argc, argv,
+      "bench_extensions: tail risk, checkpoint budgets, first-order "
+      "theory");
+  tail_risk(options);
+  budget_sweep(options);
+  first_order_vs_dp(options);
+  return 0;
+}

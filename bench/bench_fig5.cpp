@@ -1,0 +1,67 @@
+// Figure 5: Uniform pattern on the four platforms.
+//   Column 1  : normalized makespan vs number of tasks for ADV*, ADMV*,
+//               ADMV (n = 1..50).
+//   Columns 2-4: numbers of disk checkpoints, memory checkpoints,
+//               guaranteed and partial verifications placed by each
+//               algorithm (n = 5,10,...,50).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "platform/registry.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chainckpt;
+  auto parser = bench::make_parser();
+  parser.add_option("platform", "all",
+                    "Hera|Atlas|Coastal|CoastalSSD|all");
+  const auto options = bench::parse_harness(
+      parser, argc, argv,
+      "bench_fig5: Figure 5 (Uniform pattern, all platforms)");
+
+  const report::EvaluationSetup setup;  // uniform, W = 25000s
+  const auto makespan_ns = options.fast
+                               ? std::vector<std::size_t>{1, 5, 10, 25, 50}
+                               : report::makespan_task_counts();
+  const auto count_ns = options.fast ? std::vector<std::size_t>{10, 30, 50}
+                                     : report::count_task_counts();
+
+  std::vector<platform::Platform> platforms;
+  if (parser.get("platform") == "all") {
+    platforms = platform::table1_platforms();
+  } else {
+    platforms.push_back(platform::by_name(parser.get("platform")));
+  }
+
+  for (const auto& plat : platforms) {
+    std::cout << "==== Figure 5, platform " << plat.name << " ====\n\n";
+
+    // Column 1: normalized makespan.
+    std::vector<report::Series> curves;
+    for (core::Algorithm a : core::paper_algorithms()) {
+      curves.push_back(
+          report::makespan_series(plat, setup, a, makespan_ns));
+    }
+    std::cout << report::series_table("n", curves, 5) << '\n';
+    report::ChartOptions chart;
+    chart.title = "Normalized makespan vs #tasks (" + plat.name + ")";
+    chart.x_label = "number of tasks";
+    std::cout << report::render_chart(curves, chart) << '\n';
+    bench::maybe_csv(options, "fig5_makespan_" + plat.name + ".csv",
+                     curves);
+
+    // Columns 2-4: mechanism counts per algorithm.
+    for (core::Algorithm a : core::paper_algorithms()) {
+      const auto sweep = report::count_sweep(plat, setup, a, count_ns);
+      std::cout << "-- Algorithm " << core::to_string(a) << " on "
+                << plat.name << " (interior counts) --\n";
+      std::cout << report::series_table("n", sweep.all(), 0) << '\n';
+      bench::maybe_csv(options,
+                       "fig5_counts_" + core::to_string(a) + "_" +
+                           plat.name + ".csv",
+                       sweep.all());
+    }
+  }
+  return 0;
+}

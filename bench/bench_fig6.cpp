@@ -1,0 +1,39 @@
+// Figure 6: distribution of disk checkpoints, memory checkpoints and
+// verifications for the ADMV algorithm on each platform, Uniform pattern,
+// n = 50 tasks.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "platform/registry.hpp"
+#include "plan/render.hpp"
+#include "report/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chainckpt;
+  auto parser = bench::make_parser();
+  parser.add_option("tasks", "50", "number of tasks");
+  const auto options = bench::parse_harness(
+      parser, argc, argv,
+      "bench_fig6: Figure 6 (ADMV placements, Uniform, n = 50)");
+  (void)options;
+  const auto n = static_cast<std::size_t>(parser.get_int("tasks"));
+
+  const report::EvaluationSetup setup;
+  for (const auto& plat : platform::table1_platforms()) {
+    const auto result =
+        report::placement(plat, setup, core::Algorithm::kADMV, n);
+    std::cout << plan::render_figure(
+        result.plan, "Platform " + plat.name + " with ADMV and n=" +
+                         std::to_string(n));
+    const auto counts = result.plan.interior_counts();
+    std::cout << "interior counts: disk=" << counts.disk
+              << " memory=" << counts.memory
+              << " guaranteed=" << counts.guaranteed
+              << " partial=" << counts.partial << "; normalized makespan="
+              << result.expected_makespan / setup.total_weight << "\n\n";
+  }
+  std::cout << "Paper observation check: no additional disk checkpoints "
+               "on any platform; Coastal SSD favors partial "
+               "verifications over guaranteed ones.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8: HighLow pattern (first 10% of tasks carry 60% of the weight)
+// on Hera and Coastal SSD; same three columns as Figure 7.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "platform/registry.hpp"
+#include "plan/render.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chainckpt;
+  auto parser = bench::make_parser();
+  const auto options = bench::parse_harness(
+      parser, argc, argv,
+      "bench_fig8: Figure 8 (HighLow pattern, Hera & Coastal SSD)");
+
+  report::EvaluationSetup setup;
+  setup.pattern = chain::Pattern::kHighLow;
+  const auto makespan_ns = options.fast
+                               ? std::vector<std::size_t>{1, 5, 10, 25, 50}
+                               : report::makespan_task_counts();
+  const auto count_ns = options.fast ? std::vector<std::size_t>{10, 30, 50}
+                                     : report::count_task_counts();
+
+  for (const auto& plat :
+       {platform::hera(), platform::coastal_ssd()}) {
+    std::cout << "==== Figure 8, platform " << plat.name
+              << " (HighLow) ====\n\n";
+    std::vector<report::Series> curves;
+    for (core::Algorithm a : core::paper_algorithms()) {
+      curves.push_back(
+          report::makespan_series(plat, setup, a, makespan_ns));
+    }
+    std::cout << report::series_table("n", curves, 5) << '\n';
+    report::ChartOptions chart;
+    chart.title =
+        "Normalized makespan vs #tasks (" + plat.name + ", HighLow)";
+    chart.x_label = "number of tasks";
+    std::cout << report::render_chart(curves, chart) << '\n';
+    bench::maybe_csv(options, "fig8_makespan_" + plat.name + ".csv",
+                     curves);
+
+    const auto sweep =
+        report::count_sweep(plat, setup, core::Algorithm::kADMV, count_ns);
+    std::cout << "-- ADMV interior counts on " << plat.name << " --\n";
+    std::cout << report::series_table("n", sweep.all(), 0) << '\n';
+    bench::maybe_csv(options, "fig8_counts_" + plat.name + ".csv",
+                     sweep.all());
+
+    const auto result =
+        report::placement(plat, setup, core::Algorithm::kADMV, 50);
+    std::cout << plan::render_figure(
+                     result.plan,
+                     "Platform " + plat.name + " with ADMV and n=50")
+              << '\n';
+  }
+  std::cout << "Paper observation check: on Hera the cheap memory "
+               "checkpoints become mandatory for the five large tasks; "
+               "on Coastal SSD they stay too expensive.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// google-benchmark: runtime of the three dynamic programs vs chain length.
+// Verifies the paper's complexity discussion (O(n^3)/O(n^4)/O(n^6)) and
+// its claim that ADMV "executes within a few seconds for n = 50".
+#include <benchmark/benchmark.h>
+
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace chainckpt;
+
+void run_algorithm(benchmark::State& state, core::Algorithm algorithm) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chain = chain::make_uniform(n, 25000.0);
+  const platform::CostModel costs(platform::hera());
+  for (auto _ : state) {
+    const auto result = core::optimize(algorithm, chain, costs);
+    benchmark::DoNotOptimize(result.expected_makespan);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_SingleLevel(benchmark::State& state) {
+  run_algorithm(state, core::Algorithm::kADVstar);
+}
+void BM_TwoLevel(benchmark::State& state) {
+  run_algorithm(state, core::Algorithm::kADMVstar);
+}
+void BM_Partial(benchmark::State& state) {
+  run_algorithm(state, core::Algorithm::kADMV);
+}
+
+void BM_PartialSerial(benchmark::State& state) {
+  util::set_parallelism(1);
+  run_algorithm(state, core::Algorithm::kADMV);
+  util::set_parallelism(0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SingleLevel)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevel)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Partial)->Arg(10)->Arg(25)->Arg(50)->Arg(75)
+    ->Unit(benchmark::kMillisecond);
+// The paper's "a few seconds for n = 50" figure was single-threaded.
+BENCHMARK(BM_PartialSerial)->Arg(50)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// google-benchmark: Monte-Carlo engine throughput -- single-replica cost
+// and parallel replication scaling.
+#include <benchmark/benchmark.h>
+
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace chainckpt;
+
+struct Fixture {
+  chain::TaskChain chain = chain::make_uniform(50, 25000.0);
+  platform::CostModel costs{platform::hera()};
+  plan::ResiliencePlan plan;
+  sim::Simulator simulator{chain, costs};
+
+  Fixture()
+      : plan(core::optimize(core::Algorithm::kADMV, chain, costs).plan) {}
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_SingleReplica(benchmark::State& state) {
+  auto& f = fixture();
+  std::uint64_t replica = 0;
+  for (auto _ : state) {
+    const auto stats = f.simulator.run_seeded(f.plan, 99, replica++);
+    benchmark::DoNotOptimize(stats.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ReplicatedExperiment(benchmark::State& state) {
+  auto& f = fixture();
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::ExperimentOptions options;
+    options.replicas = replicas;
+    options.seed = 4242;
+    const auto result = sim::run_experiment(f.simulator, f.plan, options);
+    benchmark::DoNotOptimize(result.makespan.mean());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * replicas));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SingleReplica);
+BENCHMARK(BM_ReplicatedExperiment)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

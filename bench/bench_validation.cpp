@@ -1,0 +1,60 @@
+// Added experiment: analytic DP expectations vs Monte-Carlo simulation,
+// for every platform and algorithm.  This is the end-to-end evidence that
+// the closed forms of Sections III-A/III-B price the model correctly
+// (and quantifies the two documented accounting nuances of the partial-
+// verification framework).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "platform/registry.hpp"
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "platform/cost_model.hpp"
+#include "sim/validation.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chainckpt;
+  auto parser = bench::make_parser();
+  parser.add_option("replicas", "50000", "Monte-Carlo replicas per cell");
+  parser.add_option("tasks", "20", "number of tasks");
+  parser.add_option("seed", "20260611", "master seed");
+  const auto options = bench::parse_harness(
+      parser, argc, argv,
+      "bench_validation: DP expectation vs Monte-Carlo simulation");
+
+  sim::ExperimentOptions experiment;
+  experiment.replicas = options.fast
+                            ? 5000
+                            : static_cast<std::size_t>(
+                                  parser.get_int("replicas"));
+  experiment.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  const auto n = static_cast<std::size_t>(parser.get_int("tasks"));
+
+  std::cout << "== DP vs Monte-Carlo (" << experiment.replicas
+            << " replicas, Uniform, n = " << n << ") ==\n\n";
+  util::TextTable table({"platform", "algorithm", "analytic (s)",
+                         "simulated (s)", "std.err (s)", "gap",
+                         "gap/sigma"});
+  for (const auto& plat : platform::table1_platforms()) {
+    const platform::CostModel costs(plat);
+    const auto chain = chain::make_uniform(n, 25000.0);
+    for (core::Algorithm a : core::paper_algorithms()) {
+      const auto result = core::optimize(a, chain, costs);
+      const auto report =
+          sim::validate_plan(chain, costs, result.plan, experiment);
+      table.add_row(
+          {plat.name, core::to_string(a),
+           util::TextTable::num(report.analytic, 1),
+           util::TextTable::num(report.simulated_mean, 1),
+           util::TextTable::num(report.sim_stderr, 2),
+           util::TextTable::num(report.relative_gap() * 100.0, 4) + "%",
+           util::TextTable::num(report.gap_in_sigmas(), 2)});
+    }
+  }
+  std::cout << table.render() << '\n';
+  std::cout << "Expectation: |gap| within a few sigma; the Section III-B "
+               "accounting nuances are ~(V*-V)*lambda_f*W in absolute "
+               "terms, i.e. well below the Monte-Carlo noise here.\n";
+  return 0;
+}

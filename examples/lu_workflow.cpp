@@ -1,0 +1,78 @@
+// Dense LU/QR-style factorization workflow (the paper's Decrease
+// pattern): panel factorizations shrink quadratically as the trailing
+// matrix empties, so early tasks dwarf late ones.  Shows how the optimal
+// plan front-loads resilience and leaves the cheap tail bare, and
+// decomposes where the expected time goes.
+//
+//   $ ./lu_workflow [--platform Hera] [--panels 50]
+#include <iostream>
+
+#include "analysis/breakdown.hpp"
+#include "analysis/evaluator.hpp"
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "plan/render.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chainckpt;
+  util::CliParser cli;
+  cli.add_option("platform", "Hera", "Table I platform name");
+  cli.add_option("panels", "50", "number of panel steps (tasks)");
+  cli.add_option("weight", "25000", "total factorization time (s)");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(
+        "lu_workflow: resilience for a decreasing-weight factorization");
+    return 0;
+  }
+
+  const auto n = static_cast<std::size_t>(cli.get_int("panels"));
+  const double weight = cli.get_double("weight");
+  const auto platform = platform::by_name(cli.get("platform"));
+  const platform::CostModel costs(platform);
+  const auto chain = chain::make_decrease(n, weight);
+
+  std::cout << "LU factorization: " << n << " panel steps; first panel "
+            << chain.weight(1) << "s, last " << chain.weight(n) << "s\n\n";
+
+  const auto result = core::optimize(core::Algorithm::kADMV, chain, costs);
+  std::cout << plan::render_figure(result.plan,
+                                   "Optimal ADMV plan (" + platform.name +
+                                       ", Decrease)")
+            << '\n';
+
+  // Where do the mechanisms sit relative to the work distribution?
+  std::size_t front = 0, back = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (result.plan.action(i) != plan::Action::kNone) {
+      (i <= n / 2 ? front : back) += 1;
+    }
+  }
+  std::cout << "Mechanisms in the first half: " << front
+            << ", in the second half: " << back
+            << " (the paper's Figure 7 observation).\n\n";
+
+  const analysis::PlanEvaluator evaluator(chain, costs);
+  std::cout << analysis::breakdown(evaluator, result.plan).describe()
+            << "\n\n";
+
+  // Contrast with a naive equal-spacing policy to quantify the value of
+  // weight-aware placement.
+  const auto periodic =
+      core::optimize(core::Algorithm::kPeriodic, chain, costs);
+  util::TextTable table({"policy", "expected makespan (s)", "normalized"});
+  table.add_row({"best periodic",
+                 util::TextTable::num(periodic.expected_makespan, 1),
+                 util::TextTable::num(periodic.expected_makespan / weight,
+                                      5)});
+  table.add_row({"optimal (ADMV)",
+                 util::TextTable::num(result.expected_makespan, 1),
+                 util::TextTable::num(result.expected_makespan / weight,
+                                      5)});
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Iterative stencil application (the paper's motivation for the Uniform
+// pattern): a long run partitioned into equal sweeps that exchange data at
+// phase boundaries.  Compares every algorithm the library implements --
+// the paper's three plus the classical baselines -- and shows what each
+// level of sophistication buys.
+//
+//   $ ./stencil_workflow [--platform Atlas] [--sweeps 40]
+#include <iostream>
+
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chainckpt;
+  util::CliParser cli;
+  cli.add_option("platform", "Atlas", "Table I platform name");
+  cli.add_option("sweeps", "40", "number of stencil sweeps (tasks)");
+  cli.add_option("weight", "25000", "total computation (s)");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(
+        "stencil_workflow: algorithm shoot-out on a uniform chain");
+    return 0;
+  }
+
+  const auto n = static_cast<std::size_t>(cli.get_int("sweeps"));
+  const double weight = cli.get_double("weight");
+  const auto platform = platform::by_name(cli.get("platform"));
+  const platform::CostModel costs(platform);
+  const auto chain = chain::make_uniform(n, weight);
+
+  std::cout << "Stencil run: " << n << " sweeps, " << weight << "s total, "
+            << "on " << platform.name << "\n\n";
+
+  util::TextTable table({"algorithm", "expected makespan (s)",
+                         "normalized", "overhead vs best", "#D", "#M",
+                         "#V*", "#V"});
+  // From least to most sophisticated.
+  const std::vector<core::Algorithm> algorithms{
+      core::Algorithm::kAD,       core::Algorithm::kDaly,
+      core::Algorithm::kPeriodic, core::Algorithm::kADVstar,
+      core::Algorithm::kADMVstar, core::Algorithm::kADMV};
+  double best = 0.0;
+  {
+    const auto r = core::optimize(core::Algorithm::kADMV, chain, costs);
+    best = r.expected_makespan;
+  }
+  for (core::Algorithm a : algorithms) {
+    const auto r = core::optimize(a, chain, costs);
+    const auto c = r.plan.interior_counts();
+    table.add_row(
+        {core::to_string(a), util::TextTable::num(r.expected_makespan, 1),
+         util::TextTable::num(r.expected_makespan / weight, 5),
+         util::TextTable::num(
+             (r.expected_makespan / best - 1.0) * 100.0, 3) +
+             "%",
+         std::to_string(c.disk), std::to_string(c.memory),
+         std::to_string(c.guaranteed), std::to_string(c.partial)});
+  }
+  std::cout << table.render() << '\n';
+  std::cout << "Reading: AD pays for undetected silent errors with full "
+               "disk rollbacks; adding verifications (ADV*), a memory "
+               "level (ADMV*), and cheap partial detectors (ADMV) "
+               "progressively trims the expected overhead.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "analysis/breakdown.hpp"
+
+#include <sstream>
+
+namespace chainckpt::analysis {
+
+std::string CostBreakdown::describe() const {
+  std::ostringstream os;
+  os << "expected makespan " << expected_makespan << "s = work " << work
+     << "s + disk ckpts " << disk_checkpoints << "s + memory ckpts "
+     << memory_checkpoints << "s + guaranteed verifs " << guaranteed_verifs
+     << "s + partial verifs " << partial_verifs
+     << "s + expected error handling " << expected_error_handling << 's';
+  return os.str();
+}
+
+CostBreakdown breakdown(const PlanEvaluator& evaluator,
+                        const plan::ResiliencePlan& plan, FormulaMode mode) {
+  CostBreakdown out;
+  const auto& costs = evaluator.costs();
+  out.work = evaluator.chain().total_weight();
+  for (std::size_t i = 1; i <= plan.size(); ++i) {
+    const plan::Action a = plan.action(i);
+    if (has_disk_checkpoint(a)) out.disk_checkpoints += costs.c_disk_after(i);
+    if (has_memory_checkpoint(a))
+      out.memory_checkpoints += costs.c_mem_after(i);
+    if (has_guaranteed_verif(a))
+      out.guaranteed_verifs += costs.v_guaranteed_after(i);
+    if (has_partial_verif(a)) out.partial_verifs += costs.v_partial_after(i);
+  }
+  out.expected_makespan = evaluator.expected_makespan(plan, mode);
+  out.expected_error_handling =
+      out.expected_makespan - out.work - out.deterministic_overhead();
+  return out;
+}
+
+}  // namespace chainckpt::analysis

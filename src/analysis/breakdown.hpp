@@ -1,0 +1,40 @@
+// Cost decomposition of a plan's expected makespan: how much goes to raw
+// work, checkpoints, verifications, and expected error handling.  Used by
+// the examples and the ablation benches to explain *why* a configuration
+// wins, not only that it wins.
+#pragma once
+
+#include <string>
+
+#include "analysis/evaluator.hpp"
+
+namespace chainckpt::analysis {
+
+struct CostBreakdown {
+  double work = 0.0;               ///< error-free computation (total weight)
+  double disk_checkpoints = 0.0;   ///< sum of C_D over placed disk ckpts
+  double memory_checkpoints = 0.0; ///< sum of C_M over placed memory ckpts
+  double guaranteed_verifs = 0.0;  ///< sum of V* over placed V*
+  double partial_verifs = 0.0;     ///< sum of V over placed V
+  /// Expected time beyond the deterministic terms: rollbacks, recoveries,
+  /// re-executions and their nested verifications/checkpoints.
+  double expected_error_handling = 0.0;
+  double expected_makespan = 0.0;
+
+  /// Deterministic overhead (all checkpoint + verification costs).
+  double deterministic_overhead() const noexcept {
+    return disk_checkpoints + memory_checkpoints + guaranteed_verifs +
+           partial_verifs;
+  }
+
+  std::string describe() const;
+};
+
+/// Decomposes the expected makespan of `plan`.  The deterministic terms are
+/// exact sums of placed mechanism costs; expected_error_handling is the
+/// remainder of the analytic expectation.
+CostBreakdown breakdown(const PlanEvaluator& evaluator,
+                        const plan::ResiliencePlan& plan,
+                        FormulaMode mode = FormulaMode::kAuto);
+
+}  // namespace chainckpt::analysis

@@ -1,0 +1,59 @@
+#include "analysis/first_order.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace chainckpt::analysis {
+
+namespace {
+std::size_t count_for(double period, double total_weight) {
+  if (!std::isfinite(period) || period <= 0.0) return 0;
+  const double k = total_weight / period;
+  return k <= 1.0 ? 0 : static_cast<std::size_t>(k) - 1;
+}
+}  // namespace
+
+std::size_t FirstOrderPrediction::expected_disk(double total_weight) const {
+  return count_for(period_disk, total_weight);
+}
+
+std::size_t FirstOrderPrediction::expected_memory(
+    double total_weight) const {
+  return count_for(period_memory, total_weight);
+}
+
+std::size_t FirstOrderPrediction::expected_verifs(
+    double total_weight) const {
+  return count_for(period_verif, total_weight);
+}
+
+std::string FirstOrderPrediction::describe() const {
+  std::ostringstream os;
+  os << "first-order periods: V* every " << period_verif
+     << "s, memory ckpt every " << period_memory
+     << "s, disk ckpt every " << period_disk << "s; predicted overhead "
+     << overhead * 100.0 << "%";
+  return os.str();
+}
+
+FirstOrderPrediction first_order_prediction(const platform::Platform& p) {
+  const double inf = std::numeric_limits<double>::infinity();
+  FirstOrderPrediction out;
+  out.period_verif =
+      p.lambda_s > 0.0 ? std::sqrt(2.0 * p.v_guaranteed / p.lambda_s) : inf;
+  out.period_memory =
+      p.lambda_s > 0.0
+          ? std::sqrt(2.0 * (p.c_mem + p.v_guaranteed) / p.lambda_s)
+          : inf;
+  out.period_disk =
+      p.lambda_f > 0.0 ? std::sqrt(2.0 * p.c_disk / p.lambda_f) : inf;
+  // At the first-order optimum each mechanism's amortized placement cost
+  // equals its expected rollback cost, giving sqrt(2 lambda cost) per
+  // level.
+  out.overhead = std::sqrt(2.0 * p.lambda_s * (p.c_mem + p.v_guaranteed)) +
+                 std::sqrt(2.0 * p.lambda_f * p.c_disk);
+  return out;
+}
+
+}  // namespace chainckpt::analysis

@@ -1,0 +1,52 @@
+// First-order (Young/Daly-style) theory for the two-level model.
+//
+// The paper's companion work (Benoit et al., IPDPS'16) analyses
+// divisible-load applications with periodic patterns and derives, to
+// first order in the error rates, the optimal period of each mechanism
+// and the resulting overhead.  Linear chains quantize those periods to
+// task boundaries, but the continuous predictions remain excellent
+// sanity checks for the DP output on near-uniform chains:
+//
+//   W_V ~ sqrt(2 V* / lambda_s)            (verification period)
+//   W_M ~ sqrt(2 (C_M + V*) / lambda_s)    (memory-checkpoint period)
+//   W_D ~ sqrt(2 C_D / lambda_f)           (disk-checkpoint period)
+//
+// and overhead contributions of 2*sqrt(lambda/2 * cost) per mechanism
+// (deterministic cost amortization + expected re-execution, equal at the
+// optimum).  The total first-order overhead prediction is
+//
+//   H ~ sqrt(2 lambda_s (C_M + V*)) + sqrt(2 lambda_f C_D)
+//
+// -- silent errors handled by the memory level, fail-stop by the disk
+// level.  These are order-of-magnitude tools, not exact values; the
+// tests gate the DP against them within generous factors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "platform/platform.hpp"
+
+namespace chainckpt::analysis {
+
+struct FirstOrderPrediction {
+  double period_verif = 0.0;   ///< W_V (s); +inf when lambda_s == 0
+  double period_memory = 0.0;  ///< W_M (s); +inf when lambda_s == 0
+  double period_disk = 0.0;    ///< W_D (s); +inf when lambda_f == 0
+  /// Predicted overhead fraction: E[makespan]/W - 1 for a long chain.
+  double overhead = 0.0;
+
+  /// Predicted mechanism counts for a workload of `total_weight` seconds
+  /// (rounded down; the final mandatory bundle is not counted).
+  std::size_t expected_disk(double total_weight) const;
+  std::size_t expected_memory(double total_weight) const;
+  std::size_t expected_verifs(double total_weight) const;
+
+  std::string describe() const;
+};
+
+/// First-order prediction for `platform` (partial verifications ignored:
+/// the first-order optimum uses them only through a higher-order term).
+FirstOrderPrediction first_order_prediction(const platform::Platform& p);
+
+}  // namespace chainckpt::analysis

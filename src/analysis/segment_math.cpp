@@ -1,0 +1,64 @@
+#include "analysis/segment_math.hpp"
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace chainckpt::analysis {
+
+Interval make_interval(const chain::WeightTable& table, std::size_t i,
+                       std::size_t j) {
+  CHAINCKPT_ASSERT(i <= j && j <= table.n(), "interval indices out of order");
+  return Interval{table.weight(i, j), table.em1_f(i, j), table.em1_s(i, j)};
+}
+
+double em1f_over_lambda(const Interval& seg, double lambda_f) noexcept {
+  // (e^{lf W} - 1)/lf == W * expm1(x)/x with x = lf * W; the series form
+  // keeps full precision as lf -> 0 where em1_f/lambda_f would be 0/0.
+  const double x = lambda_f * seg.w;
+  if (x < 1e-5) return seg.w * util::expm1_over_x(x);
+  return seg.em1_f / lambda_f;
+}
+
+double expected_verified_segment(const Interval& seg, double lambda_f,
+                                 double v_guaranteed,
+                                 const LeftContext& left) noexcept {
+  const double es = seg.exp_s();
+  return es * (em1f_over_lambda(seg, lambda_f) + v_guaranteed) +
+         es * seg.em1_f * (left.r_disk + left.e_mem) +
+         seg.em1_fs() * left.e_verif + seg.em1_s * left.r_mem;
+}
+
+double e_minus_segment(const Interval& seg, double lambda_f, double v_partial,
+                       double miss, const LeftContext& left,
+                       double e_right_next) noexcept {
+  const double es = seg.exp_s();
+  return es * (em1f_over_lambda(seg, lambda_f) + v_partial) +
+         es * seg.em1_f * (left.r_disk + left.e_mem) +
+         seg.em1_fs() * left.e_verif +
+         seg.em1_s * ((1.0 - miss) * left.r_mem + miss * e_right_next);
+}
+
+double e_right_step(const Interval& seg, double lambda_f, double v_partial,
+                    double miss, double r_disk, double r_mem, double e_mem,
+                    double e_right_next) noexcept {
+  // p^f (T_lost + R_D + E_mem) + (1 - p^f)(W + V + (1-g) R_M + g E_right').
+  // p^f = 1 - e^{-lf W} = em1_f / e^{lf W}; 1 - p^f = 1 / e^{lf W}.
+  const double ef = seg.exp_f();
+  const double p_fail = seg.em1_f / ef;
+  const double t_lost = util::expected_time_lost(lambda_f, seg.w);
+  return p_fail * (t_lost + r_disk + e_mem) +
+         (seg.w + v_partial + (1.0 - miss) * r_mem + miss * e_right_next) /
+             ef;
+}
+
+double e_partial_terminal(const Interval& seg, double lambda_f,
+                          double v_partial, double v_guaranteed, double miss,
+                          const LeftContext& left) noexcept {
+  // E^-(..., p1, v2, v2) with E_right(..., v2, v2) = R_M, plus the
+  // verification-cost upgrade e^{(ls+lf) W} (V* - V).
+  const double base = e_minus_segment(seg, lambda_f, v_partial, miss, left,
+                                      /*e_right_next=*/left.r_mem);
+  return base + seg.exp_fs() * (v_guaranteed - v_partial);
+}
+
+}  // namespace chainckpt::analysis

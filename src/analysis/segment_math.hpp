@@ -1,0 +1,91 @@
+// Closed-form expected-time formulas of the paper (Section III).
+//
+// These are the only place in the library where the paper's equations are
+// written down; the dynamic programs (src/core) and the analytic plan
+// evaluator (src/analysis/evaluator) both call into here, so an algebra
+// fix propagates everywhere and the "DP value == evaluator(reconstructed
+// plan)" test is meaningful.
+//
+// Notation (paper Figures 1-4): positions are task indices, 0 = virtual T0.
+//   d1 : last disk checkpoint        m1 : last memory checkpoint
+//   v1 : last guaranteed verification
+//   p1, p2 : consecutive partial verifications
+//   v2 : next guaranteed verification
+#pragma once
+
+#include <cstddef>
+
+#include "chain/weight_table.hpp"
+
+namespace chainckpt::analysis {
+
+/// Quantities of one interval of tasks T_{i+1}..T_j.  em1_x = e^{x W} - 1
+/// stored at full precision (see WeightTable).
+struct Interval {
+  double w = 0.0;      ///< W_{i,j}
+  double em1_f = 0.0;  ///< e^{lambda_f W} - 1
+  double em1_s = 0.0;  ///< e^{lambda_s W} - 1
+
+  double exp_f() const noexcept { return 1.0 + em1_f; }
+  double exp_s() const noexcept { return 1.0 + em1_s; }
+  /// e^{(lambda_f + lambda_s) W} - 1, assembled without cancellation.
+  double em1_fs() const noexcept {
+    return em1_f + em1_s + em1_f * em1_s;
+  }
+  double exp_fs() const noexcept { return 1.0 + em1_fs(); }
+};
+
+Interval make_interval(const chain::WeightTable& table, std::size_t i,
+                       std::size_t j);
+
+/// Everything the formulas need to know about the segment's left context.
+struct LeftContext {
+  double r_disk = 0.0;   ///< R_D of the last disk checkpoint (0 for T0)
+  double r_mem = 0.0;    ///< R_M of the last memory checkpoint (0 for T0)
+  double e_mem = 0.0;    ///< E_mem(d1, m1): re-execute d1 -> m1
+  double e_verif = 0.0;  ///< E_verif(d1, m1, v1): re-execute m1 -> v1
+};
+
+/// (e^{lambda_f W} - 1) / lambda_f, the first re-execution term of Eq. (4);
+/// continuous limit W as lambda_f -> 0.
+double em1f_over_lambda(const Interval& seg, double lambda_f) noexcept;
+
+/// Paper Eq. (4): expected time to successfully execute the tasks between
+/// two guaranteed verifications (interval (v1, v2]), including the cost
+/// v_guaranteed of the verification at v2.
+///
+///   E = e^{ls W} ((e^{lf W} - 1)/lf + V*)
+///     + e^{ls W} (e^{lf W} - 1)(R_D + E_mem)
+///     + (e^{(ls+lf) W} - 1) E_verif
+///     + (e^{ls W} - 1) R_M
+double expected_verified_segment(const Interval& seg, double lambda_f,
+                                 double v_guaranteed,
+                                 const LeftContext& left) noexcept;
+
+/// Paper Section III-B, E^-(d1,m1,v1,p1,p2,v2): expected time for the
+/// interval (p1, p2] between two partial verifications, with the
+/// E_left(v1,p1) re-execution term removed (it is re-injected by the
+/// e^{(ls+lf) W_{p2,v2}} multiplier inside E_partial).  `e_right_next` is
+/// E_right(d1,m1,v1,p2,v2) and `miss` is g = 1 - recall.
+double e_minus_segment(const Interval& seg, double lambda_f, double v_partial,
+                       double miss, const LeftContext& left,
+                       double e_right_next) noexcept;
+
+/// Paper Section III-B, one step of the E_right recursion: expected time
+/// lost executing (p1, p2] while an undetected silent error is present,
+/// where `e_right_next` is E_right at p2.  Initialization at p1 = v2 is
+/// E_right = R_M (handled by the caller).
+double e_right_step(const Interval& seg, double lambda_f, double v_partial,
+                    double miss, double r_disk, double r_mem, double e_mem,
+                    double e_right_next) noexcept;
+
+/// Terminal choice of the E_partial recursion (p2 = v2): the interval
+/// (p1, v2] is closed by the guaranteed verification, so the partial-
+/// verification cost inside E^- is upgraded by
+/// e^{(ls+lf) W_{p1,v2}} (V* - V).
+/// `seg` is the interval (p1, v2] and `e_right_at_v2` is R_M.
+double e_partial_terminal(const Interval& seg, double lambda_f,
+                          double v_partial, double v_guaranteed, double miss,
+                          const LeftContext& left) noexcept;
+
+}  // namespace chainckpt::analysis

@@ -1,0 +1,65 @@
+#include "chain/chain.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace chainckpt::chain {
+
+namespace {
+// Built without `"T" + std::to_string(...)`: that expression trips a
+// GCC 12 -Wrestrict false positive (PR105651) when inlined.
+std::string default_name(std::size_t position) {
+  std::string name = std::to_string(position);
+  name.insert(name.begin(), 'T');
+  return name;
+}
+}  // namespace
+
+TaskChain::TaskChain(const std::vector<double>& weights) {
+  tasks_.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    tasks_.push_back(Task{weights[i], default_name(i + 1)});
+  }
+  build_prefix();
+}
+
+TaskChain::TaskChain(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].name.empty()) tasks_[i].name = default_name(i + 1);
+  }
+  build_prefix();
+}
+
+void TaskChain::build_prefix() {
+  prefix_.assign(tasks_.size() + 1, 0.0);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const double w = tasks_[i].weight;
+    CHAINCKPT_REQUIRE(std::isfinite(w) && w > 0.0,
+                      "task weights must be positive and finite");
+    prefix_[i + 1] = prefix_[i] + w;
+  }
+  total_weight_ = prefix_.back();
+}
+
+const Task& TaskChain::task(std::size_t i) const {
+  CHAINCKPT_REQUIRE(i >= 1 && i <= tasks_.size(), "task index is 1-based");
+  return tasks_[i - 1];
+}
+
+double TaskChain::weight(std::size_t i) const { return task(i).weight; }
+
+double TaskChain::weight_between(std::size_t i, std::size_t j) const {
+  CHAINCKPT_REQUIRE(i <= j && j <= tasks_.size(),
+                    "weight_between requires 0 <= i <= j <= n");
+  return prefix_[j] - prefix_[i];
+}
+
+std::string TaskChain::describe() const {
+  std::ostringstream os;
+  os << "n=" << tasks_.size() << ", W=" << total_weight_;
+  return os.str();
+}
+
+}  // namespace chainckpt::chain

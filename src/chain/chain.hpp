@@ -1,0 +1,52 @@
+// Linear task graph T1 -> T2 -> ... -> Tn (paper Section II).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chain/task.hpp"
+
+namespace chainckpt::chain {
+
+class TaskChain {
+ public:
+  TaskChain() = default;
+
+  /// Builds a chain from explicit weights; every weight must be positive
+  /// and finite.  Task names default to "T<i>".
+  explicit TaskChain(const std::vector<double>& weights);
+  explicit TaskChain(std::vector<Task> tasks);
+
+  /// Number of real tasks n (the virtual T0 is not stored).
+  std::size_t size() const noexcept { return tasks_.size(); }
+  bool empty() const noexcept { return tasks_.empty(); }
+
+  /// 1-based access mirroring the paper's indexing: task(i) is T_i for
+  /// i in [1, n].
+  const Task& task(std::size_t i) const;
+  /// Weight w_i of task T_i (1-based).
+  double weight(std::size_t i) const;
+
+  /// Sum of all weights (the error-free makespan with no resilience).
+  double total_weight() const noexcept { return total_weight_; }
+
+  /// W_{i,j} = sum_{k=i+1..j} w_k, the error-free time to execute tasks
+  /// T_{i+1}..T_j; requires 0 <= i <= j <= n.  W_{i,i} = 0.
+  double weight_between(std::size_t i, std::size_t j) const;
+
+  const std::vector<Task>& tasks() const noexcept { return tasks_; }
+
+  /// One-line description, e.g. "n=50, W=25000".
+  std::string describe() const;
+
+ private:
+  std::vector<Task> tasks_;
+  /// prefix_[k] = w_1 + ... + w_k, prefix_[0] = 0.
+  std::vector<double> prefix_;
+  double total_weight_ = 0.0;
+
+  void build_prefix();
+};
+
+}  // namespace chainckpt::chain

@@ -1,0 +1,143 @@
+#include "chain/chain_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace chainckpt::chain {
+
+namespace {
+
+std::string strip_comment(const std::string& line) {
+  const auto hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+double parse_weight(const std::string& token, std::size_t line_no) {
+  std::size_t pos = 0;
+  double w = 0.0;
+  try {
+    w = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != token.size()) {
+    throw std::invalid_argument("chain file line " +
+                                std::to_string(line_no) +
+                                ": not a weight: " + token);
+  }
+  return w;
+}
+
+}  // namespace
+
+TaskChain chain_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<Task> tasks;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream fields(strip_comment(line));
+    std::string first, second, extra;
+    if (!(fields >> first)) continue;  // blank or comment-only line
+    Task task;
+    if (fields >> second) {
+      if (fields >> extra) {
+        throw std::invalid_argument("chain file line " +
+                                    std::to_string(line_no) +
+                                    ": too many fields");
+      }
+      task.name = first;
+      task.weight = parse_weight(second, line_no);
+    } else {
+      task.weight = parse_weight(first, line_no);
+    }
+    tasks.push_back(std::move(task));
+  }
+  if (tasks.empty())
+    throw std::invalid_argument("chain file contains no tasks");
+  return TaskChain(std::move(tasks));  // validates weights
+}
+
+std::string chain_to_text(const TaskChain& chain) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "# chainckpt chain file: " << chain.describe() << '\n';
+  for (std::size_t i = 1; i <= chain.size(); ++i) {
+    os << chain.task(i).name << ' ' << chain.weight(i) << '\n';
+  }
+  return os.str();
+}
+
+TaskChain chain_from_csv(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::invalid_argument("empty chain CSV");
+  // Header is mandatory but its exact spelling is not enforced beyond
+  // having two columns.
+  std::vector<Task> tasks;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("chain CSV line " +
+                                  std::to_string(line_no) +
+                                  ": expected name,weight");
+    }
+    Task task;
+    task.name = line.substr(0, comma);
+    task.weight = parse_weight(line.substr(comma + 1), line_no);
+    tasks.push_back(std::move(task));
+  }
+  if (tasks.empty())
+    throw std::invalid_argument("chain CSV contains no tasks");
+  return TaskChain(std::move(tasks));
+}
+
+std::string chain_to_csv(const TaskChain& chain) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "name,weight\n";
+  for (std::size_t i = 1; i <= chain.size(); ++i) {
+    os << util::CsvWriter::escape(chain.task(i).name) << ','
+       << chain.weight(i) << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open chain file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool has_csv_extension(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+}  // namespace
+
+TaskChain load_chain(const std::string& path) {
+  const std::string text = read_file(path);
+  return has_csv_extension(path) ? chain_from_csv(text)
+                                 : chain_from_text(text);
+}
+
+void save_chain(const std::string& path, const TaskChain& chain) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write chain file: " + path);
+  out << (has_csv_extension(path) ? chain_to_csv(chain)
+                                  : chain_to_text(chain));
+}
+
+}  // namespace chainckpt::chain

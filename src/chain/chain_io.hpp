@@ -1,0 +1,38 @@
+// Task-chain file I/O.
+//
+// Text format ("chain file"), one task per line, comments with '#':
+//
+//     # genomics pipeline, times in seconds
+//     align      5200
+//     dedup       800
+//     call-snv   9400
+//
+// The name column is optional (lines may contain just a weight); names
+// must not contain whitespace.  A CSV flavour (`name,weight` with header)
+// is supported for interop with spreadsheet-managed workflows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "chain/chain.hpp"
+
+namespace chainckpt::chain {
+
+/// Parses the chain-file format; throws std::invalid_argument on
+/// malformed lines or non-positive weights.
+TaskChain chain_from_text(const std::string& text);
+
+/// Serializes to the chain-file format (always with names).
+std::string chain_to_text(const TaskChain& chain);
+
+/// Parses "name,weight" CSV with a mandatory header line.
+TaskChain chain_from_csv(const std::string& text);
+std::string chain_to_csv(const TaskChain& chain);
+
+/// Reads a file, dispatching on extension: ".csv" -> CSV, anything else
+/// -> chain-file format.  Throws std::runtime_error when unreadable.
+TaskChain load_chain(const std::string& path);
+void save_chain(const std::string& path, const TaskChain& chain);
+
+}  // namespace chainckpt::chain

@@ -1,0 +1,118 @@
+#include "chain/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace chainckpt::chain {
+
+namespace {
+void check_args(std::size_t n, double total_weight) {
+  CHAINCKPT_REQUIRE(n >= 1, "a chain needs at least one task");
+  CHAINCKPT_REQUIRE(std::isfinite(total_weight) && total_weight > 0.0,
+                    "total weight must be positive and finite");
+}
+}  // namespace
+
+Pattern pattern_from_string(const std::string& name) {
+  if (name == "uniform") return Pattern::kUniform;
+  if (name == "decrease") return Pattern::kDecrease;
+  if (name == "highlow") return Pattern::kHighLow;
+  throw std::invalid_argument("unknown pattern: " + name +
+                              " (expected uniform|decrease|highlow)");
+}
+
+std::string to_string(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kUniform:
+      return "uniform";
+    case Pattern::kDecrease:
+      return "decrease";
+    case Pattern::kHighLow:
+      return "highlow";
+  }
+  return "?";
+}
+
+TaskChain make_uniform(std::size_t n, double total_weight) {
+  check_args(n, total_weight);
+  return TaskChain(
+      std::vector<double>(n, total_weight / static_cast<double>(n)));
+}
+
+TaskChain make_decrease(std::size_t n, double total_weight) {
+  check_args(n, total_weight);
+  // w_i = alpha * (n + 1 - i)^2; choose alpha so the sum is exactly W
+  // (the paper's alpha ~ 3W/n^3 is the large-n approximation of the same
+  // normalization).
+  double sum_sq = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double k = static_cast<double>(n + 1 - i);
+    sum_sq += k * k;
+  }
+  const double alpha = total_weight / sum_sq;
+  std::vector<double> weights(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double k = static_cast<double>(n + 1 - i);
+    weights[i - 1] = alpha * k * k;
+  }
+  return TaskChain(weights);
+}
+
+TaskChain make_highlow(std::size_t n, double total_weight,
+                       double fraction_large, double weight_large_fraction) {
+  check_args(n, total_weight);
+  CHAINCKPT_REQUIRE(fraction_large > 0.0 && fraction_large < 1.0,
+                    "fraction_large must lie in (0, 1)");
+  CHAINCKPT_REQUIRE(
+      weight_large_fraction > 0.0 && weight_large_fraction < 1.0,
+      "weight_large_fraction must lie in (0, 1)");
+  // At least one large task; for n == 1 the pattern degenerates to uniform.
+  if (n == 1) return make_uniform(n, total_weight);
+  const std::size_t n_large = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(fraction_large * static_cast<double>(n))));
+  const std::size_t n_small = n - n_large;
+  CHAINCKPT_ASSERT(n_small >= 1, "HighLow needs at least one small task");
+  std::vector<double> weights(n);
+  const double w_large = total_weight * weight_large_fraction /
+                         static_cast<double>(n_large);
+  const double w_small = total_weight * (1.0 - weight_large_fraction) /
+                         static_cast<double>(n_small);
+  for (std::size_t i = 0; i < n_large; ++i) weights[i] = w_large;
+  for (std::size_t i = n_large; i < n; ++i) weights[i] = w_small;
+  return TaskChain(weights);
+}
+
+TaskChain make_pattern(Pattern pattern, std::size_t n, double total_weight) {
+  switch (pattern) {
+    case Pattern::kUniform:
+      return make_uniform(n, total_weight);
+    case Pattern::kDecrease:
+      return make_decrease(n, total_weight);
+    case Pattern::kHighLow:
+      return make_highlow(n, total_weight);
+  }
+  throw std::invalid_argument("unknown pattern enum value");
+}
+
+TaskChain make_random(std::size_t n, double total_weight,
+                      util::Xoshiro256& rng, double min_factor,
+                      double max_factor) {
+  check_args(n, total_weight);
+  CHAINCKPT_REQUIRE(0.0 < min_factor && min_factor <= max_factor,
+                    "need 0 < min_factor <= max_factor");
+  std::vector<double> weights(n);
+  double sum = 0.0;
+  for (auto& w : weights) {
+    w = min_factor + (max_factor - min_factor) * rng.uniform01();
+    sum += w;
+  }
+  for (auto& w : weights) w *= total_weight / sum;
+  return TaskChain(weights);
+}
+
+}  // namespace chainckpt::chain

@@ -1,0 +1,47 @@
+// Workload generators for the paper's evaluation (Section IV) plus a random
+// extension for property testing.
+//
+// All patterns distribute a total computational weight W over n tasks:
+//   * Uniform : every task has weight W/n (matrix multiplication, stencils);
+//   * Decrease: task T_i has weight alpha * (n + 1 - i)^2 with alpha chosen
+//     so the weights sum to W (~3W/n^3) -- dense LU/QR-style solvers;
+//   * HighLow : the first `fraction_large` of the tasks (at least one task)
+//     share `weight_large_fraction` of W, the rest share the remainder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chain/chain.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::chain {
+
+enum class Pattern { kUniform, kDecrease, kHighLow };
+
+/// Parse "uniform" / "decrease" / "highlow" (case-sensitive, as used by the
+/// CLI tools); throws std::invalid_argument otherwise.
+Pattern pattern_from_string(const std::string& name);
+std::string to_string(Pattern pattern);
+
+TaskChain make_uniform(std::size_t n, double total_weight);
+
+TaskChain make_decrease(std::size_t n, double total_weight);
+
+/// Paper setting: fraction_large = 0.1 of tasks carry
+/// weight_large_fraction = 0.6 of the weight.
+TaskChain make_highlow(std::size_t n, double total_weight,
+                       double fraction_large = 0.1,
+                       double weight_large_fraction = 0.6);
+
+/// Dispatches on `pattern` with the paper's default HighLow parameters.
+TaskChain make_pattern(Pattern pattern, std::size_t n, double total_weight);
+
+/// Extension: i.i.d. uniform random weights in [min_factor, max_factor] x
+/// (W/n), rescaled to sum exactly to W.  Used by property tests to exercise
+/// the optimizers away from the three structured patterns.
+TaskChain make_random(std::size_t n, double total_weight,
+                      util::Xoshiro256& rng, double min_factor = 0.2,
+                      double max_factor = 5.0);
+
+}  // namespace chainckpt::chain

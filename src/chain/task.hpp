@@ -1,0 +1,18 @@
+// A single task of a linear workflow.
+#pragma once
+
+#include <string>
+
+namespace chainckpt::chain {
+
+/// Tasks are identified by their 1-based position in the chain; position 0
+/// is the virtual task T0 of the paper (always disk+memory checkpointed at
+/// zero recovery cost).
+struct Task {
+  /// Computational weight in seconds of error-free execution (w_i > 0).
+  double weight = 0.0;
+  /// Optional human-readable label (used by examples and traces).
+  std::string name;
+};
+
+}  // namespace chainckpt::chain

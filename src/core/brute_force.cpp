@@ -1,0 +1,54 @@
+#include "core/brute_force.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace chainckpt::core {
+
+BruteForceResult brute_force_optimize(const chain::TaskChain& chain,
+                                      const platform::CostModel& costs,
+                                      const BruteForceOptions& options) {
+  const std::size_t n = chain.size();
+  CHAINCKPT_REQUIRE(n >= 1, "brute force needs a non-empty chain");
+  CHAINCKPT_REQUIRE(n <= options.max_n,
+                    "chain too long for exhaustive search");
+
+  std::vector<plan::Action> allowed{plan::Action::kNone};
+  if (options.allow_partial) allowed.push_back(plan::Action::kPartialVerif);
+  if (options.allow_guaranteed)
+    allowed.push_back(plan::Action::kGuaranteedVerif);
+  if (options.allow_memory)
+    allowed.push_back(plan::Action::kMemoryCheckpoint);
+  if (options.allow_disk) allowed.push_back(plan::Action::kDiskCheckpoint);
+
+  const analysis::PlanEvaluator evaluator(chain, costs);
+
+  plan::ResiliencePlan current(n);
+  BruteForceResult best{current, std::numeric_limits<double>::infinity(), 0};
+
+  // Odometer over the n-1 interior positions (the final position is always
+  // the mandatory V* + C_M + C_D bundle).
+  std::vector<std::size_t> digits(n >= 1 ? n - 1 : 0, 0);
+  while (true) {
+    for (std::size_t i = 0; i < digits.size(); ++i)
+      current.set_action(i + 1, allowed[digits[i]]);
+    const double value = evaluator.expected_makespan(current, options.mode);
+    ++best.plans_evaluated;
+    if (value < best.expected_makespan) {
+      best.expected_makespan = value;
+      best.plan = current;
+    }
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < digits.size() && ++digits[pos] == allowed.size()) {
+      digits[pos] = 0;
+      ++pos;
+    }
+    if (pos == digits.size()) break;
+  }
+  return best;
+}
+
+}  // namespace chainckpt::core

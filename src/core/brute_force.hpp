@@ -1,0 +1,41 @@
+// Exhaustive-search reference optimizer.
+//
+// Enumerates every plan over the allowed action set and scores it with the
+// analytic evaluator.  Exponential (up to 5^(n-1) plans), so usable only
+// for small n -- which is exactly its purpose: an independent optimality
+// oracle for the dynamic programs in the test suite, and a sanity tool for
+// users extending the cost model.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/evaluator.hpp"
+#include "core/dp_context.hpp"
+
+namespace chainckpt::core {
+
+struct BruteForceOptions {
+  bool allow_guaranteed = true;  ///< interior V* allowed
+  bool allow_memory = true;      ///< interior V*+C_M allowed
+  bool allow_disk = true;        ///< interior V*+C_M+C_D allowed
+  bool allow_partial = false;    ///< interior V allowed
+  /// Formula mode for scoring.  To compare against ADMV use
+  /// kPartialFramework (the DP scores partial-free segments with the
+  /// Section III-B terminal rule); to compare against ADV*/ADMV* use
+  /// kTwoLevel.
+  analysis::FormulaMode mode = analysis::FormulaMode::kAuto;
+  /// Hard cap on n; the search visits (#actions)^(n-1) plans.
+  std::size_t max_n = 14;
+};
+
+struct BruteForceResult {
+  plan::ResiliencePlan plan;
+  double expected_makespan = 0.0;
+  std::size_t plans_evaluated = 0;
+};
+
+BruteForceResult brute_force_optimize(const chain::TaskChain& chain,
+                                      const platform::CostModel& costs,
+                                      const BruteForceOptions& options = {});
+
+}  // namespace chainckpt::core

@@ -1,0 +1,23 @@
+#include "core/dp_context.hpp"
+
+#include "util/assert.hpp"
+
+namespace chainckpt::core {
+
+DpContext::DpContext(chain::TaskChain chain, platform::CostModel costs,
+                     std::size_t max_n)
+    : chain_(std::move(chain)),
+      costs_(std::move(costs)),
+      table_(chain_, costs_.lambda_f(), costs_.lambda_s()) {
+  CHAINCKPT_REQUIRE(!chain_.empty(), "optimizer needs a non-empty chain");
+  CHAINCKPT_REQUIRE(chain_.size() <= max_n,
+                    "chain too long for the dense DP tables; raise max_n "
+                    "explicitly if you have the memory");
+  if (!costs_.is_uniform()) {
+    // Per-position cost models must cover every task of this chain; probe
+    // the last position so failures surface at construction time.
+    (void)costs_.c_disk_after(chain_.size());
+  }
+}
+
+}  // namespace chainckpt::core

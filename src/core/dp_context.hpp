@@ -1,0 +1,47 @@
+// Shared state for the dynamic programming optimizers.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/segment_math.hpp"
+#include "chain/chain.hpp"
+#include "chain/weight_table.hpp"
+#include "plan/plan.hpp"
+#include "platform/cost_model.hpp"
+
+namespace chainckpt::core {
+
+/// Result of any optimizer: the chosen plan and its expected makespan
+/// (the DP objective value; re-scoring the plan through the analytic
+/// evaluator reproduces it).
+struct OptimizationResult {
+  plan::ResiliencePlan plan;
+  double expected_makespan = 0.0;
+};
+
+/// Precomputed chain/cost/interval data shared by all DP levels.
+class DpContext {
+ public:
+  /// `max_n` bounds the O(n^3) table memory of the multi-level DPs;
+  /// the default (600) corresponds to ~1.7 GiB for the largest table and
+  /// is far beyond the paper's n <= 50 regime.
+  DpContext(chain::TaskChain chain, platform::CostModel costs,
+            std::size_t max_n = 600);
+
+  std::size_t n() const noexcept { return chain_.size(); }
+  const chain::TaskChain& chain() const noexcept { return chain_; }
+  const platform::CostModel& costs() const noexcept { return costs_; }
+  const chain::WeightTable& table() const noexcept { return table_; }
+  double lambda_f() const noexcept { return costs_.lambda_f(); }
+
+  analysis::Interval interval(std::size_t i, std::size_t j) const {
+    return analysis::make_interval(table_, i, j);
+  }
+
+ private:
+  chain::TaskChain chain_;
+  platform::CostModel costs_;
+  chain::WeightTable table_;
+};
+
+}  // namespace chainckpt::core

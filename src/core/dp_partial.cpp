@@ -1,0 +1,113 @@
+#include "core/dp_partial.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/level_dp.hpp"
+
+namespace chainckpt::core {
+
+namespace {
+
+/// The right-to-left inner DP over one verified segment (v1, v2].
+/// Fills ep[p] = E_partial(d1,m1,v1,p,v2) and next[p] = argmin p2 for
+/// p in [v1, v2); er[p] tracks E_right along the optimal chain.
+/// Buffers are indexed by absolute position and must span [0, v2].
+struct PartialSegmentSolver {
+  const DpContext& ctx;
+
+  void solve(std::size_t v1, std::size_t v2,
+             const analysis::LeftContext& left, std::vector<double>& ep,
+             std::vector<double>& er, std::vector<std::int32_t>& next) const {
+    const auto& cm = ctx.costs();
+    const double lf = ctx.lambda_f();
+    const double g = cm.miss();
+    const double v_at_v2 = cm.v_partial_after(v2);
+    const double vstar_at_v2 = cm.v_guaranteed_after(v2);
+
+    er[v2] = left.r_mem;  // E_right(..., v2, v2) = R_M
+    for (std::size_t p1 = v2; p1-- > v1;) {
+      // Terminal choice p2 = v2: the guaranteed verification closes the
+      // segment; upgrade the verification cost by e^{(lf+ls)W}(V* - V).
+      const analysis::Interval tail = ctx.interval(p1, v2);
+      double best = analysis::e_partial_terminal(tail, lf, v_at_v2,
+                                                 vstar_at_v2, g, left);
+      std::size_t best_p2 = v2;
+      for (std::size_t p2 = p1 + 1; p2 < v2; ++p2) {
+        const analysis::Interval seg = ctx.interval(p1, p2);
+        const double candidate =
+            analysis::e_minus_segment(seg, lf, cm.v_partial_after(p2), g,
+                                      left, er[p2]) *
+                ctx.table().exp_fs(p2, v2) +
+            ep[p2];
+        if (candidate < best) {
+          best = candidate;
+          best_p2 = p2;
+        }
+      }
+      ep[p1] = best;
+      next[p1] = static_cast<std::int32_t>(best_p2);
+      // E_right along the chosen chain: the error that slipped past the
+      // partial verification at p1 is next screened at best_p2.
+      const analysis::Interval seg = ctx.interval(p1, best_p2);
+      const double v_at_next =
+          best_p2 == v2 ? v_at_v2 : cm.v_partial_after(best_p2);
+      er[p1] = analysis::e_right_step(seg, lf, v_at_next, g, left.r_disk,
+                                      left.r_mem, left.e_mem, er[best_p2]);
+    }
+  }
+};
+
+}  // namespace
+
+OptimizationResult optimize_with_partial(const chain::TaskChain& chain,
+                                         const platform::CostModel& costs) {
+  const DpContext ctx(chain, costs);
+  const std::size_t n = ctx.n();
+  detail::LevelTables tables(ctx.n());
+  const PartialSegmentSolver solver{ctx};
+  const auto& cm = ctx.costs();
+
+  // Per-thread scratch would need thread-local storage; allocating the
+  // three O(n) buffers per segment call is cheap relative to the O(n^2)
+  // work each call performs.
+  const auto segment = [&](std::size_t d1, std::size_t m1, std::size_t v1,
+                           std::size_t v2, double everif_at_v1,
+                           double emem_at_m1) {
+    const analysis::LeftContext left{cm.r_disk_after(d1), cm.r_mem_after(m1),
+                                     emem_at_m1, everif_at_v1};
+    std::vector<double> ep(v2 + 1, 0.0);
+    std::vector<double> er(v2 + 1, 0.0);
+    std::vector<std::int32_t> next(v2 + 1, -1);
+    solver.solve(v1, v2, left, ep, er, next);
+    return ep[v1];
+  };
+
+  detail::run_level_dp(ctx, tables, segment);
+
+  // Partial positions of a winning segment are re-derived from the (now
+  // final) E_verif / E_mem tables: same inputs, same deterministic inner
+  // DP, same argmin chain.
+  const auto partials = [&](std::size_t d1, std::size_t m1, std::size_t v1,
+                            std::size_t v2) {
+    const analysis::LeftContext left{
+        cm.r_disk_after(d1), cm.r_mem_after(m1), tables.emem_at(d1, m1),
+        tables.everif_at(d1, m1, v1)};
+    std::vector<double> ep(v2 + 1, 0.0);
+    std::vector<double> er(v2 + 1, 0.0);
+    std::vector<std::int32_t> next(v2 + 1, -1);
+    solver.solve(v1, v2, left, ep, er, next);
+    std::vector<std::size_t> positions;
+    for (std::size_t p = static_cast<std::size_t>(next[v1]); p < v2;
+         p = static_cast<std::size_t>(next[p])) {
+      positions.push_back(p);
+    }
+    return positions;
+  };
+
+  return OptimizationResult{detail::extract_plan(ctx, tables, partials),
+                            tables.edisk[n]};
+}
+
+}  // namespace chainckpt::core

@@ -1,0 +1,113 @@
+#include "core/dp_single_level.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "analysis/segment_math.hpp"
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+
+namespace chainckpt::core {
+
+namespace {
+
+/// Dense (n+1)^2 tables for E_verif(d1, v2) with m1 pinned to d1.
+struct SingleLevelTables {
+  std::size_t n;
+  std::vector<double> everif;
+  std::vector<std::int32_t> best_v1;
+  std::vector<double> edisk;
+  std::vector<std::int32_t> best_d1;
+
+  explicit SingleLevelTables(std::size_t n_in)
+      : n(n_in),
+        everif((n + 1) * (n + 1), std::numeric_limits<double>::quiet_NaN()),
+        best_v1((n + 1) * (n + 1), -1),
+        edisk(n + 1, std::numeric_limits<double>::quiet_NaN()),
+        best_d1(n + 1, -1) {}
+
+  std::size_t idx(std::size_t d1, std::size_t v2) const {
+    return d1 * (n + 1) + v2;
+  }
+};
+
+}  // namespace
+
+OptimizationResult optimize_single_level(const chain::TaskChain& chain,
+                                         const platform::CostModel& costs,
+                                         SingleLevelOptions options) {
+  const DpContext ctx(chain, costs);
+  const std::size_t n = ctx.n();
+  const auto& cm = ctx.costs();
+  const double lambda_f = ctx.lambda_f();
+  SingleLevelTables t(n);
+
+  // E_verif(d1, v2) with m1 = d1: E_mem(d1, d1) = 0 and R_M is the memory
+  // copy bundled with the disk checkpoint at d1.
+  util::parallel_for(0, n, [&](std::size_t d1) {
+    t.everif[t.idx(d1, d1)] = 0.0;
+    for (std::size_t j = d1 + 1; j <= n; ++j) {
+      double best = std::numeric_limits<double>::infinity();
+      std::int32_t best_arg = -1;
+      // AD restricts the segment to start at d1 (no interior verifs).
+      const std::size_t v1_last =
+          options.allow_extra_verifications ? j - 1 : d1;
+      for (std::size_t v1 = d1; v1 <= v1_last; ++v1) {
+        const double everif_at_v1 = t.everif[t.idx(d1, v1)];
+        const analysis::LeftContext left{cm.r_disk_after(d1),
+                                         cm.r_mem_after(d1),
+                                         /*e_mem=*/0.0, everif_at_v1};
+        const double candidate =
+            everif_at_v1 + analysis::expected_verified_segment(
+                               ctx.interval(v1, j), lambda_f,
+                               cm.v_guaranteed_after(j), left);
+        if (candidate < best) {
+          best = candidate;
+          best_arg = static_cast<std::int32_t>(v1);
+        }
+      }
+      t.everif[t.idx(d1, j)] = best;
+      t.best_v1[t.idx(d1, j)] = best_arg;
+    }
+  });
+
+  // E_disk(d2) = min_{d1} E_disk(d1) + E_verif(d1, d2) + C_M + C_D: the
+  // segment value excludes the checkpoint bundle at d2, which ADV* pays as
+  // a memory + disk checkpoint pair.
+  t.edisk[0] = 0.0;
+  for (std::size_t d2 = 1; d2 <= n; ++d2) {
+    double best = std::numeric_limits<double>::infinity();
+    std::int32_t best_arg = -1;
+    for (std::size_t d1 = 0; d1 < d2; ++d1) {
+      const double candidate = t.edisk[d1] + t.everif[t.idx(d1, d2)];
+      if (candidate < best) {
+        best = candidate;
+        best_arg = static_cast<std::int32_t>(d1);
+      }
+    }
+    t.edisk[d2] = best + cm.c_mem_after(d2) + cm.c_disk_after(d2);
+    t.best_d1[d2] = best_arg;
+  }
+
+  // Plan extraction.
+  plan::ResiliencePlan plan(n);
+  std::size_t d2 = n;
+  while (d2 > 0) {
+    const auto d1 = static_cast<std::size_t>(t.best_d1[d2]);
+    CHAINCKPT_ASSERT(t.best_d1[d2] >= 0 && d1 < d2, "broken E_disk argmin");
+    plan.set_action(d2, plan::Action::kDiskCheckpoint);
+    std::size_t v2 = d2;
+    while (v2 > d1) {
+      const auto v1 = static_cast<std::size_t>(t.best_v1[t.idx(d1, v2)]);
+      CHAINCKPT_ASSERT(t.best_v1[t.idx(d1, v2)] >= 0 && v1 < v2,
+                       "broken E_verif argmin");
+      if (v2 != d2) plan.set_action(v2, plan::Action::kGuaranteedVerif);
+      v2 = v1;
+    }
+    d2 = d1;
+  }
+  plan.validate();
+  return OptimizationResult{std::move(plan), t.edisk[n]};
+}
+
+}  // namespace chainckpt::core

@@ -1,0 +1,29 @@
+// Single-level baselines.
+//
+// ADV* (paper Section IV): disk checkpoints only -- each still bundled with
+// its memory checkpoint and guaranteed verification -- plus additional
+// guaranteed verifications.  Obtained from the Section III-A dynamic
+// program by pinning m1 = d1 (no interior memory checkpoints); silent
+// errors roll back to the memory copy co-located with the last disk
+// checkpoint.  O(n^3) time, O(n^2) memory.
+//
+// AD (classical Toueg-Babaoglu-style baseline, extension): additionally
+// forbids interior verifications, so silent errors are only caught by the
+// guaranteed verification bundled with each checkpoint.  O(n^2) time.
+#pragma once
+
+#include "core/dp_context.hpp"
+
+namespace chainckpt::core {
+
+struct SingleLevelOptions {
+  /// When false, no verifications besides those bundled with checkpoints
+  /// are placed (the AD baseline).
+  bool allow_extra_verifications = true;
+};
+
+OptimizationResult optimize_single_level(const chain::TaskChain& chain,
+                                         const platform::CostModel& costs,
+                                         SingleLevelOptions options = {});
+
+}  // namespace chainckpt::core

@@ -1,0 +1,36 @@
+#include "core/dp_two_level.hpp"
+
+#include <vector>
+
+#include "core/level_dp.hpp"
+
+namespace chainckpt::core {
+
+OptimizationResult optimize_two_level(const chain::TaskChain& chain,
+                                      const platform::CostModel& costs) {
+  const DpContext ctx(chain, costs);
+  detail::LevelTables tables(ctx.n());
+
+  const double lambda_f = ctx.lambda_f();
+  const auto& cm = ctx.costs();
+  // Paper Eq. (4): the verified segment (v1, v2] in context (d1, m1).
+  const auto segment = [&](std::size_t d1, std::size_t m1, std::size_t v1,
+                           std::size_t v2, double everif_at_v1,
+                           double emem_at_m1) {
+    const analysis::LeftContext left{cm.r_disk_after(d1), cm.r_mem_after(m1),
+                                     emem_at_m1, everif_at_v1};
+    return analysis::expected_verified_segment(
+        ctx.interval(v1, v2), lambda_f, cm.v_guaranteed_after(v2), left);
+  };
+
+  detail::run_level_dp(ctx, tables, segment);
+
+  const auto no_partials = [](std::size_t, std::size_t, std::size_t,
+                              std::size_t) {
+    return std::vector<std::size_t>{};
+  };
+  return OptimizationResult{detail::extract_plan(ctx, tables, no_partials),
+                            tables.edisk[ctx.n()]};
+}
+
+}  // namespace chainckpt::core

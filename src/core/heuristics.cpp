@@ -1,0 +1,102 @@
+#include "core/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/evaluator.hpp"
+#include "util/assert.hpp"
+
+namespace chainckpt::core {
+
+plan::ResiliencePlan make_periodic_plan(std::size_t n, std::size_t pv,
+                                        std::size_t pm, std::size_t pd) {
+  CHAINCKPT_REQUIRE(n >= 1, "periodic plan needs at least one task");
+  plan::ResiliencePlan plan(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (pd != 0 && i % pd == 0) {
+      plan.set_action(i, plan::Action::kDiskCheckpoint);
+    } else if (pm != 0 && i % pm == 0) {
+      plan.set_action(i, plan::Action::kMemoryCheckpoint);
+    } else if (pv != 0 && i % pv == 0) {
+      plan.set_action(i, plan::Action::kGuaranteedVerif);
+    }
+  }
+  return plan;
+}
+
+OptimizationResult optimize_periodic(const chain::TaskChain& chain,
+                                     const platform::CostModel& costs) {
+  const std::size_t n = chain.size();
+  const analysis::PlanEvaluator evaluator(chain, costs);
+  OptimizationResult best{plan::ResiliencePlan(n),
+                          std::numeric_limits<double>::infinity()};
+  // Nested periods keep the search O(n log^2 n): pm is a multiple of pv,
+  // pd a multiple of pm; 0 disables interior placements of that level.
+  for (std::size_t pv = 1; pv <= n; ++pv) {
+    for (std::size_t a = 0; a * pv <= n; ++a) {
+      const std::size_t pm = a * pv;  // a == 0 -> no interior memory ckpts
+      const std::size_t pd_base = pm == 0 ? 0 : pm;
+      for (std::size_t b = 0; b * pd_base <= n; ++b) {
+        const std::size_t pd = b * pd_base;
+        const auto candidate = make_periodic_plan(n, pv, pm, pd);
+        const double value = evaluator.expected_makespan(candidate);
+        if (value < best.expected_makespan) {
+          best.expected_makespan = value;
+          best.plan = candidate;
+        }
+        if (pd_base == 0) break;  // b loop degenerate without memory ckpts
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Collects 1-based task positions at (approximately) every `period`
+/// seconds of accumulated weight; empty when period is infinite.
+std::vector<std::size_t> positions_for_period(const chain::TaskChain& chain,
+                                              double period) {
+  std::vector<std::size_t> out;
+  if (!std::isfinite(period) || period <= 0.0) return out;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    acc += chain.weight(i);
+    if (acc >= period) {
+      out.push_back(i);
+      acc = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OptimizationResult optimize_daly(const chain::TaskChain& chain,
+                                 const platform::CostModel& costs) {
+  const auto& p = costs.platform();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double w_disk =
+      p.lambda_f > 0.0 ? std::sqrt(2.0 * p.c_disk / p.lambda_f) : inf;
+  const double w_mem =
+      p.lambda_s > 0.0
+          ? std::sqrt(2.0 * (p.c_mem + p.v_guaranteed) / p.lambda_s)
+          : inf;
+  const double w_verif =
+      p.lambda_s > 0.0 ? std::sqrt(2.0 * p.v_guaranteed / p.lambda_s) : inf;
+
+  plan::ResiliencePlan plan(chain.size());
+  // Place from weakest to strongest so checkpoints subsume verifications.
+  for (std::size_t i : positions_for_period(chain, w_verif))
+    plan.set_action(i, plan::Action::kGuaranteedVerif);
+  for (std::size_t i : positions_for_period(chain, w_mem))
+    plan.set_action(i, plan::Action::kMemoryCheckpoint);
+  for (std::size_t i : positions_for_period(chain, w_disk))
+    plan.set_action(i, plan::Action::kDiskCheckpoint);
+
+  const analysis::PlanEvaluator evaluator(chain, costs);
+  return OptimizationResult{plan, evaluator.expected_makespan(plan)};
+}
+
+}  // namespace chainckpt::core

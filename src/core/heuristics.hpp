@@ -1,0 +1,42 @@
+// Baseline heuristics.
+//
+// The paper's companion work (Benoit et al., IPDPS'16) derives *periodic
+// patterns* for divisible-load applications from first-order
+// approximations.  Linear task graphs cannot place mechanisms mid-task, so
+// the natural adaptations are:
+//   * periodic plans: a verification every pv tasks, a memory checkpoint
+//     every pm tasks, a disk checkpoint every pd tasks (grid-searched);
+//   * a Young/Daly-style plan: continuous first-order periods
+//       W_D ~ sqrt(2 C_D / lambda_f)  (disk interval vs fail-stop errors)
+//       W_M ~ sqrt(2 (C_M + V*) / lambda_s)  (memory interval vs silent)
+//       W_V ~ sqrt(2 V* / lambda_s)  (verification interval vs silent)
+//     rounded to task boundaries by accumulating weights.
+//
+// Both score their candidates with the exact analytic evaluator, so they
+// are honest baselines: same objective, cheaper placement policy.
+#pragma once
+
+#include <cstddef>
+
+#include "core/dp_context.hpp"
+
+namespace chainckpt::core {
+
+/// Builds the plan with a guaranteed verification every `pv` tasks, a
+/// memory checkpoint every `pm` tasks, and a disk checkpoint every `pd`
+/// tasks (0 disables a level; stronger actions subsume weaker ones; the
+/// final bundle is implicit).  Throws if pv/pm/pd are inconsistent with
+/// n == 0 chains.
+plan::ResiliencePlan make_periodic_plan(std::size_t n, std::size_t pv,
+                                        std::size_t pm, std::size_t pd);
+
+/// Grid-searches periodic plans (pv | pm | pd nesting) and returns the best
+/// one under the analytic evaluator.
+OptimizationResult optimize_periodic(const chain::TaskChain& chain,
+                                     const platform::CostModel& costs);
+
+/// First-order Young/Daly-style plan (see header comment).
+OptimizationResult optimize_daly(const chain::TaskChain& chain,
+                                 const platform::CostModel& costs);
+
+}  // namespace chainckpt::core

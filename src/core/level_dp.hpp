@@ -1,0 +1,184 @@
+// Internal: the three-level dynamic program shared by ADMV* and ADMV.
+//
+// Both algorithms share the disk / memory / guaranteed-verification levels
+// (paper Figures 1-3):
+//
+//   E_disk(d2)    = min_{0 <= d1 < d2} E_disk(d1) + E_mem(d1, d2) + C_D
+//   E_mem(d1,m2)  = min_{d1 <= m1 < m2} E_mem(d1,m1)
+//                                       + E_verif(d1,m1,m2) + C_M
+//   E_verif(d1,m1,v2) = min_{m1 <= v1 < v2} E_verif(d1,m1,v1)
+//                                           + <segment>(d1,m1,v1,v2)
+//
+// and differ only in <segment>: Eq. (4) for ADMV*, the E_partial inner DP
+// for ADMV.  The segment evaluator is injected as a template parameter so
+// there is zero dispatch cost in the innermost loop.
+//
+// Dependence structure (per fixed d1, increasing right endpoint j):
+// E_verif(d1,m1,j) consumes E_mem(d1,m1) and E_verif(d1,m1,v1<j), both
+// finalized at earlier j; different d1 slabs are fully independent, which
+// is what the OpenMP parallelization exploits.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/dp_context.hpp"
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+
+namespace chainckpt::core::detail {
+
+struct LevelTables {
+  std::size_t n = 0;
+  /// E_verif(d1, m1, v2), flattened over (n+1)^3; valid for d1<=m1<=v2.
+  std::vector<double> everif;
+  std::vector<std::int32_t> best_v1;
+  /// E_mem(d1, m2), flattened over (n+1)^2; valid for d1<=m2.
+  std::vector<double> emem;
+  std::vector<std::int32_t> best_m1;
+  /// E_disk(d2) over n+1 entries.
+  std::vector<double> edisk;
+  std::vector<std::int32_t> best_d1;
+
+  explicit LevelTables(std::size_t n_in)
+      : n(n_in),
+        everif((n + 1) * (n + 1) * (n + 1),
+               std::numeric_limits<double>::quiet_NaN()),
+        best_v1((n + 1) * (n + 1) * (n + 1), -1),
+        emem((n + 1) * (n + 1), std::numeric_limits<double>::quiet_NaN()),
+        best_m1((n + 1) * (n + 1), -1),
+        edisk(n + 1, std::numeric_limits<double>::quiet_NaN()),
+        best_d1(n + 1, -1) {}
+
+  std::size_t idx3(std::size_t d1, std::size_t m1, std::size_t v2) const {
+    return (d1 * (n + 1) + m1) * (n + 1) + v2;
+  }
+  std::size_t idx2(std::size_t d1, std::size_t m2) const {
+    return d1 * (n + 1) + m2;
+  }
+
+  double everif_at(std::size_t d1, std::size_t m1, std::size_t v2) const {
+    return everif[idx3(d1, m1, v2)];
+  }
+  double emem_at(std::size_t d1, std::size_t m2) const {
+    return emem[idx2(d1, m2)];
+  }
+};
+
+/// SegmentEvaluator contract:
+///   double operator()(std::size_t d1, std::size_t m1, std::size_t v1,
+///                     std::size_t v2, double everif_at_v1,
+///                     double emem_at_m1) const;
+/// returning the expected time of the verified segment (v1, v2] in context
+/// (d1, m1).  It must be safe to call concurrently for different d1.
+template <typename SegmentEvaluator>
+void run_level_dp(const DpContext& ctx, LevelTables& t,
+                  const SegmentEvaluator& segment) {
+  const std::size_t n = ctx.n();
+  const auto& costs = ctx.costs();
+
+  // Independent d1 slabs: E_verif(d1, *, *) and E_mem(d1, *).
+  util::parallel_for(0, n, [&](std::size_t d1) {
+    t.emem[t.idx2(d1, d1)] = 0.0;  // E_mem(d1, d1) = 0
+    t.best_m1[t.idx2(d1, d1)] = static_cast<std::int32_t>(d1);
+    for (std::size_t j = d1 + 1; j <= n; ++j) {
+      // E_verif(d1, m1, j) for all m1 in [d1, j).
+      for (std::size_t m1 = d1; m1 < j; ++m1) {
+        t.everif[t.idx3(d1, m1, m1)] = 0.0;  // E_verif(d1, m1, m1) = 0
+        const double emem_at_m1 = t.emem_at(d1, m1);
+        CHAINCKPT_ASSERT(emem_at_m1 == emem_at_m1,
+                         "E_mem(d1, m1) must be finalized before use");
+        double best = std::numeric_limits<double>::infinity();
+        std::int32_t best_arg = -1;
+        for (std::size_t v1 = m1; v1 < j; ++v1) {
+          const double everif_at_v1 = t.everif_at(d1, m1, v1);
+          const double candidate =
+              everif_at_v1 +
+              segment(d1, m1, v1, j, everif_at_v1, emem_at_m1);
+          if (candidate < best) {
+            best = candidate;
+            best_arg = static_cast<std::int32_t>(v1);
+          }
+        }
+        t.everif[t.idx3(d1, m1, j)] = best;
+        t.best_v1[t.idx3(d1, m1, j)] = best_arg;
+      }
+      // E_mem(d1, j).
+      double best = std::numeric_limits<double>::infinity();
+      std::int32_t best_arg = -1;
+      for (std::size_t m1 = d1; m1 < j; ++m1) {
+        const double candidate =
+            t.emem_at(d1, m1) + t.everif_at(d1, m1, j);
+        if (candidate < best) {
+          best = candidate;
+          best_arg = static_cast<std::int32_t>(m1);
+        }
+      }
+      t.emem[t.idx2(d1, j)] = best + costs.c_mem_after(j);
+      t.best_m1[t.idx2(d1, j)] = best_arg;
+    }
+  });
+
+  // E_disk: sequential over d2 (cheap O(n^2) pass).
+  t.edisk[0] = 0.0;
+  t.best_d1[0] = 0;
+  for (std::size_t d2 = 1; d2 <= n; ++d2) {
+    double best = std::numeric_limits<double>::infinity();
+    std::int32_t best_arg = -1;
+    for (std::size_t d1 = 0; d1 < d2; ++d1) {
+      const double candidate = t.edisk[d1] + t.emem_at(d1, d2);
+      if (candidate < best) {
+        best = candidate;
+        best_arg = static_cast<std::int32_t>(d1);
+      }
+    }
+    t.edisk[d2] = best + costs.c_disk_after(d2);
+    t.best_d1[d2] = best_arg;
+  }
+}
+
+/// Reconstructs the optimal plan from the argmin tables.
+/// `partials(d1, m1, v1, v2)` is called for every chosen verified segment
+/// and must return the partial-verification positions strictly inside
+/// (v1, v2); pass a lambda returning {} for the partial-free algorithms.
+template <typename PartialReconstructor>
+plan::ResiliencePlan extract_plan(const DpContext& ctx, const LevelTables& t,
+                                  const PartialReconstructor& partials) {
+  const std::size_t n = ctx.n();
+  plan::ResiliencePlan plan(n);
+  std::size_t d2 = n;
+  while (d2 > 0) {
+    const auto d1 = static_cast<std::size_t>(t.best_d1[d2]);
+    CHAINCKPT_ASSERT(t.best_d1[d2] >= 0 && d1 < d2, "broken E_disk argmin");
+    plan.set_action(d2, plan::Action::kDiskCheckpoint);
+    std::size_t m2 = d2;
+    while (m2 > d1) {
+      const auto m1 = static_cast<std::size_t>(t.best_m1[t.idx2(d1, m2)]);
+      CHAINCKPT_ASSERT(t.best_m1[t.idx2(d1, m2)] >= 0 && m1 >= d1 && m1 < m2,
+                       "broken E_mem argmin");
+      if (m2 != d2) plan.set_action(m2, plan::Action::kMemoryCheckpoint);
+      std::size_t v2 = m2;
+      while (v2 > m1) {
+        const auto v1 =
+            static_cast<std::size_t>(t.best_v1[t.idx3(d1, m1, v2)]);
+        CHAINCKPT_ASSERT(
+            t.best_v1[t.idx3(d1, m1, v2)] >= 0 && v1 >= m1 && v1 < v2,
+            "broken E_verif argmin");
+        if (v2 != m2) plan.set_action(v2, plan::Action::kGuaranteedVerif);
+        for (std::size_t p : partials(d1, m1, v1, v2)) {
+          CHAINCKPT_ASSERT(p > v1 && p < v2,
+                           "partial verification outside its segment");
+          plan.set_action(p, plan::Action::kPartialVerif);
+        }
+        v2 = v1;
+      }
+      m2 = m1;
+    }
+    d2 = d1;
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace chainckpt::core::detail

@@ -1,0 +1,45 @@
+// Parameter sensitivity of the optimized expected makespan.
+//
+// For each model parameter p, reports the elasticity
+//
+//     d log E*(p) / d log p   (central difference, re-optimizing at each
+//                              perturbed value)
+//
+// where E* is the expected makespan of the *re-optimized* plan -- i.e.
+// the sensitivity a capacity planner cares about, envelope effects
+// included.  An elasticity of 0.1 means a 10% parameter increase costs
+// about 1% makespan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "core/optimizer.hpp"
+#include "platform/platform.hpp"
+
+namespace chainckpt::core {
+
+struct SensitivityRow {
+  std::string parameter;
+  double base_value = 0.0;
+  double elasticity = 0.0;
+};
+
+struct SensitivityOptions {
+  /// Relative perturbation for the central difference.
+  double relative_step = 0.10;
+  Algorithm algorithm = Algorithm::kADMV;
+};
+
+/// Elasticities for lambda_f, lambda_s, C_D, C_M, V*, V and the miss
+/// probability g = 1 - r (g rather than r so zero-crossing recall does
+/// not break the log-scale perturbation).
+std::vector<SensitivityRow> parameter_sensitivity(
+    const chain::TaskChain& chain, const platform::Platform& platform,
+    const SensitivityOptions& options = {});
+
+/// ASCII table of the rows.
+std::string render_sensitivity(const std::vector<SensitivityRow>& rows);
+
+}  // namespace chainckpt::core

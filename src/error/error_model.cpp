@@ -1,0 +1,40 @@
+#include "error/error_model.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace chainckpt::error {
+
+ErrorModel::ErrorModel(double lambda_f, double lambda_s)
+    : lambda_f_(lambda_f), lambda_s_(lambda_s) {
+  CHAINCKPT_REQUIRE(lambda_f >= 0.0 && std::isfinite(lambda_f),
+                    "lambda_f must be finite and non-negative");
+  CHAINCKPT_REQUIRE(lambda_s >= 0.0 && std::isfinite(lambda_s),
+                    "lambda_s must be finite and non-negative");
+}
+
+double ErrorModel::p_fail(double duration) const noexcept {
+  return util::error_probability(lambda_f_, duration);
+}
+
+double ErrorModel::p_silent(double duration) const noexcept {
+  return util::error_probability(lambda_s_, duration);
+}
+
+double ErrorModel::expected_time_lost(double duration) const noexcept {
+  return util::expected_time_lost(lambda_f_, duration);
+}
+
+double ErrorModel::p_fail_between(const chain::TaskChain& chain,
+                                  std::size_t i, std::size_t j) const {
+  return p_fail(chain.weight_between(i, j));
+}
+
+double ErrorModel::p_silent_between(const chain::TaskChain& chain,
+                                    std::size_t i, std::size_t j) const {
+  return p_silent(chain.weight_between(i, j));
+}
+
+}  // namespace chainckpt::error

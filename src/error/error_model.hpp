@@ -1,0 +1,45 @@
+// Poisson error model (paper Section II).
+//
+// Fail-stop and silent errors are independent Poisson processes with rates
+// lambda_f and lambda_s.  This module provides the per-interval
+// probabilities and conditional expectations that both the dynamic programs
+// and the analytic evaluator consume.
+#pragma once
+
+#include <cstddef>
+
+#include "chain/chain.hpp"
+
+namespace chainckpt::error {
+
+class ErrorModel {
+ public:
+  ErrorModel(double lambda_f, double lambda_s);
+
+  double lambda_f() const noexcept { return lambda_f_; }
+  double lambda_s() const noexcept { return lambda_s_; }
+
+  /// p^f over a window of `duration` seconds: probability that at least one
+  /// fail-stop error strikes.
+  double p_fail(double duration) const noexcept;
+  /// p^s over a window of `duration` seconds.
+  double p_silent(double duration) const noexcept;
+
+  /// Paper Eq. (3): expected time lost when a fail-stop error strikes
+  /// within a window of `duration` seconds (conditional expectation of the
+  /// strike time).
+  double expected_time_lost(double duration) const noexcept;
+
+  /// Probability that tasks T_{i+1}..T_j of `chain` see at least one
+  /// fail-stop error.
+  double p_fail_between(const chain::TaskChain& chain, std::size_t i,
+                        std::size_t j) const;
+  double p_silent_between(const chain::TaskChain& chain, std::size_t i,
+                          std::size_t j) const;
+
+ private:
+  double lambda_f_;
+  double lambda_s_;
+};
+
+}  // namespace chainckpt::error

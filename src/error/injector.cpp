@@ -1,0 +1,31 @@
+#include "error/injector.hpp"
+
+#include "util/math.hpp"
+
+namespace chainckpt::error {
+
+PoissonInjector::PoissonInjector(double lambda_f, double lambda_s,
+                                 util::Xoshiro256 rng) noexcept
+    : lambda_f_(lambda_f), lambda_s_(lambda_s), rng_(rng) {}
+
+TaskAttemptOutcome PoissonInjector::attempt(double duration) {
+  TaskAttemptOutcome out;
+  const double t_fail = rng_.exponential(lambda_f_);
+  if (t_fail < duration) {
+    out.fail_stop_after = t_fail;
+    return out;  // memory is wiped; silent corruption is moot
+  }
+  // Memorylessness of the Poisson process: "at least one silent strike in
+  // [0, duration)" is a Bernoulli draw with p = 1 - e^{-lambda_s * W};
+  // the exact strike times do not matter because silent errors never
+  // interrupt execution.
+  out.silent_corruption =
+      rng_.bernoulli(util::error_probability(lambda_s_, duration));
+  return out;
+}
+
+bool PoissonInjector::partial_verification_detects(double recall) {
+  return rng_.bernoulli(recall);
+}
+
+}  // namespace chainckpt::error

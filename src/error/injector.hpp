@@ -1,0 +1,57 @@
+// Error injection for the Monte-Carlo simulator.
+//
+// The injector answers the two questions the simulator asks per task
+// attempt, using the model of Section II:
+//   * does a fail-stop error interrupt this attempt, and after how long?
+//   * does at least one silent error corrupt the data produced?
+//
+// An abstract interface allows tests to substitute scripted injectors that
+// force specific error sequences (failure-injection testing of the
+// simulator itself).
+#pragma once
+
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace chainckpt::error {
+
+struct TaskAttemptOutcome {
+  /// Elapsed work time before a fail-stop interrupt, if one happens within
+  /// the attempted duration.  Empty when the task completes.
+  std::optional<double> fail_stop_after;
+  /// True when at least one silent error struck during the completed part
+  /// of the attempt.  Only meaningful when the task completes: a fail-stop
+  /// wipes memory anyway, so corruption of a crashed attempt is irrelevant.
+  bool silent_corruption = false;
+};
+
+class Injector {
+ public:
+  virtual ~Injector() = default;
+
+  /// Samples the outcome of attempting `duration` seconds of computation.
+  virtual TaskAttemptOutcome attempt(double duration) = 0;
+
+  /// Samples whether a partial verification with the given recall detects
+  /// an existing corruption.
+  virtual bool partial_verification_detects(double recall) = 0;
+};
+
+/// The real stochastic injector: exponential fail-stop arrival, Bernoulli
+/// silent corruption, Bernoulli partial-verification recall.
+class PoissonInjector final : public Injector {
+ public:
+  PoissonInjector(double lambda_f, double lambda_s,
+                  util::Xoshiro256 rng) noexcept;
+
+  TaskAttemptOutcome attempt(double duration) override;
+  bool partial_verification_detects(double recall) override;
+
+ private:
+  double lambda_f_;
+  double lambda_s_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace chainckpt::error

@@ -1,0 +1,59 @@
+// Resilience action attached to the end of a task.
+//
+// The paper's structural rules make the possible decorations strictly
+// nested: a disk checkpoint is always preceded by a memory checkpoint,
+// which is always preceded by a guaranteed verification.  A single enum
+// therefore describes the complete decision at each task boundary:
+//
+//   kNone            : nothing
+//   kPartialVerif    : V   (partial verification, recall r < 1)
+//   kGuaranteedVerif : V*  (guaranteed verification)
+//   kMemoryCheckpoint: V* + C_M
+//   kDiskCheckpoint  : V* + C_M + C_D
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace chainckpt::plan {
+
+enum class Action : std::uint8_t {
+  kNone = 0,
+  kPartialVerif = 1,
+  kGuaranteedVerif = 2,
+  kMemoryCheckpoint = 3,
+  kDiskCheckpoint = 4,
+};
+
+/// True when the action includes a guaranteed verification.
+constexpr bool has_guaranteed_verif(Action a) noexcept {
+  return a == Action::kGuaranteedVerif || a == Action::kMemoryCheckpoint ||
+         a == Action::kDiskCheckpoint;
+}
+
+/// True when the action includes a memory checkpoint.
+constexpr bool has_memory_checkpoint(Action a) noexcept {
+  return a == Action::kMemoryCheckpoint || a == Action::kDiskCheckpoint;
+}
+
+/// True when the action includes a disk checkpoint.
+constexpr bool has_disk_checkpoint(Action a) noexcept {
+  return a == Action::kDiskCheckpoint;
+}
+
+/// True when the action is exactly a partial verification.
+constexpr bool has_partial_verif(Action a) noexcept {
+  return a == Action::kPartialVerif;
+}
+
+/// True when the action ends with any verification (partial or guaranteed).
+constexpr bool has_any_verif(Action a) noexcept {
+  return a != Action::kNone;
+}
+
+/// Serialization tokens: "-", "V", "V*", "M", "D".
+std::string to_token(Action a);
+/// Inverse of to_token; throws std::invalid_argument on unknown tokens.
+Action action_from_token(const std::string& token);
+
+}  // namespace chainckpt::plan

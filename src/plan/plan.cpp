@@ -1,0 +1,157 @@
+#include "plan/plan.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace chainckpt::plan {
+
+std::string to_token(Action a) {
+  switch (a) {
+    case Action::kNone:
+      return "-";
+    case Action::kPartialVerif:
+      return "V";
+    case Action::kGuaranteedVerif:
+      return "V*";
+    case Action::kMemoryCheckpoint:
+      return "M";
+    case Action::kDiskCheckpoint:
+      return "D";
+  }
+  throw std::invalid_argument("unknown action value");
+}
+
+Action action_from_token(const std::string& token) {
+  if (token == "-") return Action::kNone;
+  if (token == "V") return Action::kPartialVerif;
+  if (token == "V*") return Action::kGuaranteedVerif;
+  if (token == "M") return Action::kMemoryCheckpoint;
+  if (token == "D") return Action::kDiskCheckpoint;
+  throw std::invalid_argument("unknown action token: " + token);
+}
+
+ResiliencePlan::ResiliencePlan(std::size_t n) : actions_(n, Action::kNone) {
+  CHAINCKPT_REQUIRE(n >= 1, "a plan needs at least one task");
+  actions_.back() = Action::kDiskCheckpoint;
+}
+
+ResiliencePlan::ResiliencePlan(std::vector<Action> actions)
+    : actions_(std::move(actions)) {}
+
+Action ResiliencePlan::action(std::size_t i) const {
+  if (i == 0) return Action::kDiskCheckpoint;  // virtual T0
+  CHAINCKPT_REQUIRE(i <= actions_.size(), "position out of range");
+  return actions_[i - 1];
+}
+
+void ResiliencePlan::set_action(std::size_t i, Action a) {
+  CHAINCKPT_REQUIRE(i >= 1 && i <= actions_.size(),
+                    "position out of range (1-based)");
+  actions_[i - 1] = a;
+}
+
+void ResiliencePlan::validate() const {
+  CHAINCKPT_REQUIRE(!actions_.empty(), "a plan needs at least one task");
+  CHAINCKPT_REQUIRE(has_disk_checkpoint(actions_.back()),
+                    "the final task must be verified and checkpointed "
+                    "(memory + disk)");
+}
+
+namespace {
+ActionCounts count_range(const std::vector<Action>& actions,
+                         std::size_t count) {
+  ActionCounts c;
+  for (std::size_t k = 0; k < count; ++k) {
+    const Action a = actions[k];
+    if (has_disk_checkpoint(a)) ++c.disk;
+    if (has_memory_checkpoint(a)) ++c.memory;
+    if (has_guaranteed_verif(a)) ++c.guaranteed;
+    if (has_partial_verif(a)) ++c.partial;
+  }
+  return c;
+}
+}  // namespace
+
+ActionCounts ResiliencePlan::interior_counts() const noexcept {
+  return actions_.empty() ? ActionCounts{}
+                          : count_range(actions_, actions_.size() - 1);
+}
+
+ActionCounts ResiliencePlan::total_counts() const noexcept {
+  return count_range(actions_, actions_.size());
+}
+
+bool ResiliencePlan::uses_partial_verifications() const noexcept {
+  for (Action a : actions_)
+    if (has_partial_verif(a)) return true;
+  return false;
+}
+
+std::size_t ResiliencePlan::last_disk_at_or_before(
+    std::size_t i) const noexcept {
+  for (std::size_t k = std::min(i, actions_.size()); k >= 1; --k)
+    if (has_disk_checkpoint(actions_[k - 1])) return k;
+  return 0;
+}
+
+std::size_t ResiliencePlan::last_memory_at_or_before(
+    std::size_t i) const noexcept {
+  for (std::size_t k = std::min(i, actions_.size()); k >= 1; --k)
+    if (has_memory_checkpoint(actions_[k - 1])) return k;
+  return 0;
+}
+
+namespace {
+template <typename Pred>
+std::vector<std::size_t> collect(const std::vector<Action>& actions,
+                                 Pred pred) {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < actions.size(); ++k)
+    if (pred(actions[k])) out.push_back(k + 1);
+  return out;
+}
+}  // namespace
+
+std::vector<std::size_t> ResiliencePlan::disk_positions() const {
+  return collect(actions_, [](Action a) { return has_disk_checkpoint(a); });
+}
+
+std::vector<std::size_t> ResiliencePlan::memory_positions() const {
+  return collect(actions_, [](Action a) { return has_memory_checkpoint(a); });
+}
+
+std::vector<std::size_t> ResiliencePlan::guaranteed_positions() const {
+  return collect(actions_, [](Action a) { return has_guaranteed_verif(a); });
+}
+
+std::vector<std::size_t> ResiliencePlan::partial_positions() const {
+  return collect(actions_, [](Action a) { return has_partial_verif(a); });
+}
+
+std::string ResiliencePlan::compact_string() const {
+  std::string out;
+  out.reserve(actions_.size());
+  for (Action a : actions_) {
+    switch (a) {
+      case Action::kNone:
+        out += '-';
+        break;
+      case Action::kPartialVerif:
+        out += 'v';
+        break;
+      case Action::kGuaranteedVerif:
+        out += 'V';
+        break;
+      case Action::kMemoryCheckpoint:
+        out += 'M';
+        break;
+      case Action::kDiskCheckpoint:
+        out += 'D';
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace chainckpt::plan

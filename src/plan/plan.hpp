@@ -1,0 +1,82 @@
+// A resilience plan: which action to take after each task of a chain.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "plan/action.hpp"
+
+namespace chainckpt::plan {
+
+/// Counts of placed mechanisms.  Following the paper's figures, the
+/// mandatory final V*+M+D bundle after T_n can be excluded ("interior"
+/// counts, positions 1..n-1) or included ("total").  Memory-checkpoint
+/// counts include those bundled under disk checkpoints, and
+/// guaranteed-verification counts include those bundled under checkpoints,
+/// matching Figure 5 where ADV* shows equal #disk and #memory curves.
+struct ActionCounts {
+  std::size_t disk = 0;
+  std::size_t memory = 0;
+  std::size_t guaranteed = 0;
+  std::size_t partial = 0;
+};
+
+class ResiliencePlan {
+ public:
+  ResiliencePlan() = default;
+
+  /// A fresh plan over n tasks: every interior position is kNone and the
+  /// mandatory final position n is kDiskCheckpoint.
+  explicit ResiliencePlan(std::size_t n);
+
+  /// Builds from explicit actions (size n, positions 1..n).  Does not
+  /// validate; call validate() or use PlanBuilder.
+  explicit ResiliencePlan(std::vector<Action> actions);
+
+  std::size_t size() const noexcept { return actions_.size(); }
+
+  /// Action after task i, 1-based.  Position 0 (virtual T0) is reported as
+  /// kDiskCheckpoint, matching the paper's convention.
+  Action action(std::size_t i) const;
+  void set_action(std::size_t i, Action a);
+
+  /// Structural validation: n >= 1 and the final task carries a disk
+  /// checkpoint (the model requires the output of T_n to be verified and
+  /// saved).  Throws std::invalid_argument on violation.
+  void validate() const;
+
+  ActionCounts interior_counts() const noexcept;
+  ActionCounts total_counts() const noexcept;
+
+  bool uses_partial_verifications() const noexcept;
+
+  /// Position of the last action satisfying `pred` at or before position i
+  /// (0 = virtual T0 counts as disk+memory+guaranteed).  Used by the
+  /// simulator and the evaluator.
+  std::size_t last_disk_at_or_before(std::size_t i) const noexcept;
+  std::size_t last_memory_at_or_before(std::size_t i) const noexcept;
+
+  /// All positions in [1, n] whose action includes a disk checkpoint,
+  /// ascending (the final position n is always present in a valid plan).
+  std::vector<std::size_t> disk_positions() const;
+  /// Positions with a memory checkpoint (includes disk positions).
+  std::vector<std::size_t> memory_positions() const;
+  /// Positions with a guaranteed verification (includes checkpoints).
+  std::vector<std::size_t> guaranteed_positions() const;
+  /// Positions with a partial verification.
+  std::vector<std::size_t> partial_positions() const;
+
+  bool operator==(const ResiliencePlan& other) const noexcept {
+    return actions_ == other.actions_;
+  }
+
+  /// Compact single-line form, one character per position:
+  /// '-' none, 'v' partial, 'V' guaranteed, 'M' memory, 'D' disk.
+  std::string compact_string() const;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+}  // namespace chainckpt::plan

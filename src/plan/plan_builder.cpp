@@ -1,0 +1,66 @@
+#include "plan/plan_builder.hpp"
+
+#include "util/assert.hpp"
+
+namespace chainckpt::plan {
+
+PlanBuilder::PlanBuilder(std::size_t n) : plan_(n) {}
+
+PlanBuilder& PlanBuilder::place(std::size_t i, Action a) {
+  const Action current = plan_.action(i);
+  if (current == a) return *this;
+  CHAINCKPT_REQUIRE(
+      static_cast<int>(a) > static_cast<int>(current),
+      "cannot downgrade an already-placed action at position " +
+          std::to_string(i) + " (" + to_token(current) + " -> " +
+          to_token(a) + ")");
+  plan_.set_action(i, a);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::partial_verif_at(std::size_t i) {
+  return place(i, Action::kPartialVerif);
+}
+
+PlanBuilder& PlanBuilder::guaranteed_verif_at(std::size_t i) {
+  return place(i, Action::kGuaranteedVerif);
+}
+
+PlanBuilder& PlanBuilder::memory_checkpoint_at(std::size_t i) {
+  return place(i, Action::kMemoryCheckpoint);
+}
+
+PlanBuilder& PlanBuilder::disk_checkpoint_at(std::size_t i) {
+  return place(i, Action::kDiskCheckpoint);
+}
+
+PlanBuilder& PlanBuilder::partial_verifs_at(
+    const std::vector<std::size_t>& positions) {
+  for (auto i : positions) partial_verif_at(i);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::guaranteed_verifs_at(
+    const std::vector<std::size_t>& positions) {
+  for (auto i : positions) guaranteed_verif_at(i);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::memory_checkpoints_at(
+    const std::vector<std::size_t>& positions) {
+  for (auto i : positions) memory_checkpoint_at(i);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::disk_checkpoints_at(
+    const std::vector<std::size_t>& positions) {
+  for (auto i : positions) disk_checkpoint_at(i);
+  return *this;
+}
+
+ResiliencePlan PlanBuilder::build() const {
+  plan_.validate();
+  return plan_;
+}
+
+}  // namespace chainckpt::plan

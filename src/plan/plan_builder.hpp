@@ -1,0 +1,38 @@
+// Fluent construction of valid resilience plans.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "plan/plan.hpp"
+
+namespace chainckpt::plan {
+
+/// Builds a plan over n tasks.  The final disk checkpoint is implicit.
+/// Placing a stronger action over a weaker one upgrades it; placing a
+/// weaker action over a stronger one is rejected (the caller's intent is
+/// ambiguous), except that re-placing the same action is idempotent.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(std::size_t n);
+
+  PlanBuilder& partial_verif_at(std::size_t i);
+  PlanBuilder& guaranteed_verif_at(std::size_t i);
+  PlanBuilder& memory_checkpoint_at(std::size_t i);
+  PlanBuilder& disk_checkpoint_at(std::size_t i);
+
+  /// Convenience bulk forms.
+  PlanBuilder& partial_verifs_at(const std::vector<std::size_t>& positions);
+  PlanBuilder& guaranteed_verifs_at(const std::vector<std::size_t>& positions);
+  PlanBuilder& memory_checkpoints_at(const std::vector<std::size_t>& positions);
+  PlanBuilder& disk_checkpoints_at(const std::vector<std::size_t>& positions);
+
+  /// Validates and returns the plan.
+  ResiliencePlan build() const;
+
+ private:
+  PlanBuilder& place(std::size_t i, Action a);
+  ResiliencePlan plan_;
+};
+
+}  // namespace chainckpt::plan

@@ -1,0 +1,44 @@
+#include "plan/plan_diff.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace chainckpt::plan {
+
+std::size_t PlanDiff::upgrades() const noexcept {
+  std::size_t count = 0;
+  for (const auto& change : changes)
+    if (change.is_upgrade()) ++count;
+  return count;
+}
+
+std::size_t PlanDiff::downgrades() const noexcept {
+  return changes.size() - upgrades();
+}
+
+std::string PlanDiff::describe() const {
+  if (changes.empty()) return "(plans are identical)\n";
+  std::ostringstream os;
+  for (const auto& change : changes) {
+    os << 'T' << change.position << ": " << to_token(change.before)
+       << " -> " << to_token(change.after) << '\n';
+  }
+  return os.str();
+}
+
+PlanDiff diff_plans(const ResiliencePlan& before,
+                    const ResiliencePlan& after) {
+  CHAINCKPT_REQUIRE(before.size() == after.size(),
+                    "can only diff plans over the same chain");
+  PlanDiff diff;
+  for (std::size_t i = 1; i <= before.size(); ++i) {
+    if (before.action(i) != after.action(i)) {
+      diff.changes.push_back(PlanChange{i, before.action(i),
+                                        after.action(i)});
+    }
+  }
+  return diff;
+}
+
+}  // namespace chainckpt::plan

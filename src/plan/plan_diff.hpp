@@ -1,0 +1,42 @@
+// Structural comparison of two plans over the same chain: which positions
+// gained, lost, or changed their resilience action.  Used by the examples
+// and benches to explain *how* algorithms differ, not only by how much.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "plan/plan.hpp"
+
+namespace chainckpt::plan {
+
+struct PlanChange {
+  std::size_t position = 0;
+  Action before = Action::kNone;
+  Action after = Action::kNone;
+
+  /// True when `after` is a strictly stronger decoration than `before`
+  /// (partial < guaranteed < memory < disk in protection order).
+  bool is_upgrade() const noexcept {
+    return static_cast<int>(after) > static_cast<int>(before);
+  }
+};
+
+struct PlanDiff {
+  std::vector<PlanChange> changes;
+
+  bool empty() const noexcept { return changes.empty(); }
+  std::size_t upgrades() const noexcept;
+  std::size_t downgrades() const noexcept;
+
+  /// One line per change: "T12: V* -> M".
+  std::string describe() const;
+};
+
+/// Positions where the two plans disagree; throws std::invalid_argument
+/// on size mismatch.
+PlanDiff diff_plans(const ResiliencePlan& before,
+                    const ResiliencePlan& after);
+
+}  // namespace chainckpt::plan

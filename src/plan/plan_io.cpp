@@ -1,0 +1,82 @@
+#include "plan/plan_io.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace chainckpt::plan {
+
+std::string to_text(const ResiliencePlan& plan) {
+  std::ostringstream os;
+  os << "chainckpt-plan v1 n=" << plan.size() << '\n';
+  bool first = true;
+  for (std::size_t i = 1; i <= plan.size(); ++i) {
+    const Action a = plan.action(i);
+    if (a == Action::kNone) continue;
+    if (!first) os << ' ';
+    os << i << ':' << to_token(a);
+    first = false;
+  }
+  os << '\n';
+  return os.str();
+}
+
+ResiliencePlan from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic, version, nfield;
+  is >> magic >> version >> nfield;
+  if (magic != "chainckpt-plan" || version != "v1" ||
+      nfield.rfind("n=", 0) != 0) {
+    throw std::invalid_argument("malformed plan header");
+  }
+  std::size_t n = 0;
+  try {
+    n = static_cast<std::size_t>(std::stoull(nfield.substr(2)));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed plan size: " + nfield);
+  }
+  if (n == 0) throw std::invalid_argument("plan size must be >= 1");
+
+  ResiliencePlan plan(n);
+  // The constructor pre-places the final disk checkpoint; clear it so the
+  // serialized actions fully determine the result, then validate.
+  plan.set_action(n, Action::kNone);
+  std::string entry;
+  while (is >> entry) {
+    const auto colon = entry.find(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("malformed plan entry: " + entry);
+    std::size_t pos = 0;
+    try {
+      pos = static_cast<std::size_t>(std::stoull(entry.substr(0, colon)));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("malformed plan position: " + entry);
+    }
+    if (pos < 1 || pos > n)
+      throw std::invalid_argument("plan position out of range: " + entry);
+    plan.set_action(pos, action_from_token(entry.substr(colon + 1)));
+  }
+  plan.validate();
+  return plan;
+}
+
+std::string to_json(const ResiliencePlan& plan) {
+  std::ostringstream os;
+  os << "{\"n\":" << plan.size() << ",\"actions\":[";
+  bool first = true;
+  for (std::size_t i = 1; i <= plan.size(); ++i) {
+    const Action a = plan.action(i);
+    if (a == Action::kNone) continue;
+    if (!first) os << ',';
+    os << "{\"pos\":" << i << ",\"kind\":\"" << to_token(a) << "\"}";
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_text(std::ostream& os, const ResiliencePlan& plan) {
+  os << to_text(plan);
+}
+
+}  // namespace chainckpt::plan

@@ -1,0 +1,28 @@
+// Plan serialization.
+//
+// Text format (round-trippable):
+//   chainckpt-plan v1 n=<n>
+//   <pos>:<token> <pos>:<token> ...
+// where tokens are V, V*, M, D and omitted positions are kNone.  A JSON
+// writer is provided for interop with external tooling (no JSON parser: the
+// text format is the canonical one).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "plan/plan.hpp"
+
+namespace chainckpt::plan {
+
+std::string to_text(const ResiliencePlan& plan);
+
+/// Parses the text format; throws std::invalid_argument on malformed input
+/// or structurally invalid plans.
+ResiliencePlan from_text(const std::string& text);
+
+std::string to_json(const ResiliencePlan& plan);
+
+void write_text(std::ostream& os, const ResiliencePlan& plan);
+
+}  // namespace chainckpt::plan

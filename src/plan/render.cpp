@@ -1,0 +1,61 @@
+#include "plan/render.hpp"
+
+#include <sstream>
+
+namespace chainckpt::plan {
+
+namespace {
+std::string marker_row(const ResiliencePlan& plan, const std::string& label,
+                       bool (*pred)(Action)) {
+  std::string row = label;
+  for (std::size_t i = 1; i <= plan.size(); ++i) {
+    row += pred(plan.action(i)) ? "x" : ".";
+  }
+  return row;
+}
+}  // namespace
+
+std::string render_figure(const ResiliencePlan& plan,
+                          const std::string& title) {
+  std::ostringstream os;
+  os << title << '\n';
+  const std::string pad(20, ' ');
+  os << marker_row(plan, "Disk ckpts          ",
+                   [](Action a) { return has_disk_checkpoint(a); })
+     << '\n';
+  os << marker_row(plan, "Memory ckpts        ",
+                   [](Action a) { return has_memory_checkpoint(a); })
+     << '\n';
+  os << marker_row(plan, "Guaranteed verifs   ",
+                   [](Action a) { return has_guaranteed_verif(a); })
+     << '\n';
+  os << marker_row(plan, "Partial verifs      ",
+                   [](Action a) { return has_partial_verif(a); })
+     << '\n';
+  // Axis with a tick label every 10 positions.
+  std::string axis = pad;
+  for (std::size_t i = 1; i <= plan.size(); ++i)
+    axis += (i % 10 == 0) ? '|' : (i % 5 == 0 ? '+' : '-');
+  os << axis << '\n';
+  std::string labels = pad;
+  for (std::size_t i = 1; i <= plan.size(); ++i) {
+    if (i % 10 == 0) {
+      std::string num = std::to_string(i);
+      // Right-align the number under its tick.
+      if (labels.size() + 1 >= num.size()) {
+        labels.resize(pad.size() + i - num.size(), ' ');
+        labels += num;
+      }
+    }
+  }
+  os << labels << '\n';
+  return os.str();
+}
+
+std::string render_compact(const ResiliencePlan& plan) {
+  std::ostringstream os;
+  os << "tasks 1.." << plan.size() << ": " << plan.compact_string();
+  return os.str();
+}
+
+}  // namespace chainckpt::plan

@@ -1,0 +1,22 @@
+// Figure-6-style ASCII rendering of a plan: one row per mechanism, one
+// column per task boundary.
+#pragma once
+
+#include <string>
+
+#include "plan/plan.hpp"
+
+namespace chainckpt::plan {
+
+/// Renders four aligned rows (disk ckpts / memory ckpts / guaranteed
+/// verifs / partial verifs) plus an axis.  `title` is printed above.
+/// Memory-checkpoint markers include disk positions and guaranteed-verif
+/// markers include checkpoint positions, mirroring the bundling of
+/// mechanisms in the paper's Figure 6.
+std::string render_figure(const ResiliencePlan& plan,
+                          const std::string& title);
+
+/// One-line rendering: position ruler + compact action string.
+std::string render_compact(const ResiliencePlan& plan);
+
+}  // namespace chainckpt::plan

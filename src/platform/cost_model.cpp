@@ -1,0 +1,96 @@
+#include "platform/cost_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace chainckpt::platform {
+
+CostModel::CostModel(const Platform& platform) : platform_(platform) {
+  platform_.validate();
+}
+
+CostModel::CostModel(const Platform& platform, std::vector<double> c_disk,
+                     std::vector<double> c_mem,
+                     std::vector<double> v_guaranteed,
+                     std::vector<double> v_partial)
+    : CostModel(platform, std::move(c_disk), std::move(c_mem),
+                std::move(v_guaranteed), std::move(v_partial), {}, {}) {}
+
+CostModel::CostModel(const Platform& platform, std::vector<double> c_disk,
+                     std::vector<double> c_mem,
+                     std::vector<double> v_guaranteed,
+                     std::vector<double> v_partial,
+                     std::vector<double> r_disk, std::vector<double> r_mem)
+    : platform_(platform),
+      uniform_(false),
+      c_disk_(std::move(c_disk)),
+      c_mem_(std::move(c_mem)),
+      v_guaranteed_(std::move(v_guaranteed)),
+      v_partial_(std::move(v_partial)),
+      r_disk_(std::move(r_disk)),
+      r_mem_(std::move(r_mem)) {
+  platform_.validate();
+  CHAINCKPT_REQUIRE(!c_disk_.empty(), "per-position costs need n >= 1");
+  CHAINCKPT_REQUIRE(c_disk_.size() == c_mem_.size() &&
+                        c_disk_.size() == v_guaranteed_.size() &&
+                        c_disk_.size() == v_partial_.size(),
+                    "per-position cost vectors must have equal length");
+  CHAINCKPT_REQUIRE(r_disk_.empty() || r_disk_.size() == c_disk_.size(),
+                    "per-position recovery vectors must match cost length");
+  CHAINCKPT_REQUIRE(r_mem_.empty() || r_mem_.size() == c_disk_.size(),
+                    "per-position recovery vectors must match cost length");
+  for (std::size_t i = 0; i < c_disk_.size(); ++i) {
+    CHAINCKPT_REQUIRE(c_disk_[i] >= 0.0 && c_mem_[i] >= 0.0 &&
+                          v_guaranteed_[i] >= 0.0 && v_partial_[i] >= 0.0,
+                      "per-position costs must be non-negative");
+    CHAINCKPT_REQUIRE((r_disk_.empty() || r_disk_[i] >= 0.0) &&
+                          (r_mem_.empty() || r_mem_[i] >= 0.0),
+                      "per-position recovery costs must be non-negative");
+  }
+}
+
+void CostModel::check_position(std::size_t i) const {
+  CHAINCKPT_REQUIRE(i >= 1, "action positions are 1-based task indices");
+  if (!uniform_) {
+    CHAINCKPT_REQUIRE(i <= c_disk_.size(),
+                      "position exceeds per-position cost table");
+  }
+}
+
+double CostModel::c_disk_after(std::size_t i) const {
+  check_position(i);
+  return uniform_ ? platform_.c_disk : c_disk_[i - 1];
+}
+
+double CostModel::c_mem_after(std::size_t i) const {
+  check_position(i);
+  return uniform_ ? platform_.c_mem : c_mem_[i - 1];
+}
+
+double CostModel::v_guaranteed_after(std::size_t i) const {
+  check_position(i);
+  return uniform_ ? platform_.v_guaranteed : v_guaranteed_[i - 1];
+}
+
+double CostModel::v_partial_after(std::size_t i) const {
+  check_position(i);
+  return uniform_ ? platform_.v_partial : v_partial_[i - 1];
+}
+
+double CostModel::r_disk_after(std::size_t i) const {
+  if (i == 0) return 0.0;  // virtual task T0: restart from scratch is free
+  check_position(i);
+  if (uniform_) return platform_.r_disk;
+  // Default convention (paper Section IV): recovery mirrors the checkpoint
+  // cost (recover what was written).  R_D includes restoring the memory
+  // state (Section II).
+  return r_disk_.empty() ? c_disk_[i - 1] : r_disk_[i - 1];
+}
+
+double CostModel::r_mem_after(std::size_t i) const {
+  if (i == 0) return 0.0;
+  check_position(i);
+  if (uniform_) return platform_.r_mem;
+  return r_mem_.empty() ? c_mem_[i - 1] : r_mem_[i - 1];
+}
+
+}  // namespace chainckpt::platform

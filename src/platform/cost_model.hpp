@@ -1,0 +1,85 @@
+// Resilience-cost model seen by the optimizers and the evaluator.
+//
+// The paper uses position-independent costs (C_D, C_M, R_D, R_M, V*, V are
+// scalars).  The dynamic programs however only ever query "the cost of a
+// disk checkpoint AFTER task i", so we expose costs as functions of the
+// position at no extra complexity.  This enables the per-task-cost
+// extension (e.g. checkpoint size proportional to a task's live data set)
+// that the paper hints at ("all these choices ... can easily be modified").
+//
+// Recovery-cost convention (paper Section III): rolling back to the virtual
+// task T0 is free, so r_disk_after(0) == 0 and r_mem_after(0) == 0 for
+// every model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace chainckpt::platform {
+
+class CostModel {
+ public:
+  /// Constant costs taken from a Platform record (the paper's setting).
+  explicit CostModel(const Platform& platform);
+
+  /// Per-position extension: vectors indexed by task position 1..n give the
+  /// cost of the action taken AFTER that task.  All vectors must have the
+  /// same length n.  Recall and rates still come from `platform`.
+  /// Recovery costs default to mirroring the checkpoint costs.
+  CostModel(const Platform& platform, std::vector<double> c_disk,
+            std::vector<double> c_mem, std::vector<double> v_guaranteed,
+            std::vector<double> v_partial);
+
+  /// Fully explicit per-position model with independent recovery costs --
+  /// needed e.g. by the Lagrangian budget optimizer, which perturbs
+  /// checkpoint prices without touching recovery semantics.
+  CostModel(const Platform& platform, std::vector<double> c_disk,
+            std::vector<double> c_mem, std::vector<double> v_guaranteed,
+            std::vector<double> v_partial, std::vector<double> r_disk,
+            std::vector<double> r_mem);
+
+  const Platform& platform() const noexcept { return platform_; }
+
+  double lambda_f() const noexcept { return platform_.lambda_f; }
+  double lambda_s() const noexcept { return platform_.lambda_s; }
+  double recall() const noexcept { return platform_.recall; }
+  /// g = 1 - recall.
+  double miss() const noexcept { return platform_.miss_probability(); }
+
+  /// Cost of taking a disk checkpoint after task i (i >= 1).
+  double c_disk_after(std::size_t i) const;
+  /// Cost of taking a memory checkpoint after task i (i >= 1).
+  double c_mem_after(std::size_t i) const;
+  /// Cost of a guaranteed verification after task i (i >= 1).
+  double v_guaranteed_after(std::size_t i) const;
+  /// Cost of a partial verification after task i (i >= 1).
+  double v_partial_after(std::size_t i) const;
+
+  /// Cost of recovering from the disk checkpoint taken after task i;
+  /// position 0 is the virtual task T0 and is free.
+  double r_disk_after(std::size_t i) const;
+  /// Cost of recovering from the memory checkpoint taken after task i;
+  /// position 0 is free.
+  double r_mem_after(std::size_t i) const;
+
+  /// True when all costs are position-independent (fast paths and
+  /// paper-exact reproduction).
+  bool is_uniform() const noexcept { return uniform_; }
+
+ private:
+  Platform platform_;
+  bool uniform_ = true;
+  std::vector<double> c_disk_;
+  std::vector<double> c_mem_;
+  std::vector<double> v_guaranteed_;
+  std::vector<double> v_partial_;
+  /// Empty means "mirror the checkpoint cost" (paper convention).
+  std::vector<double> r_disk_;
+  std::vector<double> r_mem_;
+
+  void check_position(std::size_t i) const;
+};
+
+}  // namespace chainckpt::platform

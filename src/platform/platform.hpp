@@ -1,0 +1,52 @@
+// Platform and resilience-cost parameters (paper Section II and Table I).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace chainckpt::platform {
+
+/// All times are in seconds, rates in errors per second (per platform, i.e.
+/// already aggregated over nodes, as in the SCR measurements of Moody et
+/// al. that Table I reproduces).
+struct Platform {
+  std::string name;
+  std::size_t nodes = 0;
+
+  double lambda_f = 0.0;  ///< fail-stop error rate
+  double lambda_s = 0.0;  ///< silent error rate
+
+  double c_disk = 0.0;    ///< C_D: disk checkpoint cost
+  double c_mem = 0.0;     ///< C_M: memory checkpoint cost
+  double r_disk = 0.0;    ///< R_D: disk recovery cost (includes R_M)
+  double r_mem = 0.0;     ///< R_M: memory recovery cost
+
+  double v_guaranteed = 0.0;  ///< V*: guaranteed verification cost
+  double v_partial = 0.0;     ///< V : partial verification cost
+  double recall = 1.0;        ///< r : fraction of silent errors V detects
+
+  /// g = 1 - r, the miss probability of a partial verification.
+  double miss_probability() const noexcept { return 1.0 - recall; }
+
+  /// Platform mean time between fail-stop errors, 1/lambda_f (seconds).
+  double mtbf_fail_stop() const noexcept;
+  /// Platform mean time between silent errors, 1/lambda_s (seconds).
+  double mtbf_silent() const noexcept;
+
+  /// Throws std::invalid_argument if any parameter is out of range
+  /// (negative costs, rates, recall outside [0,1], ...).
+  void validate() const;
+
+  std::string describe() const;
+};
+
+/// Applies the paper's simulation conventions to raw (lambda_f, lambda_s,
+/// C_D, C_M) measurements: R_D = C_D, R_M = C_M, V* = C_M, V = V*/100,
+/// r = 0.8.
+Platform make_paper_platform(std::string name, std::size_t nodes,
+                             double lambda_f, double lambda_s, double c_disk,
+                             double c_mem);
+
+constexpr double kSecondsPerDay = 86400.0;
+
+}  // namespace chainckpt::platform

@@ -1,0 +1,39 @@
+#include "platform/registry.hpp"
+
+#include <stdexcept>
+
+namespace chainckpt::platform {
+
+Platform hera() {
+  return make_paper_platform("Hera", 256, 9.46e-7, 3.38e-6, 300.0, 15.4);
+}
+
+Platform atlas() {
+  return make_paper_platform("Atlas", 512, 5.19e-7, 7.78e-6, 439.0, 9.1);
+}
+
+Platform coastal() {
+  return make_paper_platform("Coastal", 1024, 4.02e-7, 2.01e-6, 1051.0, 4.5);
+}
+
+Platform coastal_ssd() {
+  return make_paper_platform("CoastalSSD", 1024, 4.02e-7, 2.01e-6, 2500.0,
+                             180.0);
+}
+
+std::vector<Platform> table1_platforms() {
+  return {hera(), atlas(), coastal(), coastal_ssd()};
+}
+
+Platform by_name(const std::string& name) {
+  if (name == "Hera" || name == "hera") return hera();
+  if (name == "Atlas" || name == "atlas") return atlas();
+  if (name == "Coastal" || name == "coastal") return coastal();
+  if (name == "CoastalSSD" || name == "Coastal SSD" || name == "coastal_ssd")
+    return coastal_ssd();
+  throw std::invalid_argument(
+      "unknown platform: " + name +
+      " (expected Hera|Atlas|Coastal|CoastalSSD)");
+}
+
+}  // namespace chainckpt::platform

@@ -1,0 +1,25 @@
+// Table I of the paper: the four platforms evaluated with the SCR library
+// by Moody et al. (SC'10), with error rates and checkpoint costs measured on
+// real applications.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace chainckpt::platform {
+
+Platform hera();         ///< 256 nodes, RAM-based memory checkpoints.
+Platform atlas();        ///< 512 nodes.
+Platform coastal();      ///< 1024 nodes.
+Platform coastal_ssd();  ///< 1024 nodes, SSD-based memory checkpoints.
+
+/// All four platforms in Table I order.
+std::vector<Platform> table1_platforms();
+
+/// Lookup by name ("Hera", "Atlas", "Coastal", "CoastalSSD"; also accepts
+/// "Coastal SSD").  Throws std::invalid_argument for unknown names.
+Platform by_name(const std::string& name);
+
+}  // namespace chainckpt::platform

@@ -1,0 +1,90 @@
+#include "report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace chainckpt::report {
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options) {
+  CHAINCKPT_REQUIRE(!series.empty(), "chart needs at least one series");
+  const std::string markers = "ox+*#@";
+
+  double min_x = series.front().min_x(), max_x = series.front().max_x();
+  double min_y = series.front().min_y(), max_y = series.front().max_y();
+  for (const auto& s : series) {
+    if (s.empty()) continue;
+    min_x = std::min(min_x, s.min_x());
+    max_x = std::max(max_x, s.max_x());
+    min_y = std::min(min_y, s.min_y());
+    max_y = std::max(max_y, s.max_y());
+  }
+  const double pad = (max_y - min_y) * 0.02;
+  min_y -= pad;
+  max_y += pad;
+  if (max_y == min_y) {  // flat data: give the range some thickness
+    min_y -= 0.5;
+    max_y += 0.5;
+  }
+  if (max_x == min_x) max_x = min_x + 1.0;
+
+  const std::size_t w = std::max<std::size_t>(options.width, 8);
+  const std::size_t h = std::max<std::size_t>(options.height, 4);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char marker = markers[si % markers.size()];
+    const Series& s = series[si];
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      const double fx = (s.x[k] - min_x) / (max_x - min_x);
+      const double fy = (s.y[k] - min_y) / (max_y - min_y);
+      auto col = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(w - 1)));
+      auto row = static_cast<std::size_t>(
+          std::lround((1.0 - fy) * static_cast<double>(h - 1)));
+      col = std::min(col, w - 1);
+      row = std::min(row, h - 1);
+      grid[row][col] = marker;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  auto y_tick = [&](std::size_t row) {
+    const double fy =
+        1.0 - static_cast<double>(row) / static_cast<double>(h - 1);
+    return min_y + fy * (max_y - min_y);
+  };
+  for (std::size_t row = 0; row < h; ++row) {
+    os << std::setw(10) << std::setprecision(4) << std::fixed << y_tick(row)
+       << " |" << grid[row] << '\n';
+  }
+  os << std::string(11, ' ') << '+' << std::string(w, '-') << '\n';
+  {
+    std::ostringstream xs;
+    xs << std::setprecision(4) << min_x;
+    std::ostringstream xe;
+    xe << std::setprecision(4) << max_x;
+    const std::string left = xs.str(), right = xe.str();
+    std::string axis(11 + 1 + w, ' ');
+    const std::size_t start = 12;
+    axis.replace(start, left.size(), left);
+    if (start + w >= right.size())
+      axis.replace(start + w - right.size(), right.size(), right);
+    os << axis;
+    if (!options.x_label.empty()) os << "  (" << options.x_label << ')';
+    os << '\n';
+  }
+  os << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << markers[si % markers.size()] << " = " << series[si].name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace chainckpt::report

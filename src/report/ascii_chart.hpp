@@ -1,0 +1,25 @@
+// Terminal line charts so the bench harnesses can display the paper's
+// figures directly in the console output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/series.hpp"
+
+namespace chainckpt::report {
+
+struct ChartOptions {
+  std::size_t width = 64;   ///< plot columns (excluding the axis gutter)
+  std::size_t height = 16;  ///< plot rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders the series on a shared grid; each series gets a marker from
+/// "ox+*#@" in order.  Y range is padded by 2%; a legend is appended.
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options);
+
+}  // namespace chainckpt::report

@@ -1,0 +1,70 @@
+#include "report/experiments.hpp"
+
+#include "platform/cost_model.hpp"
+
+namespace chainckpt::report {
+
+Series makespan_series(const platform::Platform& platform,
+                       const EvaluationSetup& setup,
+                       core::Algorithm algorithm,
+                       const std::vector<std::size_t>& ns) {
+  Series out;
+  out.name = core::to_string(algorithm);
+  const platform::CostModel costs(platform);
+  for (std::size_t n : ns) {
+    const auto chain =
+        chain::make_pattern(setup.pattern, n, setup.total_weight);
+    const auto result = core::optimize(algorithm, chain, costs);
+    out.add(static_cast<double>(n),
+            result.expected_makespan / setup.total_weight);
+  }
+  return out;
+}
+
+CountSweep count_sweep(const platform::Platform& platform,
+                       const EvaluationSetup& setup,
+                       core::Algorithm algorithm,
+                       const std::vector<std::size_t>& ns) {
+  CountSweep out;
+  out.disk.name = "#DiskCkpt";
+  out.memory.name = "#MemCkpt";
+  out.guaranteed.name = "#Verif";
+  out.partial.name = "#PartialVerif";
+  const platform::CostModel costs(platform);
+  for (std::size_t n : ns) {
+    const auto chain =
+        chain::make_pattern(setup.pattern, n, setup.total_weight);
+    const auto result = core::optimize(algorithm, chain, costs);
+    const plan::ActionCounts counts = result.plan.interior_counts();
+    const auto x = static_cast<double>(n);
+    out.disk.add(x, static_cast<double>(counts.disk));
+    out.memory.add(x, static_cast<double>(counts.memory));
+    out.guaranteed.add(x, static_cast<double>(counts.guaranteed));
+    out.partial.add(x, static_cast<double>(counts.partial));
+  }
+  return out;
+}
+
+core::OptimizationResult placement(const platform::Platform& platform,
+                                   const EvaluationSetup& setup,
+                                   core::Algorithm algorithm,
+                                   std::size_t n) {
+  const platform::CostModel costs(platform);
+  const auto chain =
+      chain::make_pattern(setup.pattern, n, setup.total_weight);
+  return core::optimize(algorithm, chain, costs);
+}
+
+std::vector<std::size_t> makespan_task_counts() {
+  std::vector<std::size_t> ns;
+  for (std::size_t n = 1; n <= 50; ++n) ns.push_back(n);
+  return ns;
+}
+
+std::vector<std::size_t> count_task_counts() {
+  std::vector<std::size_t> ns;
+  for (std::size_t n = 5; n <= 50; n += 5) ns.push_back(n);
+  return ns;
+}
+
+}  // namespace chainckpt::report

@@ -1,0 +1,57 @@
+// Figure pipelines: the parameter sweeps behind each figure of the paper's
+// evaluation (Section IV), exposed as reusable library calls so the bench
+// harnesses, the tests, and user code all produce identical data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "platform/platform.hpp"
+#include "report/series.hpp"
+
+namespace chainckpt::report {
+
+/// The paper's evaluation-wide constants.
+struct EvaluationSetup {
+  double total_weight = 25000.0;  ///< seconds of computation
+  chain::Pattern pattern = chain::Pattern::kUniform;
+};
+
+/// Normalized expected makespan (makespan / total weight) of `algorithm`
+/// for each task count in `ns` -- one curve of Figure 5/7/8, column 1.
+Series makespan_series(const platform::Platform& platform,
+                       const EvaluationSetup& setup,
+                       core::Algorithm algorithm,
+                       const std::vector<std::size_t>& ns);
+
+/// Interior mechanism counts of `algorithm` for each n -- one panel of
+/// Figure 5 columns 2-4 (four series: disk / memory / guaranteed /
+/// partial).
+struct CountSweep {
+  Series disk;
+  Series memory;
+  Series guaranteed;
+  Series partial;
+
+  std::vector<Series> all() const { return {disk, memory, guaranteed,
+                                            partial}; }
+};
+CountSweep count_sweep(const platform::Platform& platform,
+                       const EvaluationSetup& setup,
+                       core::Algorithm algorithm,
+                       const std::vector<std::size_t>& ns);
+
+/// The optimal plan of `algorithm` at one task count -- the placement maps
+/// of Figures 6-8.
+core::OptimizationResult placement(const platform::Platform& platform,
+                                   const EvaluationSetup& setup,
+                                   core::Algorithm algorithm, std::size_t n);
+
+/// Task counts 1..50 (makespan curves) and 5,10,...,50 (count panels),
+/// matching the paper's x axes.
+std::vector<std::size_t> makespan_task_counts();
+std::vector<std::size_t> count_task_counts();
+
+}  // namespace chainckpt::report

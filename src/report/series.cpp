@@ -1,0 +1,34 @@
+#include "report/series.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace chainckpt::report {
+
+void Series::add(double x_value, double y_value) {
+  x.push_back(x_value);
+  y.push_back(y_value);
+}
+
+double Series::min_x() const {
+  CHAINCKPT_REQUIRE(!x.empty(), "empty series");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double Series::max_x() const {
+  CHAINCKPT_REQUIRE(!x.empty(), "empty series");
+  return *std::max_element(x.begin(), x.end());
+}
+
+double Series::min_y() const {
+  CHAINCKPT_REQUIRE(!y.empty(), "empty series");
+  return *std::min_element(y.begin(), y.end());
+}
+
+double Series::max_y() const {
+  CHAINCKPT_REQUIRE(!y.empty(), "empty series");
+  return *std::max_element(y.begin(), y.end());
+}
+
+}  // namespace chainckpt::report

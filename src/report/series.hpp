@@ -1,0 +1,25 @@
+// A named (x, y) series: the unit of data behind every reproduced figure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chainckpt::report {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double x_value, double y_value);
+  std::size_t size() const noexcept { return x.size(); }
+  bool empty() const noexcept { return x.empty(); }
+
+  double min_x() const;
+  double max_x() const;
+  double min_y() const;
+  double max_y() const;
+};
+
+}  // namespace chainckpt::report

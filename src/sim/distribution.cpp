@@ -1,0 +1,50 @@
+#include "sim/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+
+namespace chainckpt::sim {
+
+MakespanDistribution::MakespanDistribution(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+  CHAINCKPT_REQUIRE(!samples_.empty(),
+                    "distribution needs at least one sample");
+  std::sort(samples_.begin(), samples_.end());
+  for (double s : samples_) stats_.add(s);
+}
+
+double MakespanDistribution::percentile(double q) const {
+  CHAINCKPT_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must lie in [0, 1]");
+  if (samples_.size() == 1) return samples_.front();
+  const double idx = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+util::Histogram MakespanDistribution::histogram(std::size_t bins) const {
+  // Pad the top edge slightly so the maximum lands inside the last bin.
+  const double lo = samples_.front();
+  const double hi =
+      samples_.back() + 1e-9 * std::max(1.0, std::abs(samples_.back()));
+  util::Histogram h(lo, hi, bins);
+  for (double s : samples_) h.add(s);
+  return h;
+}
+
+MakespanDistribution sample_distribution(
+    const Simulator& simulator, const plan::ResiliencePlan& plan,
+    const DistributionOptions& options) {
+  CHAINCKPT_REQUIRE(options.replicas >= 1, "need at least one replica");
+  std::vector<double> samples(options.replicas, 0.0);
+  util::parallel_for(0, options.replicas, [&](std::size_t r) {
+    samples[r] = simulator.run_seeded(plan, options.seed, r).makespan;
+  });
+  return MakespanDistribution(std::move(samples));
+}
+
+}  // namespace chainckpt::sim

@@ -1,0 +1,54 @@
+// Makespan distributions, not just means.
+//
+// Checkpointing research usually optimizes the expectation, but the
+// *tail* is what batch schedulers and users feel: a run that blows its
+// wall-time allocation is lost entirely.  This module samples the full
+// makespan distribution of a plan and exposes percentiles/histograms, so
+// the benches can show that the two-level scheme shortens the tail even
+// more than the mean.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace chainckpt::sim {
+
+class MakespanDistribution {
+ public:
+  /// `samples` must be non-empty; takes ownership and sorts them.
+  explicit MakespanDistribution(std::vector<double> samples);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  double mean() const noexcept { return stats_.mean(); }
+  double stddev() const noexcept { return stats_.stddev(); }
+  double min() const noexcept { return samples_.front(); }
+  double max() const noexcept { return samples_.back(); }
+
+  /// Empirical quantile by linear interpolation; q in [0, 1].
+  double percentile(double q) const;
+
+  /// Fixed-bin histogram over [min, max].
+  util::Histogram histogram(std::size_t bins = 20) const;
+
+ private:
+  std::vector<double> samples_;  // sorted ascending
+  util::RunningStats stats_;
+};
+
+struct DistributionOptions {
+  std::size_t replicas = 20000;
+  std::uint64_t seed = 42;
+};
+
+/// Runs the Monte-Carlo simulator and collects every makespan sample
+/// (parallel, deterministic per seed).
+MakespanDistribution sample_distribution(const Simulator& simulator,
+                                         const plan::ResiliencePlan& plan,
+                                         const DistributionOptions& options =
+                                             {});
+
+}  // namespace chainckpt::sim

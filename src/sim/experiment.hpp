@@ -1,0 +1,42 @@
+// Replicated Monte-Carlo experiments.
+//
+// Runs N independent replicas of a plan, in parallel, with per-replica
+// RNG streams derived from (seed, replica index) so results are identical
+// for every thread count.  Per-block partial statistics are merged in a
+// fixed order to keep even the floating-point rounding deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace chainckpt::sim {
+
+struct ExperimentResult {
+  util::RunningStats makespan;
+  /// Means over replicas of the main event counters.
+  double mean_fail_stops = 0.0;
+  double mean_silent_corruptions = 0.0;
+  double mean_partial_detections = 0.0;
+  double mean_partial_misses = 0.0;
+  double mean_guaranteed_detections = 0.0;
+  double mean_memory_recoveries = 0.0;
+  double mean_disk_recoveries = 0.0;
+  std::size_t replicas = 0;
+};
+
+struct ExperimentOptions {
+  std::size_t replicas = 10000;
+  std::uint64_t seed = 42;
+  /// Replicas per parallel work item; only affects scheduling granularity,
+  /// never results.
+  std::size_t block_size = 256;
+};
+
+ExperimentResult run_experiment(const Simulator& simulator,
+                                const plan::ResiliencePlan& plan,
+                                const ExperimentOptions& options = {});
+
+}  // namespace chainckpt::sim

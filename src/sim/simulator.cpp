@@ -1,0 +1,135 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace chainckpt::sim {
+
+Simulator::Simulator(chain::TaskChain chain, platform::CostModel costs)
+    : chain_(std::move(chain)), costs_(std::move(costs)) {
+  CHAINCKPT_REQUIRE(!chain_.empty(), "simulator needs a non-empty chain");
+}
+
+SimulationStats Simulator::run(const plan::ResiliencePlan& plan,
+                               error::Injector& injector,
+                               TraceRecorder* trace,
+                               const SimulationLimits& limits) const {
+  CHAINCKPT_REQUIRE(plan.size() == chain_.size(),
+                    "plan size must match chain size");
+  plan.validate();
+
+  const std::size_t n = chain_.size();
+  SimulationStats stats;
+  double t = 0.0;
+  std::size_t next_task = 1;
+  std::size_t last_disk = 0;
+  std::size_t last_mem = 0;
+  bool corrupted = false;
+
+  auto emit = [&](EventKind kind, std::size_t position) {
+    if (trace != nullptr) trace->record(kind, t, position);
+  };
+
+  while (next_task <= n) {
+    if (++stats.task_attempts > limits.max_task_attempts) {
+      throw std::runtime_error(
+          "simulation exceeded the task-attempt limit; error rates are "
+          "likely far outside the model's useful regime");
+    }
+    const std::size_t i = next_task;
+    const double w = chain_.weight(i);
+    const error::TaskAttemptOutcome outcome = injector.attempt(w);
+
+    if (outcome.fail_stop_after.has_value()) {
+      // Fail-stop: lose the elapsed fraction, recover from disk.  The
+      // memory checkpoint is restored from the disk copy, and any silent
+      // corruption dies with the wiped memory.
+      t += *outcome.fail_stop_after;
+      ++stats.fail_stop_errors;
+      emit(EventKind::kFailStop, i);
+      t += costs_.r_disk_after(last_disk);
+      ++stats.disk_recoveries;
+      emit(EventKind::kDiskRecovery, last_disk);
+      last_mem = last_disk;
+      corrupted = false;
+      next_task = last_disk + 1;
+      continue;
+    }
+
+    t += w;
+    ++stats.tasks_completed;
+    emit(EventKind::kTaskCompleted, i);
+    if (outcome.silent_corruption) {
+      corrupted = true;
+      ++stats.silent_corruptions;
+      emit(EventKind::kSilentCorruption, i);
+    }
+
+    const plan::Action action = plan.action(i);
+    if (has_partial_verif(action)) {
+      t += costs_.v_partial_after(i);
+      ++stats.partial_verifications;
+      if (corrupted) {
+        if (injector.partial_verification_detects(costs_.recall())) {
+          ++stats.partial_detections;
+          emit(EventKind::kPartialVerifDetect, i);
+          t += costs_.r_mem_after(last_mem);
+          ++stats.memory_recoveries;
+          emit(EventKind::kMemoryRecovery, last_mem);
+          corrupted = false;
+          next_task = last_mem + 1;
+          continue;
+        }
+        ++stats.partial_misses;
+        emit(EventKind::kPartialVerifMiss, i);
+      } else {
+        emit(EventKind::kPartialVerifPass, i);
+      }
+    } else if (has_guaranteed_verif(action)) {
+      t += costs_.v_guaranteed_after(i);
+      ++stats.guaranteed_verifications;
+      if (corrupted) {
+        ++stats.guaranteed_detections;
+        emit(EventKind::kGuaranteedVerifDetect, i);
+        t += costs_.r_mem_after(last_mem);
+        ++stats.memory_recoveries;
+        emit(EventKind::kMemoryRecovery, last_mem);
+        corrupted = false;
+        next_task = last_mem + 1;
+        continue;
+      }
+      emit(EventKind::kGuaranteedVerifPass, i);
+      if (has_memory_checkpoint(action)) {
+        CHAINCKPT_ASSERT(!corrupted,
+                         "checkpoints must only store verified-clean data");
+        t += costs_.c_mem_after(i);
+        ++stats.memory_checkpoints;
+        emit(EventKind::kMemoryCheckpoint, i);
+        last_mem = i;
+        if (has_disk_checkpoint(action)) {
+          t += costs_.c_disk_after(i);
+          ++stats.disk_checkpoints;
+          emit(EventKind::kDiskCheckpoint, i);
+          last_disk = i;
+        }
+      }
+    }
+    ++next_task;
+  }
+
+  stats.makespan = t;
+  return stats;
+}
+
+SimulationStats Simulator::run_seeded(const plan::ResiliencePlan& plan,
+                                      std::uint64_t seed,
+                                      std::uint64_t replica,
+                                      TraceRecorder* trace) const {
+  error::PoissonInjector injector(
+      costs_.lambda_f(), costs_.lambda_s(),
+      util::Xoshiro256::stream(seed, replica));
+  return run(plan, injector, trace);
+}
+
+}  // namespace chainckpt::sim

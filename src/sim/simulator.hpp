@@ -1,0 +1,81 @@
+// Monte-Carlo execution of a resilience plan (the "simulation" substrate
+// behind the paper's evaluation).
+//
+// Executes the chain task by task under injected errors, with the exact
+// semantics of paper Section II:
+//   * a fail-stop error interrupts the attempt, wipes memory, and forces a
+//     rollback to the last DISK checkpoint (recovery R_D; free from the
+//     virtual T0); the in-memory checkpoint is re-established from the
+//     disk copy, so the last memory checkpoint becomes the disk one;
+//   * silent errors corrupt the data without interrupting; each partial
+//     verification detects an existing corruption with probability r
+//     (independent draws), guaranteed verifications always detect; upon
+//     detection the run rolls back to the last MEMORY checkpoint
+//     (recovery R_M; free from T0);
+//   * verifications, checkpoints and recoveries are failure-free;
+//   * checkpoints only ever store verified-clean data (asserted).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chain/chain.hpp"
+#include "error/injector.hpp"
+#include "plan/plan.hpp"
+#include "platform/cost_model.hpp"
+#include "sim/trace.hpp"
+
+namespace chainckpt::sim {
+
+/// Per-run outcome counters; all counts include re-executions.
+struct SimulationStats {
+  double makespan = 0.0;
+  std::size_t task_attempts = 0;
+  std::size_t tasks_completed = 0;
+  std::size_t fail_stop_errors = 0;
+  std::size_t disk_recoveries = 0;
+  std::size_t silent_corruptions = 0;
+  std::size_t partial_verifications = 0;
+  std::size_t partial_detections = 0;
+  std::size_t partial_misses = 0;
+  std::size_t guaranteed_verifications = 0;
+  std::size_t guaranteed_detections = 0;
+  std::size_t memory_recoveries = 0;
+  std::size_t memory_checkpoints = 0;
+  std::size_t disk_checkpoints = 0;
+};
+
+struct SimulationLimits {
+  /// Abort (throw std::runtime_error) after this many task attempts; a
+  /// valid configuration terminates with probability 1, so the default is
+  /// simply a guard against pathological parameter choices.
+  std::size_t max_task_attempts = 500'000'000;
+};
+
+class Simulator {
+ public:
+  /// Copies the chain and cost model.
+  Simulator(chain::TaskChain chain, platform::CostModel costs);
+
+  /// Executes `plan` once with errors drawn from `injector`.  Optionally
+  /// records events into `trace`.
+  SimulationStats run(const plan::ResiliencePlan& plan,
+                      error::Injector& injector,
+                      TraceRecorder* trace = nullptr,
+                      const SimulationLimits& limits = {}) const;
+
+  /// Convenience: runs once with a PoissonInjector seeded from
+  /// (seed, replica).
+  SimulationStats run_seeded(const plan::ResiliencePlan& plan,
+                             std::uint64_t seed, std::uint64_t replica = 0,
+                             TraceRecorder* trace = nullptr) const;
+
+  const chain::TaskChain& chain() const noexcept { return chain_; }
+  const platform::CostModel& costs() const noexcept { return costs_; }
+
+ private:
+  chain::TaskChain chain_;
+  platform::CostModel costs_;
+};
+
+}  // namespace chainckpt::sim

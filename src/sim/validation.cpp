@@ -1,0 +1,44 @@
+#include "sim/validation.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace chainckpt::sim {
+
+double ValidationReport::relative_gap() const noexcept {
+  return analytic == 0.0 ? 0.0 : (simulated_mean - analytic) / analytic;
+}
+
+double ValidationReport::gap_in_sigmas() const noexcept {
+  return sim_stderr == 0.0
+             ? 0.0
+             : std::abs(simulated_mean - analytic) / sim_stderr;
+}
+
+std::string ValidationReport::describe() const {
+  std::ostringstream os;
+  os << "analytic " << analytic << "s vs simulated " << simulated_mean
+     << "s +/- " << sim_stderr << "s (" << replicas << " replicas, gap "
+     << relative_gap() * 100.0 << "%, " << gap_in_sigmas() << " sigma)";
+  return os.str();
+}
+
+ValidationReport validate_plan(const chain::TaskChain& chain,
+                               const platform::CostModel& costs,
+                               const plan::ResiliencePlan& plan,
+                               const ExperimentOptions& options,
+                               analysis::FormulaMode mode) {
+  const analysis::PlanEvaluator evaluator(chain, costs);
+  const Simulator simulator(chain, costs);
+  const ExperimentResult experiment =
+      run_experiment(simulator, plan, options);
+
+  ValidationReport report;
+  report.analytic = evaluator.expected_makespan(plan, mode);
+  report.simulated_mean = experiment.makespan.mean();
+  report.sim_stderr = experiment.makespan.stderr_mean();
+  report.replicas = experiment.replicas;
+  return report;
+}
+
+}  // namespace chainckpt::sim

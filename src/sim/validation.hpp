@@ -1,0 +1,35 @@
+// Cross-validation of the analytic expectation against Monte-Carlo
+// simulation: the strongest correctness argument the library offers for
+// the paper's closed forms (and for the two documented accounting nuances
+// of the Section III-B framework).
+#pragma once
+
+#include <string>
+
+#include "analysis/evaluator.hpp"
+#include "sim/experiment.hpp"
+
+namespace chainckpt::sim {
+
+struct ValidationReport {
+  double analytic = 0.0;        ///< evaluator expectation
+  double simulated_mean = 0.0;  ///< Monte-Carlo mean makespan
+  double sim_stderr = 0.0;      ///< standard error of the MC mean
+  std::size_t replicas = 0;
+
+  /// (simulated - analytic) / analytic.
+  double relative_gap() const noexcept;
+  /// |simulated - analytic| in units of the MC standard error.
+  double gap_in_sigmas() const noexcept;
+
+  std::string describe() const;
+};
+
+/// Runs `options.replicas` Monte-Carlo replicas of `plan` and compares the
+/// mean makespan to the analytic expectation under `mode`.
+ValidationReport validate_plan(
+    const chain::TaskChain& chain, const platform::CostModel& costs,
+    const plan::ResiliencePlan& plan, const ExperimentOptions& options = {},
+    analysis::FormulaMode mode = analysis::FormulaMode::kAuto);
+
+}  // namespace chainckpt::sim

@@ -1,0 +1,52 @@
+// Contract-checking helpers.
+//
+// The library distinguishes two kinds of failures, following the C++ Core
+// Guidelines (I.6, E.12):
+//   * CHAINCKPT_REQUIRE  -- precondition on a public API; violations throw
+//     std::invalid_argument so callers (and tests) can observe them.
+//   * CHAINCKPT_ASSERT   -- internal invariant; violations throw
+//     std::logic_error (they indicate a bug in this library, not in the
+//     caller).
+//
+// Both are always on: the checks guard O(1) conditions on control paths that
+// are never hot enough to matter relative to the O(n^4)-O(n^6) dynamic
+// programs they protect.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace chainckpt::util {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace chainckpt::util
+
+#define CHAINCKPT_REQUIRE(cond, msg)                                       \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::chainckpt::util::throw_precondition(#cond, __FILE__, __LINE__,     \
+                                            (msg));                        \
+  } while (false)
+
+#define CHAINCKPT_ASSERT(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::chainckpt::util::throw_invariant(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace chainckpt::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> headers)
+    : path_(path), out_(path), columns_(headers.size()) {
+  CHAINCKPT_REQUIRE(!headers.empty(), "csv needs at least one column");
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  add_row(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  CHAINCKPT_REQUIRE(cells.size() == columns_,
+                    "csv row width must match header width");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace chainckpt::util

@@ -1,0 +1,29 @@
+// Tiny CSV writer (RFC-4180 quoting) so bench harnesses can export the exact
+// series behind each reproduced figure for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace chainckpt::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Quotes a field if it contains a comma, quote, or newline.
+  static std::string escape(const std::string& field);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace chainckpt::util

@@ -1,0 +1,53 @@
+// Minimal leveled logger.  All library code logs through this so examples
+// and benches can silence or redirect output; no global construction order
+// issues (Meyers singleton).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chainckpt::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Thread-safe write of one formatted line to stderr.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { log_message(level_, os_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LineLogger log_debug() {
+  return detail::LineLogger(LogLevel::kDebug);
+}
+inline detail::LineLogger log_info() {
+  return detail::LineLogger(LogLevel::kInfo);
+}
+inline detail::LineLogger log_warn() {
+  return detail::LineLogger(LogLevel::kWarn);
+}
+inline detail::LineLogger log_error() {
+  return detail::LineLogger(LogLevel::kError);
+}
+
+}  // namespace chainckpt::util

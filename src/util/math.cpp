@@ -1,0 +1,45 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chainckpt::util {
+
+double expm1_over_x(double x) noexcept {
+  // For |x| below ~1e-5 the 3-term Taylor series is exact to double
+  // precision; above that expm1 is itself accurate.
+  const double ax = std::abs(x);
+  if (ax < 1e-5) {
+    return 1.0 + x * (0.5 + x * (1.0 / 6.0 + x * (1.0 / 24.0)));
+  }
+  return std::expm1(x) / x;
+}
+
+double one_minus_exp_neg(double x) noexcept { return -std::expm1(-x); }
+
+double error_probability(double lambda, double duration) noexcept {
+  return one_minus_exp_neg(lambda * duration);
+}
+
+double expected_time_lost(double lambda, double duration) noexcept {
+  if (duration <= 0.0) return 0.0;
+  const double x = lambda * duration;
+  // T_lost = 1/lambda - W/(e^x - 1) = (W/x) * (1 - x/(e^x - 1))
+  //        = W * (expm1(x) - x) / (x * expm1(x)).
+  // Small-x expansion of 1/x - 1/(e^x - 1) is 1/2 - x/12 + x^3/720 - ...
+  if (x < 1e-4) {
+    return duration * (0.5 - x / 12.0);
+  }
+  // For x beyond ~36, W/(e^x - 1) underflows against 1/lambda: the error
+  // almost surely strikes long before the window closes.
+  if (x > 36.0) return 1.0 / lambda;
+  const double em1 = std::expm1(x);
+  return duration * (em1 - x) / (x * em1);
+}
+
+bool approx_equal(double a, double b, double rel_tol) noexcept {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace chainckpt::util

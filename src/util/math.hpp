@@ -1,0 +1,35 @@
+// Numerically stable building blocks for the paper's closed forms.
+//
+// The expected-time formulas (paper Eqs. (2)-(4)) are combinations of
+// exponentials of lambda*W where lambda*W spans many orders of magnitude
+// (1e-6 .. 1e2).  Everything here is written in terms of expm1/log1p so the
+// small-rate regime -- the physically relevant one for HPC platforms -- does
+// not lose precision to catastrophic cancellation.
+#pragma once
+
+namespace chainckpt::util {
+
+/// (e^x - 1) / x, continuous at x = 0 (limit 1).
+/// Relative error is a few ulps across the full double range.
+double expm1_over_x(double x) noexcept;
+
+/// 1 - e^{-x}, stable for small x (probability of at least one Poisson
+/// arrival of rate lambda over time t with x = lambda * t).
+double one_minus_exp_neg(double x) noexcept;
+
+/// Probability of at least one error of rate `lambda` during `duration`
+/// seconds: 1 - e^{-lambda * duration}.  Requires lambda >= 0, duration >= 0.
+double error_probability(double lambda, double duration) noexcept;
+
+/// Paper Eq. (3): expected time lost to a fail-stop error of rate `lambda`
+/// conditioned on it striking within a window of `duration` seconds:
+///   T_lost = 1/lambda - duration / (e^{lambda * duration} - 1).
+/// Continuous limits: duration/2 as lambda -> 0, and duration/2 as
+/// duration -> 0.  Monotonically increasing in both arguments, bounded by
+/// duration.
+double expected_time_lost(double lambda, double duration) noexcept;
+
+/// True when |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double rel_tol) noexcept;
+
+}  // namespace chainckpt::util

@@ -1,0 +1,33 @@
+// Shared-memory parallelism wrapper.
+//
+// The dynamic programs parallelize over independent table slabs and the
+// Monte-Carlo runner over replicas.  Both use this single entry point, which
+// maps onto OpenMP when available and degrades to a serial loop otherwise,
+// so the library has no hard dependency on a threading runtime.
+//
+// Determinism contract: the callable receives the iteration index and must
+// derive any randomness from it (see Xoshiro256::stream), so results are
+// identical for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+namespace chainckpt::util {
+
+/// Number of worker threads the wrapper will use (OpenMP max threads, or 1).
+int hardware_parallelism() noexcept;
+
+/// Force the worker count for subsequent parallel_for calls; 0 restores the
+/// runtime default.  Mostly used by tests and benches.
+void set_parallelism(int threads) noexcept;
+
+/// Runs body(i) for i in [begin, end) with dynamic scheduling.  Exceptions
+/// thrown by the body are captured and the first one is rethrown on the
+/// calling thread after the loop completes (OpenMP regions must not leak
+/// exceptions).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace chainckpt::util

@@ -1,0 +1,72 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace chainckpt::util {
+
+namespace {
+constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += kGoldenGamma);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  // A xoshiro state must not be all-zero; SplitMix64 guarantees that the
+  // probability of producing four zero words is negligible, but we guard
+  // anyway by re-mixing.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    sm = kGoldenGamma;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+}
+
+Xoshiro256 Xoshiro256::stream(std::uint64_t master_seed,
+                              std::uint64_t stream_index) noexcept {
+  return Xoshiro256(master_seed + kGoldenGamma * (stream_index + 1));
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform01_open_low() noexcept {
+  // (2^53 - mantissa) / 2^53 lies in (0, 1].
+  return (static_cast<double>((*this)() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+double Xoshiro256::exponential(double rate) noexcept {
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return -std::log(uniform01_open_low()) / rate;
+}
+
+bool Xoshiro256::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+}  // namespace chainckpt::util

@@ -1,0 +1,56 @@
+// Self-contained pseudo-random number generation.
+//
+// The Monte-Carlo engine needs (a) reproducibility independent of thread
+// count and (b) cheap construction of decorrelated per-replica streams.  We
+// implement xoshiro256** (Blackman & Vigna, 2018 public-domain reference)
+// seeded through SplitMix64; stream k of a given master seed is obtained by
+// seeding from splitmix(seed + golden_gamma * k), which is the generator
+// authors' recommended scheme and makes `stream(seed, k)` a pure function.
+#pragma once
+
+#include <cstdint>
+
+namespace chainckpt::util {
+
+/// SplitMix64 step: advances the state and returns a 64-bit output.
+/// Used both as a seeding mixer and as a tiny standalone generator.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator.  Satisfies C++ UniformRandomBitGenerator, so it
+/// can also be plugged into <random> distributions when convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from a single seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Deterministic, order-independent stream derivation: stream k of master
+  /// seed s is the same regardless of which other streams were created.
+  static Xoshiro256 stream(std::uint64_t master_seed,
+                           std::uint64_t stream_index) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1): 53 random mantissa bits.
+  double uniform01() noexcept;
+
+  /// Uniform double in (0, 1]: never returns 0, safe as argument of log().
+  double uniform01_open_low() noexcept;
+
+  /// Exponential variate of the given rate.  rate == 0 yields +infinity
+  /// (the event never happens), which is exactly the semantics the error
+  /// injector wants for a disabled error source.
+  double exponential(double rate) noexcept;
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace chainckpt::util

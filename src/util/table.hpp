@@ -1,0 +1,28 @@
+// Minimal ASCII table formatter used by the bench harnesses to print the
+// paper's tables and figure series in a readable, diffable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chainckpt::util {
+
+class TextTable {
+ public:
+  /// Column headers fix the column count; every later row must match it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  /// Renders with a header rule and right-padded cells.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chainckpt::util

@@ -1,0 +1,66 @@
+#include "analysis/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/patterns.hpp"
+#include "plan/plan_builder.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::analysis {
+namespace {
+
+TEST(Breakdown, DeterministicTermsAreExactSums) {
+  const auto chain = chain::make_uniform(10, 25000.0);
+  const platform::Platform p = platform::hera();
+  const PlanEvaluator ev(chain, platform::CostModel(p));
+  const auto plan = plan::PlanBuilder(10)
+                        .partial_verifs_at({1, 2})
+                        .guaranteed_verif_at(4)
+                        .memory_checkpoint_at(6)
+                        .disk_checkpoint_at(8)
+                        .build();
+  const CostBreakdown b = breakdown(ev, plan);
+  EXPECT_DOUBLE_EQ(b.work, 25000.0);
+  EXPECT_DOUBLE_EQ(b.disk_checkpoints, 2 * p.c_disk);    // 8 and 10
+  EXPECT_DOUBLE_EQ(b.memory_checkpoints, 3 * p.c_mem);   // 6, 8, 10
+  EXPECT_DOUBLE_EQ(b.guaranteed_verifs, 4 * p.v_guaranteed);  // 4,6,8,10
+  EXPECT_DOUBLE_EQ(b.partial_verifs, 2 * p.v_partial);
+  EXPECT_DOUBLE_EQ(b.deterministic_overhead(),
+                   b.disk_checkpoints + b.memory_checkpoints +
+                       b.guaranteed_verifs + b.partial_verifs);
+}
+
+TEST(Breakdown, TermsSumToExpectedMakespan) {
+  const auto chain = chain::make_decrease(8, 25000.0);
+  const PlanEvaluator ev(chain, platform::CostModel(platform::atlas()));
+  const auto plan = plan::PlanBuilder(8).memory_checkpoint_at(4).build();
+  const CostBreakdown b = breakdown(ev, plan);
+  EXPECT_NEAR(b.expected_makespan,
+              b.work + b.deterministic_overhead() +
+                  b.expected_error_handling,
+              1e-9 * b.expected_makespan);
+  EXPECT_GT(b.expected_error_handling, 0.0);
+}
+
+TEST(Breakdown, ErrorHandlingVanishesWithoutErrors) {
+  platform::Platform p = platform::hera();
+  p.lambda_f = 0.0;
+  p.lambda_s = 0.0;
+  const auto chain = chain::make_uniform(5, 1000.0);
+  const PlanEvaluator ev(chain, platform::CostModel(p));
+  const CostBreakdown b = breakdown(ev, plan::ResiliencePlan(5));
+  EXPECT_NEAR(b.expected_error_handling, 0.0, 1e-9);
+}
+
+TEST(Breakdown, DescribeListsEveryTerm) {
+  const auto chain = chain::make_uniform(5, 1000.0);
+  const PlanEvaluator ev(chain, platform::CostModel(platform::hera()));
+  const CostBreakdown b = breakdown(ev, plan::ResiliencePlan(5));
+  const std::string text = b.describe();
+  EXPECT_NE(text.find("work"), std::string::npos);
+  EXPECT_NE(text.find("disk ckpts"), std::string::npos);
+  EXPECT_NE(text.find("error handling"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chainckpt::analysis

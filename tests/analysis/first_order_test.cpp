@@ -1,0 +1,89 @@
+#include "analysis/first_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::analysis {
+namespace {
+
+TEST(FirstOrder, PeriodsMatchClosedForms) {
+  const auto p = platform::hera();
+  const auto fo = first_order_prediction(p);
+  EXPECT_NEAR(fo.period_verif, std::sqrt(2.0 * 15.4 / 3.38e-6), 1e-6);
+  EXPECT_NEAR(fo.period_memory,
+              std::sqrt(2.0 * (15.4 + 15.4) / 3.38e-6), 1e-6);
+  EXPECT_NEAR(fo.period_disk, std::sqrt(2.0 * 300.0 / 9.46e-7), 1e-6);
+  // Ordering: verifications are cheapest hence most frequent; disk
+  // checkpoints the rarest on Hera.
+  EXPECT_LT(fo.period_verif, fo.period_memory);
+  EXPECT_LT(fo.period_memory, fo.period_disk);
+}
+
+TEST(FirstOrder, ZeroRatesGiveInfinitePeriods) {
+  platform::Platform p = platform::hera();
+  p.lambda_f = 0.0;
+  p.lambda_s = 0.0;
+  const auto fo = first_order_prediction(p);
+  EXPECT_TRUE(std::isinf(fo.period_verif));
+  EXPECT_TRUE(std::isinf(fo.period_disk));
+  EXPECT_DOUBLE_EQ(fo.overhead, 0.0);
+  EXPECT_EQ(fo.expected_memory(25000.0), 0u);
+}
+
+TEST(FirstOrder, CountPredictionsAreConsistent) {
+  const auto fo = first_order_prediction(platform::hera());
+  // W / period - 1, floored.
+  const double w = 25000.0;
+  EXPECT_EQ(fo.expected_memory(w),
+            static_cast<std::size_t>(w / fo.period_memory) - 1);
+  EXPECT_EQ(fo.expected_disk(w), 0u);  // period_disk > 25000s on Hera
+}
+
+TEST(FirstOrder, PredictsTheDpOverheadWithinAFactor) {
+  // The first-order overhead must land in the right ballpark of the DP
+  // optimum for large uniform chains (it ignores quantization, partials,
+  // and second-order terms, so gate loosely).
+  for (const auto& p : platform::table1_platforms()) {
+    const auto fo = first_order_prediction(p);
+    const auto chain = chain::make_uniform(50, 25000.0);
+    const platform::CostModel costs(p);
+    const auto dp =
+        core::optimize(core::Algorithm::kADMVstar, chain, costs);
+    const double dp_overhead = dp.expected_makespan / 25000.0 - 1.0;
+    // The DP also pays the mandatory final bundle, which first-order
+    // theory amortizes away; exclude it for the comparison.
+    const double final_bundle =
+        (p.c_disk + p.c_mem + p.v_guaranteed) / 25000.0;
+    const double comparable = dp_overhead - final_bundle;
+    EXPECT_GT(comparable, fo.overhead / 3.0) << p.name;
+    EXPECT_LT(comparable, fo.overhead * 3.0) << p.name;
+  }
+}
+
+TEST(FirstOrder, PredictsTheDpMemoryCountWithinAFactor) {
+  const auto p = platform::hera();
+  const auto fo = first_order_prediction(p);
+  const auto chain = chain::make_uniform(50, 25000.0);
+  const auto dp = core::optimize(core::Algorithm::kADMVstar, chain,
+                                 platform::CostModel(p));
+  const std::size_t dp_mem = dp.plan.interior_counts().memory;
+  const std::size_t predicted = fo.expected_memory(25000.0);
+  EXPECT_GE(dp_mem * 3, predicted);
+  EXPECT_LE(dp_mem, predicted * 3 + 1);
+}
+
+TEST(FirstOrder, DescribeMentionsPeriods) {
+  const auto fo = first_order_prediction(platform::atlas());
+  const std::string text = fo.describe();
+  EXPECT_NE(text.find("memory ckpt every"), std::string::npos);
+  EXPECT_NE(text.find("overhead"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chainckpt::analysis

@@ -1,0 +1,169 @@
+#include "analysis/segment_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chain/patterns.hpp"
+#include "util/math.hpp"
+
+namespace chainckpt::analysis {
+namespace {
+
+Interval make(double w, double lf, double ls) {
+  return Interval{w, std::expm1(lf * w), std::expm1(ls * w)};
+}
+
+TEST(Interval, DerivedQuantities) {
+  const Interval seg = make(1000.0, 1e-4, 2e-4);
+  EXPECT_NEAR(seg.exp_f(), std::exp(0.1), 1e-12);
+  EXPECT_NEAR(seg.exp_s(), std::exp(0.2), 1e-12);
+  EXPECT_NEAR(seg.em1_fs(), std::expm1(0.3), 1e-12);
+  EXPECT_NEAR(seg.exp_fs(), std::exp(0.3), 1e-12);
+}
+
+TEST(Interval, MakeIntervalReadsWeightTable) {
+  const auto c = chain::make_uniform(4, 4000.0);
+  const chain::WeightTable t(c, 1e-5, 2e-5);
+  const Interval seg = make_interval(t, 1, 3);
+  EXPECT_DOUBLE_EQ(seg.w, 2000.0);
+  EXPECT_NEAR(seg.em1_f, std::expm1(2e-2), 1e-15);
+  EXPECT_NEAR(seg.em1_s, std::expm1(4e-2), 1e-15);
+}
+
+TEST(Em1fOverLambda, MatchesBothBranches) {
+  // Large-rate branch: em1_f / lambda.
+  {
+    const Interval seg = make(1000.0, 1e-3, 0.0);
+    EXPECT_NEAR(em1f_over_lambda(seg, 1e-3), std::expm1(1.0) / 1e-3, 1e-6);
+  }
+  // Series branch: W as lambda -> 0.
+  {
+    const Interval seg = make(1000.0, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(em1f_over_lambda(seg, 0.0), 1000.0);
+  }
+  {
+    const Interval seg = make(1000.0, 1e-12, 0.0);
+    EXPECT_NEAR(em1f_over_lambda(seg, 1e-12), 1000.0, 1e-6);
+  }
+}
+
+TEST(ExpectedVerifiedSegment, ErrorFreeLimitIsWorkPlusVerification) {
+  // With both rates zero Eq. (4) collapses to W + V*.
+  const Interval seg = make(5000.0, 0.0, 0.0);
+  const LeftContext left{300.0, 15.0, 1234.0, 567.0};
+  EXPECT_DOUBLE_EQ(expected_verified_segment(seg, 0.0, 15.4, left),
+                   5015.4);
+}
+
+TEST(ExpectedVerifiedSegment, MatchesEq4TermByTerm) {
+  const double lf = 9.46e-7, ls = 3.38e-6, w = 2500.0;
+  const Interval seg = make(w, lf, ls);
+  const LeftContext left{300.0, 15.4, 800.0, 120.0};
+  const double vstar = 15.4;
+  const double es = std::exp(ls * w);
+  const double expected = es * (std::expm1(lf * w) / lf + vstar) +
+                          es * std::expm1(lf * w) * (300.0 + 800.0) +
+                          std::expm1((lf + ls) * w) * 120.0 +
+                          std::expm1(ls * w) * 15.4;
+  EXPECT_NEAR(expected_verified_segment(seg, lf, vstar, left), expected,
+              1e-9 * expected);
+}
+
+TEST(ExpectedVerifiedSegment, SolvesItsOwnRecursion) {
+  // Eq. (4) is the closed form of the fixed point Eq. (2):
+  //   E = pf (Tlost + RD + Emem + Everif + E)
+  //     + (1-pf) (W + V* + ps (RM + Everif + E)).
+  const double lf = 2e-4, ls = 5e-4, w = 1800.0;
+  const Interval seg = make(w, lf, ls);
+  const LeftContext left{250.0, 12.0, 432.1, 98.7};
+  const double vstar = 20.0;
+  const double e = expected_verified_segment(seg, lf, vstar, left);
+
+  const double pf = util::error_probability(lf, w);
+  const double ps = util::error_probability(ls, w);
+  const double tlost = util::expected_time_lost(lf, w);
+  const double rhs =
+      pf * (tlost + left.r_disk + left.e_mem + left.e_verif + e) +
+      (1.0 - pf) * (w + vstar + ps * (left.r_mem + left.e_verif + e));
+  EXPECT_NEAR(e, rhs, 1e-8 * e);
+}
+
+TEST(ExpectedVerifiedSegment, MonotoneInEveryCost) {
+  const double lf = 9.46e-7;
+  const Interval seg = make(3000.0, lf, 3.38e-6);
+  const LeftContext base{300.0, 15.4, 500.0, 100.0};
+  const double e0 = expected_verified_segment(seg, lf, 15.4, base);
+  EXPECT_GT(expected_verified_segment(seg, lf, 20.0, base), e0);
+  EXPECT_GT(expected_verified_segment(
+                seg, lf, 15.4, LeftContext{400.0, 15.4, 500.0, 100.0}),
+            e0);
+  EXPECT_GT(expected_verified_segment(
+                seg, lf, 15.4, LeftContext{300.0, 25.4, 500.0, 100.0}),
+            e0);
+  EXPECT_GT(expected_verified_segment(
+                seg, lf, 15.4, LeftContext{300.0, 15.4, 600.0, 100.0}),
+            e0);
+  EXPECT_GT(expected_verified_segment(
+                seg, lf, 15.4, LeftContext{300.0, 15.4, 500.0, 150.0}),
+            e0);
+}
+
+TEST(ERightStep, SolvesItsOwnDefinition) {
+  // E_right = pf (Tlost + RD + Emem) + (1-pf)(W + V + (1-g) RM + g E').
+  const double lf = 3e-4, w = 900.0;
+  const Interval seg = make(w, lf, 1e-4);
+  const double v = 0.15, g = 0.2, rd = 300.0, rm = 15.4, emem = 777.0;
+  const double er_next = 42.0;
+  const double pf = util::error_probability(lf, w);
+  const double tlost = util::expected_time_lost(lf, w);
+  const double expected = pf * (tlost + rd + emem) +
+                          (1.0 - pf) * (w + v + 0.8 * rm + g * er_next);
+  EXPECT_NEAR(e_right_step(seg, lf, v, g, rd, rm, emem, er_next), expected,
+              1e-10 * expected);
+}
+
+TEST(ERightStep, ZeroFailStopReducesToDetectionWalk) {
+  const Interval seg = make(500.0, 0.0, 1e-4);
+  const double v = 0.2, g = 0.2, rm = 10.0;
+  // No fail-stop: W + V + (1-g) RM + g E'.
+  EXPECT_NEAR(e_right_step(seg, 0.0, v, g, 999.0, rm, 888.0, 77.0),
+              500.0 + 0.2 + 0.8 * 10.0 + 0.2 * 77.0, 1e-10);
+}
+
+TEST(EMinusSegment, DiffersFromEq4OnlyInVerificationAndMissTerms) {
+  // With g = 0 (perfect recall) and V = V*, E^- must equal Eq. (4): the
+  // partial verification behaves exactly like a guaranteed one.
+  const double lf = 9.46e-7, ls = 3.38e-6;
+  const Interval seg = make(2100.0, lf, ls);
+  const LeftContext left{300.0, 15.4, 654.0, 321.0};
+  const double e4 = expected_verified_segment(seg, lf, 15.4, left);
+  const double em = e_minus_segment(seg, lf, /*v_partial=*/15.4,
+                                    /*miss=*/0.0, left,
+                                    /*e_right_next=*/12345.0);
+  EXPECT_NEAR(em, e4, 1e-9 * e4);
+}
+
+TEST(EMinusSegment, MissTermWeightsERight) {
+  const double lf = 1e-6, ls = 1e-5;
+  const Interval seg = make(1500.0, lf, ls);
+  const LeftContext left{100.0, 10.0, 50.0, 20.0};
+  const double em_low = e_minus_segment(seg, lf, 0.1, 0.2, left, 0.0);
+  const double em_high = e_minus_segment(seg, lf, 0.1, 0.2, left, 1000.0);
+  // Coefficient of E_right is g * (e^{ls W} - 1).
+  EXPECT_NEAR(em_high - em_low, 0.2 * std::expm1(ls * 1500.0) * 1000.0,
+              1e-9 * em_high);
+}
+
+TEST(EPartialTerminal, UpgradesVerificationCost) {
+  const double lf = 1e-6, ls = 1e-5;
+  const Interval seg = make(1500.0, lf, ls);
+  const LeftContext left{100.0, 10.0, 50.0, 20.0};
+  const double v = 0.154, vstar = 15.4, g = 0.2;
+  const double base = e_minus_segment(seg, lf, v, g, left, left.r_mem);
+  EXPECT_NEAR(e_partial_terminal(seg, lf, v, vstar, g, left),
+              base + std::exp((lf + ls) * 1500.0) * (vstar - v), 1e-9);
+}
+
+}  // namespace
+}  // namespace chainckpt::analysis

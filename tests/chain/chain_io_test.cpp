@@ -1,0 +1,87 @@
+#include "chain/chain_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "chain/patterns.hpp"
+
+namespace chainckpt::chain {
+namespace {
+
+TEST(ChainIo, ParsesNamedAndUnnamedLines) {
+  const auto c = chain_from_text(
+      "# pipeline\n"
+      "align 5200\n"
+      "800\n"
+      "call-snv 9400  # heavy step\n"
+      "\n");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.task(1).name, "align");
+  EXPECT_DOUBLE_EQ(c.weight(1), 5200.0);
+  EXPECT_EQ(c.task(2).name, "T2");  // auto-named
+  EXPECT_DOUBLE_EQ(c.weight(2), 800.0);
+  EXPECT_EQ(c.task(3).name, "call-snv");
+  EXPECT_DOUBLE_EQ(c.total_weight(), 15400.0);
+}
+
+TEST(ChainIo, TextRoundTrip) {
+  const auto original = make_decrease(7, 12345.0);
+  const auto parsed = chain_from_text(chain_to_text(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 1; i <= original.size(); ++i) {
+    EXPECT_NEAR(parsed.weight(i), original.weight(i),
+                1e-9 * original.weight(i));
+    EXPECT_EQ(parsed.task(i).name, original.task(i).name);
+  }
+}
+
+TEST(ChainIo, RejectsMalformedText) {
+  EXPECT_THROW(chain_from_text(""), std::invalid_argument);
+  EXPECT_THROW(chain_from_text("# only comments\n"),
+               std::invalid_argument);
+  EXPECT_THROW(chain_from_text("task notanumber\n"),
+               std::invalid_argument);
+  EXPECT_THROW(chain_from_text("a b c\n"), std::invalid_argument);
+  EXPECT_THROW(chain_from_text("task -5\n"), std::invalid_argument);
+  EXPECT_THROW(chain_from_text("task 0\n"), std::invalid_argument);
+}
+
+TEST(ChainIo, CsvRoundTrip) {
+  const auto original = make_uniform(5, 1000.0);
+  const auto parsed = chain_from_csv(chain_to_csv(original));
+  ASSERT_EQ(parsed.size(), 5u);
+  for (std::size_t i = 1; i <= 5; ++i)
+    EXPECT_DOUBLE_EQ(parsed.weight(i), 200.0);
+}
+
+TEST(ChainIo, CsvRejectsMalformedInput) {
+  EXPECT_THROW(chain_from_csv(""), std::invalid_argument);
+  EXPECT_THROW(chain_from_csv("name,weight\n"), std::invalid_argument);
+  EXPECT_THROW(chain_from_csv("name,weight\nnocomma\n"),
+               std::invalid_argument);
+  EXPECT_THROW(chain_from_csv("name,weight\nt,abc\n"),
+               std::invalid_argument);
+}
+
+TEST(ChainIo, FileRoundTripBothFormats) {
+  const auto original = make_highlow(8, 4000.0);
+  for (const char* name : {"chain_io_test.chain", "chain_io_test.csv"}) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    save_chain(path, original);
+    const auto loaded = load_chain(path);
+    ASSERT_EQ(loaded.size(), original.size()) << path;
+    for (std::size_t i = 1; i <= original.size(); ++i)
+      EXPECT_NEAR(loaded.weight(i), original.weight(i), 1e-9) << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ChainIo, MissingFileThrows) {
+  EXPECT_THROW(load_chain("/nonexistent-dir/none.chain"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace chainckpt::chain

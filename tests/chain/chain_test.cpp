@@ -1,0 +1,71 @@
+#include "chain/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace chainckpt::chain {
+namespace {
+
+TEST(TaskChain, BuildsFromWeights) {
+  TaskChain c({1.0, 2.0, 3.0});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.weight(3), 3.0);
+  EXPECT_DOUBLE_EQ(c.total_weight(), 6.0);
+  EXPECT_EQ(c.task(2).name, "T2");
+}
+
+TEST(TaskChain, BuildsFromTasksKeepingNames) {
+  TaskChain c({Task{1.5, "load"}, Task{2.5, ""}});
+  EXPECT_EQ(c.task(1).name, "load");
+  EXPECT_EQ(c.task(2).name, "T2");  // default name filled in
+}
+
+TEST(TaskChain, RejectsNonPositiveWeights) {
+  EXPECT_THROW(TaskChain(std::vector<double>{1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(TaskChain(std::vector<double>{-2.0}), std::invalid_argument);
+  EXPECT_THROW(TaskChain(std::vector<double>{std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+  EXPECT_THROW(TaskChain(std::vector<double>{std::numeric_limits<double>::quiet_NaN()}),
+               std::invalid_argument);
+}
+
+TEST(TaskChain, IndexingIsOneBased) {
+  TaskChain c({1.0, 2.0});
+  EXPECT_THROW(c.task(0), std::invalid_argument);
+  EXPECT_THROW(c.task(3), std::invalid_argument);
+}
+
+TEST(TaskChain, WeightBetweenMatchesPaperDefinition) {
+  // W_{i,j} = sum_{k=i+1..j} w_k.
+  TaskChain c({1.0, 2.0, 4.0, 8.0});
+  EXPECT_DOUBLE_EQ(c.weight_between(0, 4), 15.0);
+  EXPECT_DOUBLE_EQ(c.weight_between(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(c.weight_between(2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(c.weight_between(1, 3), 6.0);   // w2 + w3
+  EXPECT_DOUBLE_EQ(c.weight_between(3, 4), 8.0);   // w4
+  EXPECT_THROW(c.weight_between(3, 2), std::invalid_argument);
+  EXPECT_THROW(c.weight_between(0, 5), std::invalid_argument);
+}
+
+TEST(TaskChain, AdditivityOfIntervals) {
+  TaskChain c({0.5, 1.5, 2.5, 3.5, 4.5});
+  for (std::size_t i = 0; i <= 5; ++i) {
+    for (std::size_t k = i; k <= 5; ++k) {
+      for (std::size_t j = k; j <= 5; ++j) {
+        EXPECT_DOUBLE_EQ(c.weight_between(i, j),
+                         c.weight_between(i, k) + c.weight_between(k, j));
+      }
+    }
+  }
+}
+
+TEST(TaskChain, Describe) {
+  TaskChain c({10.0, 20.0});
+  EXPECT_EQ(c.describe(), "n=2, W=30");
+}
+
+}  // namespace
+}  // namespace chainckpt::chain

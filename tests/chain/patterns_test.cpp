@@ -1,0 +1,118 @@
+#include "chain/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace chainckpt::chain {
+namespace {
+
+constexpr double kW = 25000.0;  // the paper's total computational weight
+
+TEST(Patterns, NamesRoundTrip) {
+  for (Pattern p :
+       {Pattern::kUniform, Pattern::kDecrease, Pattern::kHighLow}) {
+    EXPECT_EQ(pattern_from_string(to_string(p)), p);
+  }
+  EXPECT_THROW(pattern_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Patterns, UniformSharesWeightEqually) {
+  const auto c = make_uniform(50, kW);
+  EXPECT_EQ(c.size(), 50u);
+  EXPECT_NEAR(c.total_weight(), kW, 1e-9);
+  for (std::size_t i = 1; i <= 50; ++i)
+    EXPECT_DOUBLE_EQ(c.weight(i), kW / 50.0);
+}
+
+TEST(Patterns, DecreaseIsQuadraticallyDecreasing) {
+  const auto c = make_decrease(50, kW);
+  EXPECT_NEAR(c.total_weight(), kW, 1e-8);
+  for (std::size_t i = 1; i < 50; ++i)
+    EXPECT_GT(c.weight(i), c.weight(i + 1));
+  // w_i = alpha (n+1-i)^2: the ratio of first to last is n^2.
+  EXPECT_NEAR(c.weight(1) / c.weight(50), 2500.0, 1e-6);
+}
+
+TEST(Patterns, HighLowMatchesPaperConfiguration) {
+  // n = 50: the first 5 tasks (10%) carry 60% of 25000s -> 3000s each; the
+  // remaining 45 tasks share 40% -> ~222s each (values quoted in the
+  // paper's HighLow discussion).
+  const auto c = make_highlow(50, kW);
+  EXPECT_NEAR(c.total_weight(), kW, 1e-9);
+  for (std::size_t i = 1; i <= 5; ++i) EXPECT_NEAR(c.weight(i), 3000.0, 1e-9);
+  for (std::size_t i = 6; i <= 50; ++i)
+    EXPECT_NEAR(c.weight(i), 10000.0 / 45.0, 1e-9);
+}
+
+TEST(Patterns, HighLowAlwaysHasALargeTask) {
+  // Even when fraction_large * n rounds to zero.
+  const auto c = make_highlow(5, kW);
+  EXPECT_NEAR(c.weight(1), 0.6 * kW, 1e-9);
+}
+
+TEST(Patterns, HighLowDegeneratesGracefullyAtN1) {
+  const auto c = make_highlow(1, kW);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c.total_weight(), kW, 1e-9);
+}
+
+TEST(Patterns, HighLowRejectsBadFractions) {
+  EXPECT_THROW(make_highlow(10, kW, 0.0, 0.6), std::invalid_argument);
+  EXPECT_THROW(make_highlow(10, kW, 1.0, 0.6), std::invalid_argument);
+  EXPECT_THROW(make_highlow(10, kW, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_highlow(10, kW, 0.1, 1.0), std::invalid_argument);
+}
+
+TEST(Patterns, MakePatternDispatches) {
+  EXPECT_DOUBLE_EQ(make_pattern(Pattern::kUniform, 10, kW).weight(1),
+                   kW / 10.0);
+  EXPECT_GT(make_pattern(Pattern::kDecrease, 10, kW).weight(1),
+            make_pattern(Pattern::kDecrease, 10, kW).weight(10));
+  EXPECT_GT(make_pattern(Pattern::kHighLow, 10, kW).weight(1),
+            make_pattern(Pattern::kHighLow, 10, kW).weight(10));
+}
+
+TEST(Patterns, RejectBadArguments) {
+  EXPECT_THROW(make_uniform(0, kW), std::invalid_argument);
+  EXPECT_THROW(make_uniform(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_uniform(10, -1.0), std::invalid_argument);
+}
+
+TEST(Patterns, RandomSumsToTotalAndRespectsBounds) {
+  util::Xoshiro256 rng(123);
+  const auto c = make_random(40, kW, rng, 0.5, 2.0);
+  EXPECT_NEAR(c.total_weight(), kW, 1e-8);
+  // After rescaling, the max/min ratio stays within the factor bounds.
+  double lo = c.weight(1), hi = c.weight(1);
+  for (std::size_t i = 2; i <= 40; ++i) {
+    lo = std::min(lo, c.weight(i));
+    hi = std::max(hi, c.weight(i));
+  }
+  EXPECT_LE(hi / lo, 4.0 + 1e-9);
+  EXPECT_THROW(make_random(10, kW, rng, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_random(10, kW, rng, 2.0, 1.0), std::invalid_argument);
+}
+
+/// Property: every pattern distributes exactly the requested weight over
+/// exactly n tasks, for all n the paper sweeps.
+class PatternTotals
+    : public ::testing::TestWithParam<std::tuple<Pattern, std::size_t>> {};
+
+TEST_P(PatternTotals, SizeAndTotalWeight) {
+  const auto [pattern, n] = GetParam();
+  const auto c = make_pattern(pattern, n, kW);
+  EXPECT_EQ(c.size(), n);
+  EXPECT_NEAR(c.total_weight(), kW, 1e-7);
+  for (std::size_t i = 1; i <= n; ++i) EXPECT_GT(c.weight(i), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatternsAllSizes, PatternTotals,
+    ::testing::Combine(::testing::Values(Pattern::kUniform,
+                                         Pattern::kDecrease,
+                                         Pattern::kHighLow),
+                       ::testing::Values(1u, 2u, 3u, 5u, 10u, 25u, 50u)));
+
+}  // namespace
+}  // namespace chainckpt::chain

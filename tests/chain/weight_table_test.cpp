@@ -1,0 +1,72 @@
+#include "chain/weight_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "chain/patterns.hpp"
+
+namespace chainckpt::chain {
+namespace {
+
+TEST(WeightTable, WeightsMatchChain) {
+  TaskChain c({1.0, 2.0, 4.0});
+  WeightTable t(c, 1e-6, 2e-6);
+  for (std::size_t i = 0; i <= 3; ++i)
+    for (std::size_t j = i; j <= 3; ++j)
+      EXPECT_DOUBLE_EQ(t.weight(i, j), c.weight_between(i, j));
+}
+
+TEST(WeightTable, ExpValuesMatchDirectComputation) {
+  TaskChain c({100.0, 500.0, 1000.0, 250.0});
+  const double lf = 9.46e-7, ls = 3.38e-6;
+  WeightTable t(c, lf, ls);
+  for (std::size_t i = 0; i <= 4; ++i) {
+    for (std::size_t j = i; j <= 4; ++j) {
+      const double w = c.weight_between(i, j);
+      EXPECT_NEAR(t.em1_f(i, j), std::expm1(lf * w), 1e-18);
+      EXPECT_NEAR(t.em1_s(i, j), std::expm1(ls * w), 1e-18);
+      EXPECT_NEAR(t.exp_f(i, j), std::exp(lf * w), 1e-12);
+      EXPECT_NEAR(t.exp_s(i, j), std::exp(ls * w), 1e-12);
+      EXPECT_NEAR(t.exp_fs(i, j), std::exp((lf + ls) * w), 1e-12);
+    }
+  }
+}
+
+TEST(WeightTable, CombinedEm1HasNoCancellation) {
+  // em1_fs must stay fully accurate where exp_f*exp_s - 1 would lose
+  // precision: tiny rates over short intervals.
+  TaskChain c(std::vector<double>{1.0});
+  WeightTable t(c, 1e-9, 1e-9);
+  // expm1(2e-9) = 2e-9 + 2e-18 + ...; the assembled form must keep the
+  // second-order term that exp_f * exp_s - 1 would destroy.
+  EXPECT_NEAR(t.em1_fs(0, 1), std::expm1(2e-9), 1e-24);
+}
+
+TEST(WeightTable, ZeroRatesGiveZeroEm1) {
+  TaskChain c({1000.0, 2000.0});
+  WeightTable t(c, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(t.em1_f(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(t.em1_s(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(t.exp_fs(0, 2), 1.0);
+}
+
+TEST(WeightTable, RejectsNegativeRates) {
+  TaskChain c(std::vector<double>{1.0});
+  EXPECT_THROW(WeightTable(c, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(WeightTable(c, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(WeightTable, DiagonalIsIdentity) {
+  const auto c = make_uniform(20, 25000.0);
+  WeightTable t(c, 1e-6, 1e-5);
+  for (std::size_t i = 0; i <= 20; ++i) {
+    EXPECT_DOUBLE_EQ(t.weight(i, i), 0.0);
+    EXPECT_DOUBLE_EQ(t.em1_f(i, i), 0.0);
+    EXPECT_DOUBLE_EQ(t.exp_s(i, i), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace chainckpt::chain

@@ -1,0 +1,111 @@
+#include "core/dp_single_level.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/evaluator.hpp"
+#include "chain/patterns.hpp"
+#include "core/brute_force.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+platform::CostModel hera_costs() {
+  return platform::CostModel(platform::hera());
+}
+
+TEST(SingleLevelDp, PlanIsStructurallyValidSingleLevel) {
+  const auto chain = chain::make_uniform(20, 25000.0);
+  const auto result = optimize_single_level(chain, hera_costs());
+  result.plan.validate();
+  // Single level: every memory checkpoint is bundled with a disk one.
+  EXPECT_EQ(result.plan.memory_positions(), result.plan.disk_positions());
+  EXPECT_FALSE(result.plan.uses_partial_verifications());
+}
+
+TEST(SingleLevelDp, ValueMatchesEvaluatorOnExtractedPlan) {
+  for (std::size_t n : {1u, 3u, 10u, 30u}) {
+    const auto chain = chain::make_uniform(n, 25000.0);
+    const auto result = optimize_single_level(chain, hera_costs());
+    const analysis::PlanEvaluator ev(chain, hera_costs());
+    EXPECT_NEAR(ev.expected_makespan(result.plan,
+                                     analysis::FormulaMode::kTwoLevel),
+                result.expected_makespan,
+                1e-9 * result.expected_makespan)
+        << "n=" << n;
+  }
+}
+
+TEST(SingleLevelDp, MatchesBruteForceOnRestrictedSpace) {
+  // Oracle: exhaustive search over plans with only {none, V*, D} interior
+  // actions must agree with the DP.
+  const auto chain = chain::make_decrease(7, 25000.0);
+  const auto dp = optimize_single_level(chain, hera_costs());
+  BruteForceOptions options;
+  options.allow_memory = false;
+  options.allow_partial = false;
+  options.mode = analysis::FormulaMode::kTwoLevel;
+  const auto bf = brute_force_optimize(chain, hera_costs(), options);
+  EXPECT_NEAR(dp.expected_makespan, bf.expected_makespan,
+              1e-9 * bf.expected_makespan);
+}
+
+TEST(SingleLevelDp, AdBaselineNeverBeatsAdvStar) {
+  // AD's plan space is a subset of ADV*'s.
+  for (std::size_t n : {2u, 5u, 15u}) {
+    const auto chain = chain::make_uniform(n, 25000.0);
+    const auto adv = optimize_single_level(chain, hera_costs());
+    const auto ad = optimize_single_level(
+        chain, hera_costs(), {.allow_extra_verifications = false});
+    EXPECT_LE(adv.expected_makespan,
+              ad.expected_makespan * (1.0 + 1e-12))
+        << "n=" << n;
+    // AD must place no bare verifications.
+    for (std::size_t i = 1; i < n; ++i) {
+      EXPECT_NE(ad.plan.action(i), plan::Action::kGuaranteedVerif);
+    }
+  }
+}
+
+TEST(SingleLevelDp, AdMatchesBruteForceOnItsSpace) {
+  const auto chain = chain::make_uniform(8, 25000.0);
+  const auto ad = optimize_single_level(
+      chain, hera_costs(), {.allow_extra_verifications = false});
+  BruteForceOptions options;
+  options.allow_guaranteed = false;
+  options.allow_memory = false;
+  options.allow_partial = false;
+  options.mode = analysis::FormulaMode::kTwoLevel;
+  const auto bf = brute_force_optimize(chain, hera_costs(), options);
+  EXPECT_NEAR(ad.expected_makespan, bf.expected_makespan,
+              1e-9 * bf.expected_makespan);
+}
+
+TEST(SingleLevelDp, SingleTaskHasOnlyTheFinalBundle) {
+  const auto chain = chain::make_uniform(1, 25000.0);
+  const auto result = optimize_single_level(chain, hera_costs());
+  EXPECT_EQ(result.plan.action(1), plan::Action::kDiskCheckpoint);
+  EXPECT_GT(result.expected_makespan, 25000.0);
+}
+
+TEST(SingleLevelDp, ExpensiveCheckpointsSuppressInteriorPlacements) {
+  platform::Platform p = platform::hera();
+  p.c_disk = 1e7;  // absurdly expensive disk checkpoints
+  p.r_disk = p.c_disk;
+  const auto chain = chain::make_uniform(20, 25000.0);
+  const auto result =
+      optimize_single_level(chain, platform::CostModel(p));
+  EXPECT_EQ(result.plan.interior_counts().disk, 0u);
+}
+
+TEST(SingleLevelDp, HighSilentRateForcesManyVerifications) {
+  platform::Platform p = platform::hera();
+  p.lambda_s = 1e-3;  // silent error virtually every task
+  const auto chain = chain::make_uniform(20, 25000.0);
+  const auto result =
+      optimize_single_level(chain, platform::CostModel(p));
+  EXPECT_GT(result.plan.interior_counts().guaranteed, 10u);
+}
+
+}  // namespace
+}  // namespace chainckpt::core

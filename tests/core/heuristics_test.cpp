@@ -1,0 +1,91 @@
+#include "core/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/evaluator.hpp"
+#include "chain/patterns.hpp"
+#include "core/dp_two_level.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+TEST(PeriodicPlan, PlacesActionsAtMultiples) {
+  const auto p = make_periodic_plan(12, /*pv=*/2, /*pm=*/4, /*pd=*/8);
+  EXPECT_EQ(p.action(2), plan::Action::kGuaranteedVerif);
+  EXPECT_EQ(p.action(4), plan::Action::kMemoryCheckpoint);
+  EXPECT_EQ(p.action(6), plan::Action::kGuaranteedVerif);
+  EXPECT_EQ(p.action(8), plan::Action::kDiskCheckpoint);
+  EXPECT_EQ(p.action(3), plan::Action::kNone);
+  EXPECT_EQ(p.action(12), plan::Action::kDiskCheckpoint);  // final bundle
+  p.validate();
+}
+
+TEST(PeriodicPlan, ZeroPeriodsDisableLevels) {
+  const auto p = make_periodic_plan(10, 0, 0, 0);
+  for (std::size_t i = 1; i < 10; ++i)
+    EXPECT_EQ(p.action(i), plan::Action::kNone);
+}
+
+TEST(PeriodicSearch, NeverBeatsTheDp) {
+  for (const auto& platform : platform::table1_platforms()) {
+    const platform::CostModel costs(platform);
+    const auto chain = chain::make_uniform(20, 25000.0);
+    const auto dp = optimize_two_level(chain, costs);
+    const auto heuristic = optimize_periodic(chain, costs);
+    EXPECT_GE(heuristic.expected_makespan,
+              dp.expected_makespan * (1.0 - 1e-12))
+        << platform.name;
+  }
+}
+
+TEST(PeriodicSearch, IsCloseToOptimalOnUniformChains) {
+  // On uniform chains the optimum is near-periodic, so the gap should be
+  // small (a regression guard, not a theorem).
+  const platform::CostModel costs(platform::hera());
+  const auto chain = chain::make_uniform(30, 25000.0);
+  const auto dp = optimize_two_level(chain, costs);
+  const auto heuristic = optimize_periodic(chain, costs);
+  EXPECT_LT(heuristic.expected_makespan,
+            dp.expected_makespan * 1.01);
+}
+
+TEST(PeriodicSearch, ValueMatchesEvaluator) {
+  const platform::CostModel costs(platform::coastal());
+  const auto chain = chain::make_decrease(15, 25000.0);
+  const auto result = optimize_periodic(chain, costs);
+  const analysis::PlanEvaluator ev(chain, costs);
+  EXPECT_NEAR(ev.expected_makespan(result.plan), result.expected_makespan,
+              1e-9 * result.expected_makespan);
+}
+
+TEST(DalyPlan, ProducesValidPlanAndHonestValue) {
+  const platform::CostModel costs(platform::hera());
+  const auto chain = chain::make_uniform(40, 25000.0);
+  const auto result = optimize_daly(chain, costs);
+  result.plan.validate();
+  const analysis::PlanEvaluator ev(chain, costs);
+  EXPECT_NEAR(ev.expected_makespan(result.plan), result.expected_makespan,
+              1e-9 * result.expected_makespan);
+}
+
+TEST(DalyPlan, NeverBeatsTheDp) {
+  const platform::CostModel costs(platform::atlas());
+  const auto chain = chain::make_uniform(40, 25000.0);
+  const auto dp = optimize_two_level(chain, costs);
+  const auto daly = optimize_daly(chain, costs);
+  EXPECT_GE(daly.expected_makespan, dp.expected_makespan * (1.0 - 1e-12));
+}
+
+TEST(DalyPlan, ZeroRatesPlaceNothing) {
+  platform::Platform p = platform::hera();
+  p.lambda_f = 0.0;
+  p.lambda_s = 0.0;
+  const auto chain = chain::make_uniform(10, 25000.0);
+  const auto result = optimize_daly(chain, platform::CostModel(p));
+  const auto counts = result.plan.interior_counts();
+  EXPECT_EQ(counts.disk + counts.memory + counts.guaranteed, 0u);
+}
+
+}  // namespace
+}  // namespace chainckpt::core

@@ -1,0 +1,170 @@
+// The library's strongest correctness evidence: the dynamic programs must
+// match exhaustive search over their exact plan spaces, across platforms,
+// patterns, and perturbed cost models.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "analysis/evaluator.hpp"
+#include "chain/patterns.hpp"
+#include "core/brute_force.hpp"
+#include "core/dp_partial.hpp"
+#include "core/dp_single_level.hpp"
+#include "core/dp_two_level.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+using Param = std::tuple<std::string, chain::Pattern, std::size_t>;
+
+class DpOptimality : public ::testing::TestWithParam<Param> {
+ protected:
+  platform::Platform plat() const {
+    return platform::by_name(std::get<0>(GetParam()));
+  }
+  chain::TaskChain chain() const {
+    return chain::make_pattern(std::get<1>(GetParam()),
+                               std::get<2>(GetParam()), 25000.0);
+  }
+};
+
+TEST_P(DpOptimality, TwoLevelMatchesBruteForce) {
+  const auto c = chain();
+  const platform::CostModel costs(plat());
+  const auto dp = optimize_two_level(c, costs);
+  BruteForceOptions options;
+  options.allow_partial = false;
+  options.mode = analysis::FormulaMode::kTwoLevel;
+  const auto bf = brute_force_optimize(c, costs, options);
+  EXPECT_NEAR(dp.expected_makespan, bf.expected_makespan,
+              1e-9 * bf.expected_makespan);
+}
+
+TEST_P(DpOptimality, PartialMatchesBruteForce) {
+  const auto c = chain();
+  if (c.size() > 7) GTEST_SKIP() << "5^(n-1) plans too many";
+  const platform::CostModel costs(plat());
+  const auto dp = optimize_with_partial(c, costs);
+  BruteForceOptions options;
+  options.allow_partial = true;
+  options.mode = analysis::FormulaMode::kPartialFramework;
+  const auto bf = brute_force_optimize(c, costs, options);
+  EXPECT_NEAR(dp.expected_makespan, bf.expected_makespan,
+              1e-9 * bf.expected_makespan);
+}
+
+TEST_P(DpOptimality, SingleLevelMatchesBruteForce) {
+  const auto c = chain();
+  const platform::CostModel costs(plat());
+  const auto dp = optimize_single_level(c, costs);
+  BruteForceOptions options;
+  options.allow_memory = false;
+  options.allow_partial = false;
+  options.mode = analysis::FormulaMode::kTwoLevel;
+  const auto bf = brute_force_optimize(c, costs, options);
+  EXPECT_NEAR(dp.expected_makespan, bf.expected_makespan,
+              1e-9 * bf.expected_makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlatformsPatternsSizes, DpOptimality,
+    ::testing::Combine(::testing::Values("Hera", "Atlas", "CoastalSSD"),
+                       ::testing::Values(chain::Pattern::kUniform,
+                                         chain::Pattern::kDecrease,
+                                         chain::Pattern::kHighLow),
+                       ::testing::Values(3u, 6u, 8u)));
+
+TEST(DpOptimality, AmplifiedErrorRatesStillMatchBruteForce) {
+  // Crank the rates far beyond realistic values so errors dominate; the
+  // DP must stay exact where the expected numbers of rollbacks are large.
+  platform::Platform p = platform::hera();
+  p.lambda_f *= 200.0;
+  p.lambda_s *= 200.0;
+  const platform::CostModel costs(p);
+  const auto c = chain::make_uniform(6, 25000.0);
+  {
+    const auto dp = optimize_two_level(c, costs);
+    BruteForceOptions options;
+    options.mode = analysis::FormulaMode::kTwoLevel;
+    const auto bf = brute_force_optimize(c, costs, options);
+    EXPECT_NEAR(dp.expected_makespan, bf.expected_makespan,
+                1e-9 * bf.expected_makespan);
+  }
+  {
+    const auto dp = optimize_with_partial(c, costs);
+    BruteForceOptions options;
+    options.allow_partial = true;
+    options.mode = analysis::FormulaMode::kPartialFramework;
+    const auto bf = brute_force_optimize(c, costs, options);
+    EXPECT_NEAR(dp.expected_makespan, bf.expected_makespan,
+                1e-9 * bf.expected_makespan);
+  }
+}
+
+TEST(DpOptimality, PerPositionCostsMatchBruteForce) {
+  // The extension beyond the paper: position-dependent costs.
+  platform::Platform p = platform::atlas();
+  const std::size_t n = 6;
+  std::vector<double> c_disk{500, 100, 700, 50, 900, 439};
+  std::vector<double> c_mem{9, 1, 20, 2, 30, 9};
+  std::vector<double> v_g{9, 1, 20, 2, 30, 9};
+  std::vector<double> v_p{0.1, 0.01, 0.2, 0.02, 0.3, 0.09};
+  const platform::CostModel costs(p, c_disk, c_mem, v_g, v_p);
+  const auto c = chain::make_decrease(n, 25000.0);
+  {
+    const auto dp = optimize_two_level(c, costs);
+    BruteForceOptions options;
+    options.mode = analysis::FormulaMode::kTwoLevel;
+    const auto bf = brute_force_optimize(c, costs, options);
+    EXPECT_NEAR(dp.expected_makespan, bf.expected_makespan,
+                1e-9 * bf.expected_makespan);
+  }
+  {
+    const auto dp = optimize_with_partial(c, costs);
+    BruteForceOptions options;
+    options.allow_partial = true;
+    options.mode = analysis::FormulaMode::kPartialFramework;
+    const auto bf = brute_force_optimize(c, costs, options);
+    EXPECT_NEAR(dp.expected_makespan, bf.expected_makespan,
+                1e-9 * bf.expected_makespan);
+  }
+}
+
+TEST(DpOptimality, RandomChainsMatchBruteForce) {
+  util::Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto c = chain::make_random(6, 25000.0, rng);
+    const platform::CostModel costs(platform::coastal());
+    const auto dp = optimize_with_partial(c, costs);
+    BruteForceOptions options;
+    options.allow_partial = true;
+    options.mode = analysis::FormulaMode::kPartialFramework;
+    const auto bf = brute_force_optimize(c, costs, options);
+    EXPECT_NEAR(dp.expected_makespan, bf.expected_makespan,
+                1e-9 * bf.expected_makespan)
+        << "trial " << trial;
+  }
+}
+
+TEST(BruteForce, CountsThePlanSpace) {
+  const auto c = chain::make_uniform(5, 1000.0);
+  const platform::CostModel costs(platform::hera());
+  BruteForceOptions options;
+  options.allow_partial = true;
+  const auto bf = brute_force_optimize(c, costs, options);
+  EXPECT_EQ(bf.plans_evaluated, 625u);  // 5^4
+  BruteForceOptions no_partial;
+  const auto bf2 = brute_force_optimize(c, costs, no_partial);
+  EXPECT_EQ(bf2.plans_evaluated, 256u);  // 4^4
+}
+
+TEST(BruteForce, RejectsOversizedChains) {
+  const auto c = chain::make_uniform(20, 1000.0);
+  const platform::CostModel costs(platform::hera());
+  EXPECT_THROW(brute_force_optimize(c, costs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chainckpt::core

@@ -1,0 +1,80 @@
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "chain/patterns.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+TEST(Optimizer, NamesRoundTrip) {
+  for (Algorithm a : {Algorithm::kAD, Algorithm::kADVstar,
+                      Algorithm::kADMVstar, Algorithm::kADMV,
+                      Algorithm::kPeriodic, Algorithm::kDaly}) {
+    EXPECT_EQ(algorithm_from_string(to_string(a)), a);
+  }
+  EXPECT_EQ(algorithm_from_string("adv"), Algorithm::kADVstar);
+  EXPECT_EQ(algorithm_from_string("admv_star"), Algorithm::kADMVstar);
+  EXPECT_THROW(algorithm_from_string("simplex"), std::invalid_argument);
+}
+
+TEST(Optimizer, PaperAlgorithmsInOrder) {
+  const auto algos = paper_algorithms();
+  ASSERT_EQ(algos.size(), 3u);
+  EXPECT_EQ(algos[0], Algorithm::kADVstar);
+  EXPECT_EQ(algos[1], Algorithm::kADMVstar);
+  EXPECT_EQ(algos[2], Algorithm::kADMV);
+}
+
+TEST(Optimizer, DispatchesEveryAlgorithm) {
+  const auto chain = chain::make_uniform(10, 25000.0);
+  const platform::CostModel costs(platform::hera());
+  for (Algorithm a : {Algorithm::kAD, Algorithm::kADVstar,
+                      Algorithm::kADMVstar, Algorithm::kADMV,
+                      Algorithm::kPeriodic, Algorithm::kDaly}) {
+    const auto result = optimize(a, chain, costs);
+    result.plan.validate();
+    EXPECT_GT(result.expected_makespan, 25000.0) << to_string(a);
+  }
+}
+
+TEST(Optimizer, HierarchyOfPlanSpacesHolds) {
+  // AD >= ADV* >= ADMV* and periodic/Daly >= ADMV* on every platform.
+  for (const auto& platform : platform::table1_platforms()) {
+    const platform::CostModel costs(platform);
+    const auto chain = chain::make_uniform(25, 25000.0);
+    const double ad = optimize(Algorithm::kAD, chain, costs).expected_makespan;
+    const double adv =
+        optimize(Algorithm::kADVstar, chain, costs).expected_makespan;
+    const double admv_star =
+        optimize(Algorithm::kADMVstar, chain, costs).expected_makespan;
+    const double periodic =
+        optimize(Algorithm::kPeriodic, chain, costs).expected_makespan;
+    const double daly =
+        optimize(Algorithm::kDaly, chain, costs).expected_makespan;
+    EXPECT_LE(adv, ad * (1 + 1e-12)) << platform.name;
+    EXPECT_LE(admv_star, adv * (1 + 1e-12)) << platform.name;
+    EXPECT_LE(admv_star, periodic * (1 + 1e-12)) << platform.name;
+    EXPECT_LE(admv_star, daly * (1 + 1e-12)) << platform.name;
+  }
+}
+
+TEST(Optimizer, AdmvBeatsAdmvStarAtPaperScale) {
+  // At n = 50 with realistic parameters the partial-verification algorithm
+  // is at least as good as ADMV* on every platform (paper Figure 5).
+  for (const auto& platform : platform::table1_platforms()) {
+    const platform::CostModel costs(platform);
+    const auto chain = chain::make_uniform(50, 25000.0);
+    const double admv =
+        optimize(Algorithm::kADMV, chain, costs).expected_makespan;
+    const double admv_star =
+        optimize(Algorithm::kADMVstar, chain, costs).expected_makespan;
+    EXPECT_LE(admv, admv_star * (1 + 1e-9)) << platform.name;
+  }
+}
+
+}  // namespace
+}  // namespace chainckpt::core

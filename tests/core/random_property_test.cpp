@@ -1,0 +1,108 @@
+// Randomized dominance properties at sizes far beyond brute force:
+// the DP optimum must never lose to any sampled valid plan of its class.
+#include <gtest/gtest.h>
+
+#include "analysis/evaluator.hpp"
+#include "chain/patterns.hpp"
+#include "core/dp_partial.hpp"
+#include "core/dp_two_level.hpp"
+#include "platform/registry.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+/// Draws a structurally valid random plan.  Action probabilities are
+/// skewed toward kNone so the samples resemble plausible plans rather
+/// than checkpoint-everything noise.
+plan::ResiliencePlan random_plan(std::size_t n, util::Xoshiro256& rng,
+                                 bool allow_partials) {
+  plan::ResiliencePlan plan(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double u = rng.uniform01();
+    if (u < 0.55) continue;
+    if (allow_partials && u < 0.75) {
+      plan.set_action(i, plan::Action::kPartialVerif);
+    } else if (u < 0.87) {
+      plan.set_action(i, plan::Action::kGuaranteedVerif);
+    } else if (u < 0.96) {
+      plan.set_action(i, plan::Action::kMemoryCheckpoint);
+    } else {
+      plan.set_action(i, plan::Action::kDiskCheckpoint);
+    }
+  }
+  return plan;
+}
+
+class RandomDominance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RandomDominance, TwoLevelDominatesSampledPlans) {
+  const auto platform = platform::by_name(GetParam());
+  const platform::CostModel costs(platform);
+  util::Xoshiro256 rng(0xABCDEF);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto chain = chain::make_random(24, 25000.0, rng);
+    const analysis::PlanEvaluator evaluator(chain, costs);
+    const auto dp = optimize_two_level(chain, costs);
+    for (int sample = 0; sample < 60; ++sample) {
+      const auto candidate = random_plan(24, rng, /*allow_partials=*/false);
+      const double value = evaluator.expected_makespan(
+          candidate, analysis::FormulaMode::kTwoLevel);
+      EXPECT_LE(dp.expected_makespan, value * (1.0 + 1e-12))
+          << "trial " << trial << " sample " << sample << " plan "
+          << candidate.compact_string();
+    }
+  }
+}
+
+TEST_P(RandomDominance, PartialDpDominatesSampledPlans) {
+  const auto platform = platform::by_name(GetParam());
+  const platform::CostModel costs(platform);
+  util::Xoshiro256 rng(0x123456);
+  for (int trial = 0; trial < 2; ++trial) {
+    const auto chain = chain::make_random(18, 25000.0, rng);
+    const analysis::PlanEvaluator evaluator(chain, costs);
+    const auto dp = optimize_with_partial(chain, costs);
+    for (int sample = 0; sample < 40; ++sample) {
+      const auto candidate = random_plan(18, rng, /*allow_partials=*/true);
+      const double value = evaluator.expected_makespan(
+          candidate, analysis::FormulaMode::kPartialFramework);
+      EXPECT_LE(dp.expected_makespan, value * (1.0 + 1e-12))
+          << "trial " << trial << " sample " << sample << " plan "
+          << candidate.compact_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, RandomDominance,
+                         ::testing::Values("Hera", "Atlas", "Coastal",
+                                           "CoastalSSD"));
+
+TEST(RandomDominance, HoldsUnderRandomPerPositionCosts) {
+  util::Xoshiro256 rng(777);
+  const std::size_t n = 16;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto chain = chain::make_random(n, 25000.0, rng);
+    std::vector<double> cd(n), cm(n), vg(n), vp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cd[i] = 100.0 + 900.0 * rng.uniform01();
+      cm[i] = 2.0 + 30.0 * rng.uniform01();
+      vg[i] = 2.0 + 30.0 * rng.uniform01();
+      vp[i] = vg[i] / 100.0;
+    }
+    const platform::CostModel costs(platform::hera(), cd, cm, vg, vp);
+    const analysis::PlanEvaluator evaluator(chain, costs);
+    const auto dp = optimize_two_level(chain, costs);
+    for (int sample = 0; sample < 40; ++sample) {
+      const auto candidate = random_plan(n, rng, false);
+      EXPECT_LE(dp.expected_makespan,
+                evaluator.expected_makespan(
+                    candidate, analysis::FormulaMode::kTwoLevel) *
+                    (1.0 + 1e-12))
+          << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chainckpt::core

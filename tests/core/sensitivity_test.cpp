@@ -1,0 +1,79 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/patterns.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+TEST(Sensitivity, ReportsAllParameters) {
+  const auto chain = chain::make_uniform(20, 25000.0);
+  const auto rows = parameter_sensitivity(chain, platform::hera());
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0].parameter, "lambda_f");
+  EXPECT_EQ(rows[1].parameter, "lambda_s");
+  EXPECT_EQ(rows.back().parameter, "miss g = 1-r");
+}
+
+TEST(Sensitivity, SignsAreEconomicallySane) {
+  // Every parameter is a "bad": more errors, costlier mechanisms, or a
+  // blinder detector can never reduce the optimized makespan.
+  const auto chain = chain::make_uniform(20, 25000.0);
+  for (const auto& platform :
+       {platform::hera(), platform::coastal_ssd()}) {
+    for (const auto& row : parameter_sensitivity(chain, platform)) {
+      EXPECT_GE(row.elasticity, -1e-6)
+          << platform.name << " " << row.parameter;
+    }
+  }
+}
+
+TEST(Sensitivity, ErrorRatesDominateVerificationCosts) {
+  // At paper scales the silent-error rate moves the makespan far more
+  // than the partial-verification price.
+  const auto chain = chain::make_uniform(20, 25000.0);
+  const auto rows = parameter_sensitivity(chain, platform::hera());
+  double lambda_s = 0.0, v_partial = 0.0;
+  for (const auto& row : rows) {
+    if (row.parameter == "lambda_s") lambda_s = row.elasticity;
+    if (row.parameter == "V") v_partial = row.elasticity;
+  }
+  EXPECT_GT(lambda_s, v_partial);
+  EXPECT_GT(lambda_s, 0.001);
+}
+
+TEST(Sensitivity, ZeroValuedParameterReportsZeroElasticity) {
+  platform::Platform p = platform::hera();
+  p.lambda_f = 0.0;
+  const auto chain = chain::make_uniform(10, 25000.0);
+  const auto rows = parameter_sensitivity(chain, p);
+  EXPECT_DOUBLE_EQ(rows[0].elasticity, 0.0);  // lambda_f
+  EXPECT_DOUBLE_EQ(rows[0].base_value, 0.0);
+}
+
+TEST(Sensitivity, OptionsAreValidated) {
+  const auto chain = chain::make_uniform(5, 1000.0);
+  SensitivityOptions bad;
+  bad.relative_step = 0.0;
+  EXPECT_THROW(parameter_sensitivity(chain, platform::hera(), bad),
+               std::invalid_argument);
+  bad.relative_step = 0.6;
+  EXPECT_THROW(parameter_sensitivity(chain, platform::hera(), bad),
+               std::invalid_argument);
+}
+
+TEST(Sensitivity, RenderProducesTable) {
+  const auto chain = chain::make_uniform(10, 25000.0);
+  SensitivityOptions options;
+  options.algorithm = Algorithm::kADMVstar;  // faster
+  const auto rows =
+      parameter_sensitivity(chain, platform::atlas(), options);
+  const std::string table = render_sensitivity(rows);
+  EXPECT_NE(table.find("lambda_s"), std::string::npos);
+  EXPECT_NE(table.find("elasticity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chainckpt::core

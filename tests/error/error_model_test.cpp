@@ -1,0 +1,55 @@
+#include "error/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "chain/patterns.hpp"
+
+namespace chainckpt::error {
+namespace {
+
+TEST(ErrorModel, RejectsNegativeRates) {
+  EXPECT_THROW(ErrorModel(-1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ErrorModel(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(ErrorModel, ProbabilitiesMatchPoisson) {
+  const ErrorModel m(9.46e-7, 3.38e-6);
+  EXPECT_NEAR(m.p_fail(25000.0), 1.0 - std::exp(-9.46e-7 * 25000.0), 1e-12);
+  EXPECT_NEAR(m.p_silent(25000.0), 1.0 - std::exp(-3.38e-6 * 25000.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(m.p_fail(0.0), 0.0);
+}
+
+TEST(ErrorModel, PaperQuotedTaskFailureProbabilities) {
+  // HighLow discussion: "a large task [3000s] will fail with probability
+  // 1.3%, as opposed to ... 0.096% for small tasks [~222s]" on Hera
+  // (combined fail-stop + silent probability).
+  const ErrorModel m(9.46e-7, 3.38e-6);
+  const double p_large =
+      1.0 - (1.0 - m.p_fail(3000.0)) * (1.0 - m.p_silent(3000.0));
+  const double p_small =
+      1.0 - (1.0 - m.p_fail(10000.0 / 45.0)) *
+                (1.0 - m.p_silent(10000.0 / 45.0));
+  EXPECT_NEAR(p_large, 0.013, 0.0005);
+  EXPECT_NEAR(p_small, 0.00096, 0.00005);
+}
+
+TEST(ErrorModel, ExpectedTimeLostHalfAtLowRate) {
+  const ErrorModel m(9.46e-7, 0.0);
+  // Paper HighLow discussion: T_lost ~ 1500s for a 3000s task on Hera.
+  EXPECT_NEAR(m.expected_time_lost(3000.0), 1500.0, 1.0);
+}
+
+TEST(ErrorModel, BetweenTasksUsesChainWeights) {
+  const auto c = chain::make_uniform(10, 25000.0);
+  const ErrorModel m(1e-6, 2e-6);
+  EXPECT_NEAR(m.p_fail_between(c, 0, 10), m.p_fail(25000.0), 1e-15);
+  EXPECT_NEAR(m.p_silent_between(c, 4, 6), m.p_silent(5000.0), 1e-15);
+  EXPECT_DOUBLE_EQ(m.p_fail_between(c, 3, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace chainckpt::error

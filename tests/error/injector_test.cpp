@@ -1,0 +1,95 @@
+#include "error/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace chainckpt::error {
+namespace {
+
+TEST(PoissonInjector, NoErrorsWhenRatesAreZero) {
+  PoissonInjector inj(0.0, 0.0, util::Xoshiro256(1));
+  for (int i = 0; i < 1000; ++i) {
+    const auto out = inj.attempt(1e6);
+    EXPECT_FALSE(out.fail_stop_after.has_value());
+    EXPECT_FALSE(out.silent_corruption);
+  }
+}
+
+TEST(PoissonInjector, FailStopFrequencyMatchesModel) {
+  const double lambda = 1e-3, w = 500.0;
+  PoissonInjector inj(lambda, 0.0, util::Xoshiro256(2));
+  const int n = 100000;
+  int fails = 0;
+  double lost = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto out = inj.attempt(w);
+    if (out.fail_stop_after.has_value()) {
+      ++fails;
+      lost += *out.fail_stop_after;
+      EXPECT_GE(*out.fail_stop_after, 0.0);
+      EXPECT_LT(*out.fail_stop_after, w);
+    }
+  }
+  const double p = util::error_probability(lambda, w);
+  EXPECT_NEAR(static_cast<double>(fails) / n, p, 0.006);
+  // Conditional mean of the strike time must match Eq. (3).
+  EXPECT_NEAR(lost / fails, util::expected_time_lost(lambda, w),
+              5.0 /* ~4 sigma of the sample mean */);
+}
+
+TEST(PoissonInjector, SilentFrequencyMatchesModel) {
+  const double lambda = 2e-3, w = 300.0;
+  PoissonInjector inj(0.0, lambda, util::Xoshiro256(3));
+  const int n = 100000;
+  int corrupt = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto out = inj.attempt(w);
+    EXPECT_FALSE(out.fail_stop_after.has_value());
+    if (out.silent_corruption) ++corrupt;
+  }
+  EXPECT_NEAR(static_cast<double>(corrupt) / n,
+              util::error_probability(lambda, w), 0.006);
+}
+
+TEST(PoissonInjector, FailStopSuppressesSilentReporting) {
+  // When the attempt crashes, corruption of the wiped memory is moot and
+  // must not be reported.
+  PoissonInjector inj(1.0, 1.0, util::Xoshiro256(4));
+  for (int i = 0; i < 1000; ++i) {
+    const auto out = inj.attempt(100.0);
+    if (out.fail_stop_after.has_value()) {
+      EXPECT_FALSE(out.silent_corruption);
+    }
+  }
+}
+
+TEST(PoissonInjector, PartialVerificationRecall) {
+  PoissonInjector inj(0.0, 0.0, util::Xoshiro256(5));
+  const int n = 100000;
+  int detected = 0;
+  for (int i = 0; i < n; ++i)
+    if (inj.partial_verification_detects(0.8)) ++detected;
+  EXPECT_NEAR(static_cast<double>(detected) / n, 0.8, 0.006);
+  EXPECT_TRUE(inj.partial_verification_detects(1.0));
+  EXPECT_FALSE(inj.partial_verification_detects(0.0));
+}
+
+TEST(PoissonInjector, DeterministicForSameStream) {
+  PoissonInjector a(1e-3, 1e-3, util::Xoshiro256::stream(7, 0));
+  PoissonInjector b(1e-3, 1e-3, util::Xoshiro256::stream(7, 0));
+  for (int i = 0; i < 100; ++i) {
+    const auto oa = a.attempt(100.0);
+    const auto ob = b.attempt(100.0);
+    EXPECT_EQ(oa.fail_stop_after.has_value(), ob.fail_stop_after.has_value());
+    if (oa.fail_stop_after.has_value()) {
+      EXPECT_DOUBLE_EQ(*oa.fail_stop_after, *ob.fail_stop_after);
+    }
+    EXPECT_EQ(oa.silent_corruption, ob.silent_corruption);
+  }
+}
+
+}  // namespace
+}  // namespace chainckpt::error

@@ -1,0 +1,106 @@
+// Full-pipeline integration: pattern -> optimizer -> serialization ->
+// evaluator -> Monte-Carlo, with every stage agreeing with the others.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "analysis/breakdown.hpp"
+#include "analysis/evaluator.hpp"
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "plan/plan_io.hpp"
+#include "plan/render.hpp"
+#include "platform/registry.hpp"
+#include "report/emit.hpp"
+#include "report/experiments.hpp"
+#include "sim/validation.hpp"
+
+namespace chainckpt {
+namespace {
+
+TEST(EndToEnd, OptimizeSerializeEvaluateSimulate) {
+  const auto platform = platform::atlas();
+  const platform::CostModel costs(platform);
+  const auto chain = chain::make_highlow(16, 25000.0);
+
+  // 1. Optimize.
+  const auto result = core::optimize(core::Algorithm::kADMV, chain, costs);
+  result.plan.validate();
+
+  // 2. Serialize and parse back.
+  const auto reparsed = plan::from_text(plan::to_text(result.plan));
+  EXPECT_EQ(reparsed, result.plan);
+
+  // 3. Analytic evaluation of the reparsed plan reproduces the DP value.
+  const analysis::PlanEvaluator evaluator(chain, costs);
+  EXPECT_NEAR(evaluator.expected_makespan(
+                  reparsed, analysis::FormulaMode::kPartialFramework),
+              result.expected_makespan, 1e-9 * result.expected_makespan);
+
+  // 4. The breakdown is consistent.
+  const auto b = analysis::breakdown(evaluator, reparsed);
+  EXPECT_NEAR(b.expected_makespan, result.expected_makespan,
+              1e-9 * result.expected_makespan);
+
+  // 5. Monte-Carlo agrees within 5 sigma.
+  sim::ExperimentOptions options;
+  options.replicas = 30000;
+  options.seed = 424242;
+  const auto report = sim::validate_plan(chain, costs, reparsed, options);
+  EXPECT_LT(report.gap_in_sigmas(), 5.0) << report.describe();
+
+  // 6. Rendering works on the real artifact.
+  const std::string fig = plan::render_figure(reparsed, "e2e");
+  EXPECT_NE(fig.find('x'), std::string::npos);
+}
+
+TEST(EndToEnd, FigurePipelineProducesConsistentData) {
+  // Mini Figure 5 on one platform: the series produced by the report
+  // layer must match direct optimizer calls.
+  const auto platform = platform::hera();
+  const report::EvaluationSetup setup;
+  const std::vector<std::size_t> ns{5, 15};
+  const auto series = report::makespan_series(
+      platform, setup, core::Algorithm::kADMVstar, ns);
+  const platform::CostModel costs(platform);
+  for (std::size_t k = 0; k < ns.size(); ++k) {
+    const auto chain = chain::make_uniform(ns[k], setup.total_weight);
+    const auto direct =
+        core::optimize(core::Algorithm::kADMVstar, chain, costs);
+    EXPECT_NEAR(series.y[k],
+                direct.expected_makespan / setup.total_weight, 1e-12);
+  }
+  // And the emitters accept it.
+  const std::string table = report::series_table("n", {series});
+  EXPECT_NE(table.find("ADMV*"), std::string::npos);
+}
+
+TEST(EndToEnd, AllAlgorithmsAllPatternsSmoke) {
+  // Broad shallow sweep: every optimizer on every pattern at a moderate
+  // size, all invariants checked.
+  const platform::CostModel costs(platform::coastal());
+  for (auto pattern : {chain::Pattern::kUniform, chain::Pattern::kDecrease,
+                       chain::Pattern::kHighLow}) {
+    const auto chain = chain::make_pattern(pattern, 12, 25000.0);
+    const analysis::PlanEvaluator evaluator(chain, costs);
+    double previous = std::numeric_limits<double>::infinity();
+    // Ordered from most restricted to least: values must not increase.
+    for (auto algorithm :
+         {core::Algorithm::kAD, core::Algorithm::kADVstar,
+          core::Algorithm::kADMVstar}) {
+      const auto result = core::optimize(algorithm, chain, costs);
+      result.plan.validate();
+      EXPECT_LE(result.expected_makespan, previous * (1 + 1e-12))
+          << chain::to_string(pattern) << " "
+          << core::to_string(algorithm);
+      EXPECT_NEAR(evaluator.expected_makespan(
+                      result.plan, analysis::FormulaMode::kTwoLevel),
+                  result.expected_makespan,
+                  1e-9 * result.expected_makespan);
+      previous = result.expected_makespan;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chainckpt

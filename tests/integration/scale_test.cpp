@@ -1,0 +1,70 @@
+// Beyond-paper scale: the paper stops at n = 50 ("real-life linear
+// workflows rarely exceed tens of tasks"); a library must stay correct
+// and fast when users push further.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "analysis/evaluator.hpp"
+#include "chain/patterns.hpp"
+#include "core/dp_single_level.hpp"
+#include "core/dp_two_level.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt {
+namespace {
+
+TEST(Scale, TwoLevelAtTwoHundredTasks) {
+  const auto chain = chain::make_uniform(200, 25000.0);
+  const platform::CostModel costs(platform::hera());
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = core::optimize_two_level(chain, costs);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  result.plan.validate();
+  // Value still matches the evaluator at scale.
+  const analysis::PlanEvaluator evaluator(chain, costs);
+  EXPECT_NEAR(evaluator.expected_makespan(result.plan,
+                                          analysis::FormulaMode::kTwoLevel),
+              result.expected_makespan, 1e-9 * result.expected_makespan);
+  // More placement freedom can only help: n=200 is at least as good as
+  // the n=50 optimum for the same total work.
+  const auto small = core::optimize_two_level(
+      chain::make_uniform(50, 25000.0), costs);
+  EXPECT_LE(result.expected_makespan,
+            small.expected_makespan * (1.0 + 1e-9));
+  // And it must not crawl (O(n^4) with a small constant; CI slack x30
+  // over the ~0.15s measured).
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Scale, OverheadSaturatesWithGranularity) {
+  // The normalized makespan converges as tasks shrink: the continuous
+  // (divisible-load) limit of the companion paper.  Successive doublings
+  // must bring ever-smaller improvements.
+  const platform::CostModel costs(platform::atlas());
+  const auto at = [&](std::size_t n) {
+    return core::optimize_two_level(chain::make_uniform(n, 25000.0), costs)
+        .expected_makespan;
+  };
+  const double e50 = at(50), e100 = at(100), e200 = at(200);
+  EXPECT_GE(e50, e100 * (1.0 - 1e-12));
+  EXPECT_GE(e100, e200 * (1.0 - 1e-12));
+  EXPECT_LT(e100 - e200, (e50 - e100) + 1e-6);
+}
+
+TEST(Scale, SingleLevelHandlesLongHeterogeneousChains) {
+  util::Xoshiro256 rng(555);
+  const auto chain = chain::make_random(300, 25000.0, rng);
+  const platform::CostModel costs(platform::coastal());
+  const auto result = core::optimize_single_level(chain, costs);
+  result.plan.validate();
+  const analysis::PlanEvaluator evaluator(chain, costs);
+  EXPECT_NEAR(evaluator.expected_makespan(result.plan,
+                                          analysis::FormulaMode::kTwoLevel),
+              result.expected_makespan, 1e-9 * result.expected_makespan);
+}
+
+}  // namespace
+}  // namespace chainckpt

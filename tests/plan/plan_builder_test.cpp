@@ -1,0 +1,70 @@
+#include "plan/plan_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace chainckpt::plan {
+namespace {
+
+TEST(PlanBuilder, BuildsValidPlans) {
+  const ResiliencePlan p = PlanBuilder(10)
+                               .partial_verif_at(2)
+                               .guaranteed_verif_at(4)
+                               .memory_checkpoint_at(6)
+                               .disk_checkpoint_at(8)
+                               .build();
+  EXPECT_EQ(p.action(2), Action::kPartialVerif);
+  EXPECT_EQ(p.action(4), Action::kGuaranteedVerif);
+  EXPECT_EQ(p.action(6), Action::kMemoryCheckpoint);
+  EXPECT_EQ(p.action(8), Action::kDiskCheckpoint);
+  EXPECT_EQ(p.action(10), Action::kDiskCheckpoint);  // implicit final
+}
+
+TEST(PlanBuilder, UpgradesAreAllowed) {
+  const ResiliencePlan p = PlanBuilder(5)
+                               .guaranteed_verif_at(3)
+                               .memory_checkpoint_at(3)
+                               .disk_checkpoint_at(3)
+                               .build();
+  EXPECT_EQ(p.action(3), Action::kDiskCheckpoint);
+}
+
+TEST(PlanBuilder, DowngradesAreRejected) {
+  PlanBuilder b(5);
+  b.memory_checkpoint_at(3);
+  EXPECT_THROW(b.guaranteed_verif_at(3), std::invalid_argument);
+  EXPECT_THROW(b.partial_verif_at(3), std::invalid_argument);
+  // The implicit final disk checkpoint cannot be weakened either.
+  EXPECT_THROW(b.guaranteed_verif_at(5), std::invalid_argument);
+}
+
+TEST(PlanBuilder, RePlacingSameActionIsIdempotent) {
+  PlanBuilder b(5);
+  b.guaranteed_verif_at(2);
+  EXPECT_NO_THROW(b.guaranteed_verif_at(2));
+  EXPECT_NO_THROW(b.disk_checkpoint_at(5));  // same as implicit final
+  EXPECT_EQ(b.build().action(2), Action::kGuaranteedVerif);
+}
+
+TEST(PlanBuilder, BulkPlacement) {
+  const ResiliencePlan p = PlanBuilder(12)
+                               .partial_verifs_at({1, 2})
+                               .guaranteed_verifs_at({3, 6})
+                               .memory_checkpoints_at({4, 8})
+                               .disk_checkpoints_at({10})
+                               .build();
+  EXPECT_EQ(p.interior_counts().partial, 2u);
+  EXPECT_EQ(p.interior_counts().guaranteed, 5u);  // 3,4,6,8,10
+  EXPECT_EQ(p.interior_counts().memory, 3u);      // 4,8,10
+  EXPECT_EQ(p.interior_counts().disk, 1u);        // 10
+}
+
+TEST(PlanBuilder, PositionBoundsEnforced) {
+  PlanBuilder b(4);
+  EXPECT_THROW(b.guaranteed_verif_at(0), std::invalid_argument);
+  EXPECT_THROW(b.guaranteed_verif_at(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chainckpt::plan

@@ -1,0 +1,52 @@
+#include "plan/plan_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "plan/plan_builder.hpp"
+
+namespace chainckpt::plan {
+namespace {
+
+TEST(PlanDiff, IdenticalPlansAreEmpty) {
+  const auto a = PlanBuilder(10).memory_checkpoint_at(5).build();
+  const auto diff = diff_plans(a, a);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.describe(), "(plans are identical)\n");
+}
+
+TEST(PlanDiff, DetectsUpgradesAndDowngrades) {
+  const auto before = PlanBuilder(10)
+                          .guaranteed_verif_at(3)
+                          .memory_checkpoint_at(6)
+                          .build();
+  const auto after = PlanBuilder(10)
+                         .memory_checkpoint_at(3)   // upgrade at 3
+                         .partial_verif_at(6)       // downgrade at 6
+                         .partial_verif_at(8)       // addition at 8
+                         .build();
+  const auto diff = diff_plans(before, after);
+  ASSERT_EQ(diff.changes.size(), 3u);
+  EXPECT_EQ(diff.upgrades(), 2u);    // 3: V*->M, 8: none->V
+  EXPECT_EQ(diff.downgrades(), 1u);  // 6: M->V
+  EXPECT_EQ(diff.changes[0].position, 3u);
+  EXPECT_TRUE(diff.changes[0].is_upgrade());
+  EXPECT_EQ(diff.changes[1].position, 6u);
+  EXPECT_FALSE(diff.changes[1].is_upgrade());
+}
+
+TEST(PlanDiff, DescribeUsesTokens) {
+  const auto before = ResiliencePlan(5);
+  const auto after = PlanBuilder(5).memory_checkpoint_at(2).build();
+  const std::string text = diff_plans(before, after).describe();
+  EXPECT_NE(text.find("T2: - -> M"), std::string::npos);
+}
+
+TEST(PlanDiff, SizeMismatchThrows) {
+  EXPECT_THROW(diff_plans(ResiliencePlan(4), ResiliencePlan(5)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chainckpt::plan

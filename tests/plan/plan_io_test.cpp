@@ -1,0 +1,104 @@
+#include "plan/plan_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "plan/plan_builder.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::plan {
+namespace {
+
+ResiliencePlan sample_plan() {
+  return PlanBuilder(12)
+      .partial_verifs_at({2, 3})
+      .guaranteed_verif_at(5)
+      .memory_checkpoint_at(7)
+      .disk_checkpoint_at(9)
+      .build();
+}
+
+TEST(PlanIo, TextRoundTrip) {
+  const ResiliencePlan original = sample_plan();
+  const std::string text = to_text(original);
+  const ResiliencePlan parsed = from_text(text);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(PlanIo, TextFormatIsCompact) {
+  const std::string text = to_text(sample_plan());
+  EXPECT_NE(text.find("chainckpt-plan v1 n=12"), std::string::npos);
+  EXPECT_NE(text.find("2:V"), std::string::npos);
+  EXPECT_NE(text.find("5:V*"), std::string::npos);
+  EXPECT_NE(text.find("7:M"), std::string::npos);
+  EXPECT_NE(text.find("9:D"), std::string::npos);
+  EXPECT_NE(text.find("12:D"), std::string::npos);
+  // kNone positions are omitted.
+  EXPECT_EQ(text.find("1:"), std::string::npos);
+}
+
+TEST(PlanIo, RoundTripForEveryActionKind) {
+  ResiliencePlan p(6);
+  p.set_action(1, Action::kPartialVerif);
+  p.set_action(2, Action::kGuaranteedVerif);
+  p.set_action(3, Action::kMemoryCheckpoint);
+  p.set_action(4, Action::kDiskCheckpoint);
+  EXPECT_EQ(from_text(to_text(p)), p);
+}
+
+TEST(PlanIo, ParserRejectsMalformedInput) {
+  EXPECT_THROW(from_text("bogus v1 n=3\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("chainckpt-plan v2 n=3\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("chainckpt-plan v1 n=0\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("chainckpt-plan v1 n=x\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("chainckpt-plan v1 n=3\nnocolon\n"),
+               std::invalid_argument);
+  EXPECT_THROW(from_text("chainckpt-plan v1 n=3\n9:D\n"),
+               std::invalid_argument);  // position out of range
+  EXPECT_THROW(from_text("chainckpt-plan v1 n=3\n2:Q\n"),
+               std::invalid_argument);  // unknown token
+  // Structurally invalid: final task not disk-checkpointed.
+  EXPECT_THROW(from_text("chainckpt-plan v1 n=3\n2:D\n"),
+               std::invalid_argument);
+}
+
+TEST(PlanIo, JsonContainsAllPlacedActions) {
+  const std::string json = to_json(sample_plan());
+  EXPECT_NE(json.find("\"n\":12"), std::string::npos);
+  EXPECT_NE(json.find("{\"pos\":2,\"kind\":\"V\"}"), std::string::npos);
+  EXPECT_NE(json.find("{\"pos\":5,\"kind\":\"V*\"}"), std::string::npos);
+  EXPECT_NE(json.find("{\"pos\":12,\"kind\":\"D\"}"), std::string::npos);
+}
+
+TEST(PlanIo, WriteTextStreams) {
+  std::ostringstream os;
+  write_text(os, sample_plan());
+  EXPECT_EQ(os.str(), to_text(sample_plan()));
+}
+
+/// Fuzz-style property: any structurally valid random plan round-trips
+/// through the text format bit-exactly, across a range of sizes.
+class PlanIoRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlanIoRoundTrip, RandomPlansSurviveSerialization) {
+  const std::size_t n = GetParam();
+  util::Xoshiro256 rng(0xC0FFEE + n);
+  for (int trial = 0; trial < 50; ++trial) {
+    ResiliencePlan plan(n);
+    for (std::size_t i = 1; i < n; ++i) {
+      const auto pick = static_cast<std::uint8_t>(rng() % 5);
+      plan.set_action(i, static_cast<Action>(pick));
+    }
+    const ResiliencePlan parsed = from_text(to_text(plan));
+    ASSERT_EQ(parsed, plan) << "n=" << n << " trial=" << trial << " plan "
+                            << plan.compact_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanIoRoundTrip,
+                         ::testing::Values(1u, 2u, 7u, 50u, 200u));
+
+}  // namespace
+}  // namespace chainckpt::plan

@@ -1,0 +1,126 @@
+#include "plan/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace chainckpt::plan {
+namespace {
+
+TEST(Action, BundleNestingIsStrict) {
+  // Disk implies memory implies guaranteed verification.
+  EXPECT_TRUE(has_disk_checkpoint(Action::kDiskCheckpoint));
+  EXPECT_TRUE(has_memory_checkpoint(Action::kDiskCheckpoint));
+  EXPECT_TRUE(has_guaranteed_verif(Action::kDiskCheckpoint));
+  EXPECT_FALSE(has_partial_verif(Action::kDiskCheckpoint));
+
+  EXPECT_FALSE(has_disk_checkpoint(Action::kMemoryCheckpoint));
+  EXPECT_TRUE(has_memory_checkpoint(Action::kMemoryCheckpoint));
+  EXPECT_TRUE(has_guaranteed_verif(Action::kMemoryCheckpoint));
+
+  EXPECT_FALSE(has_memory_checkpoint(Action::kGuaranteedVerif));
+  EXPECT_TRUE(has_guaranteed_verif(Action::kGuaranteedVerif));
+
+  EXPECT_TRUE(has_partial_verif(Action::kPartialVerif));
+  EXPECT_FALSE(has_guaranteed_verif(Action::kPartialVerif));
+  EXPECT_TRUE(has_any_verif(Action::kPartialVerif));
+  EXPECT_FALSE(has_any_verif(Action::kNone));
+}
+
+TEST(Action, TokensRoundTrip) {
+  for (Action a : {Action::kNone, Action::kPartialVerif,
+                   Action::kGuaranteedVerif, Action::kMemoryCheckpoint,
+                   Action::kDiskCheckpoint}) {
+    EXPECT_EQ(action_from_token(to_token(a)), a);
+  }
+  EXPECT_THROW(action_from_token("X"), std::invalid_argument);
+}
+
+TEST(ResiliencePlan, FreshPlanHasFinalDiskCheckpointOnly) {
+  ResiliencePlan p(5);
+  for (std::size_t i = 1; i <= 4; ++i) EXPECT_EQ(p.action(i), Action::kNone);
+  EXPECT_EQ(p.action(5), Action::kDiskCheckpoint);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ResiliencePlan, VirtualT0IsCheckpointed) {
+  ResiliencePlan p(3);
+  EXPECT_EQ(p.action(0), Action::kDiskCheckpoint);
+}
+
+TEST(ResiliencePlan, ValidateRequiresFinalDisk) {
+  ResiliencePlan p(3);
+  p.set_action(3, Action::kMemoryCheckpoint);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  EXPECT_THROW(ResiliencePlan(0), std::invalid_argument);
+}
+
+TEST(ResiliencePlan, SetActionBounds) {
+  ResiliencePlan p(3);
+  EXPECT_THROW(p.set_action(0, Action::kNone), std::invalid_argument);
+  EXPECT_THROW(p.set_action(4, Action::kNone), std::invalid_argument);
+  EXPECT_THROW(p.action(4), std::invalid_argument);
+}
+
+TEST(ResiliencePlan, CountsDistinguishInteriorAndTotal) {
+  ResiliencePlan p(10);
+  p.set_action(2, Action::kPartialVerif);
+  p.set_action(3, Action::kGuaranteedVerif);
+  p.set_action(5, Action::kMemoryCheckpoint);
+  p.set_action(7, Action::kDiskCheckpoint);
+
+  const ActionCounts interior = p.interior_counts();
+  EXPECT_EQ(interior.disk, 1u);        // position 7
+  EXPECT_EQ(interior.memory, 2u);      // 5 and 7 (bundled)
+  EXPECT_EQ(interior.guaranteed, 3u);  // 3, 5, 7
+  EXPECT_EQ(interior.partial, 1u);     // 2
+
+  const ActionCounts total = p.total_counts();
+  EXPECT_EQ(total.disk, 2u);
+  EXPECT_EQ(total.memory, 3u);
+  EXPECT_EQ(total.guaranteed, 4u);
+  EXPECT_EQ(total.partial, 1u);
+}
+
+TEST(ResiliencePlan, LastCheckpointLookups) {
+  ResiliencePlan p(10);
+  p.set_action(3, Action::kMemoryCheckpoint);
+  p.set_action(6, Action::kDiskCheckpoint);
+  EXPECT_EQ(p.last_disk_at_or_before(2), 0u);
+  EXPECT_EQ(p.last_disk_at_or_before(6), 6u);
+  EXPECT_EQ(p.last_disk_at_or_before(9), 6u);
+  EXPECT_EQ(p.last_memory_at_or_before(2), 0u);
+  EXPECT_EQ(p.last_memory_at_or_before(3), 3u);
+  EXPECT_EQ(p.last_memory_at_or_before(5), 3u);
+  EXPECT_EQ(p.last_memory_at_or_before(7), 6u);  // disk bundles memory
+}
+
+TEST(ResiliencePlan, PositionQueries) {
+  ResiliencePlan p(8);
+  p.set_action(2, Action::kPartialVerif);
+  p.set_action(4, Action::kGuaranteedVerif);
+  p.set_action(6, Action::kMemoryCheckpoint);
+  EXPECT_EQ(p.disk_positions(), (std::vector<std::size_t>{8}));
+  EXPECT_EQ(p.memory_positions(), (std::vector<std::size_t>{6, 8}));
+  EXPECT_EQ(p.guaranteed_positions(), (std::vector<std::size_t>{4, 6, 8}));
+  EXPECT_EQ(p.partial_positions(), (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(p.uses_partial_verifications());
+}
+
+TEST(ResiliencePlan, CompactString) {
+  ResiliencePlan p(5);
+  p.set_action(1, Action::kPartialVerif);
+  p.set_action(2, Action::kGuaranteedVerif);
+  p.set_action(3, Action::kMemoryCheckpoint);
+  EXPECT_EQ(p.compact_string(), "vVM-D");
+}
+
+TEST(ResiliencePlan, EqualityComparesActions) {
+  ResiliencePlan a(4), b(4);
+  EXPECT_EQ(a, b);
+  b.set_action(2, Action::kGuaranteedVerif);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace chainckpt::plan

@@ -1,0 +1,64 @@
+#include "plan/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "plan/plan_builder.hpp"
+
+namespace chainckpt::plan {
+namespace {
+
+TEST(Render, FigureHasFourMechanismRows) {
+  const ResiliencePlan p = PlanBuilder(20)
+                               .partial_verifs_at({3, 4})
+                               .guaranteed_verif_at(6)
+                               .memory_checkpoint_at(10)
+                               .build();
+  const std::string fig = render_figure(p, "Test title");
+  EXPECT_NE(fig.find("Test title"), std::string::npos);
+  EXPECT_NE(fig.find("Disk ckpts"), std::string::npos);
+  EXPECT_NE(fig.find("Memory ckpts"), std::string::npos);
+  EXPECT_NE(fig.find("Guaranteed verifs"), std::string::npos);
+  EXPECT_NE(fig.find("Partial verifs"), std::string::npos);
+}
+
+TEST(Render, MarkersReflectBundling) {
+  const ResiliencePlan p =
+      PlanBuilder(5).memory_checkpoint_at(2).build();
+  const std::string fig = render_figure(p, "t");
+  // Row order: disk, memory, guaranteed, partial.  Memory at 2 must also
+  // appear in the guaranteed row; the final disk at 5 in all three.
+  std::istringstream is(fig);
+  std::string title, disk, mem, verif, partial;
+  std::getline(is, title);
+  std::getline(is, disk);
+  std::getline(is, mem);
+  std::getline(is, verif);
+  std::getline(is, partial);
+  const std::size_t base = 20;  // label gutter width
+  EXPECT_EQ(disk[base + 1], '.');
+  EXPECT_EQ(mem[base + 1], 'x');
+  EXPECT_EQ(verif[base + 1], 'x');
+  EXPECT_EQ(partial[base + 1], '.');
+  EXPECT_EQ(disk[base + 4], 'x');
+  EXPECT_EQ(mem[base + 4], 'x');
+  EXPECT_EQ(verif[base + 4], 'x');
+}
+
+TEST(Render, AxisLabelsDecades) {
+  const ResiliencePlan p(50);
+  const std::string fig = render_figure(p, "axis");
+  EXPECT_NE(fig.find("10"), std::string::npos);
+  EXPECT_NE(fig.find("50"), std::string::npos);
+}
+
+TEST(Render, CompactLine) {
+  const ResiliencePlan p = PlanBuilder(4).partial_verif_at(1).build();
+  const std::string line = render_compact(p);
+  EXPECT_NE(line.find("tasks 1..4"), std::string::npos);
+  EXPECT_NE(line.find("v--D"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chainckpt::plan

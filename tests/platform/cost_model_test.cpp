@@ -1,0 +1,71 @@
+#include "platform/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "platform/registry.hpp"
+
+namespace chainckpt::platform {
+namespace {
+
+TEST(CostModel, UniformModelMirrorsPlatform) {
+  const Platform p = hera();
+  const CostModel m(p);
+  EXPECT_TRUE(m.is_uniform());
+  for (std::size_t i : {1u, 7u, 50u, 1000u}) {
+    EXPECT_DOUBLE_EQ(m.c_disk_after(i), p.c_disk);
+    EXPECT_DOUBLE_EQ(m.c_mem_after(i), p.c_mem);
+    EXPECT_DOUBLE_EQ(m.v_guaranteed_after(i), p.v_guaranteed);
+    EXPECT_DOUBLE_EQ(m.v_partial_after(i), p.v_partial);
+    EXPECT_DOUBLE_EQ(m.r_disk_after(i), p.r_disk);
+    EXPECT_DOUBLE_EQ(m.r_mem_after(i), p.r_mem);
+  }
+  EXPECT_DOUBLE_EQ(m.lambda_f(), p.lambda_f);
+  EXPECT_DOUBLE_EQ(m.lambda_s(), p.lambda_s);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.8);
+  EXPECT_NEAR(m.miss(), 0.2, 1e-12);
+}
+
+TEST(CostModel, VirtualTaskRecoveryIsFree) {
+  const CostModel m(hera());
+  EXPECT_DOUBLE_EQ(m.r_disk_after(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.r_mem_after(0), 0.0);
+}
+
+TEST(CostModel, ActionPositionsAreOneBased) {
+  const CostModel m(hera());
+  EXPECT_THROW(m.c_disk_after(0), std::invalid_argument);
+  EXPECT_THROW(m.v_partial_after(0), std::invalid_argument);
+}
+
+TEST(CostModel, PerPositionCostsAreUsed) {
+  const Platform p = hera();
+  const CostModel m(p, /*c_disk=*/{100.0, 200.0, 300.0},
+                    /*c_mem=*/{10.0, 20.0, 30.0},
+                    /*v_guaranteed=*/{1.0, 2.0, 3.0},
+                    /*v_partial=*/{0.1, 0.2, 0.3});
+  EXPECT_FALSE(m.is_uniform());
+  EXPECT_DOUBLE_EQ(m.c_disk_after(2), 200.0);
+  EXPECT_DOUBLE_EQ(m.c_mem_after(3), 30.0);
+  EXPECT_DOUBLE_EQ(m.v_guaranteed_after(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.v_partial_after(2), 0.2);
+  // Recovery mirrors the (per-position) checkpoint cost.
+  EXPECT_DOUBLE_EQ(m.r_disk_after(3), 300.0);
+  EXPECT_DOUBLE_EQ(m.r_mem_after(1), 10.0);
+  EXPECT_DOUBLE_EQ(m.r_disk_after(0), 0.0);
+  // Out-of-table positions are rejected.
+  EXPECT_THROW(m.c_disk_after(4), std::invalid_argument);
+}
+
+TEST(CostModel, PerPositionVectorsMustAlign) {
+  const Platform p = hera();
+  EXPECT_THROW(CostModel(p, {1.0, 2.0}, {1.0}, {1.0, 2.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(CostModel(p, {}, {}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(CostModel(p, {1.0}, {-1.0}, {1.0}, {1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chainckpt::platform

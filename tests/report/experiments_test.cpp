@@ -1,0 +1,71 @@
+#include "report/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/registry.hpp"
+
+namespace chainckpt::report {
+namespace {
+
+TEST(Experiments, TaskCountAxesMatchPaper) {
+  const auto ms = makespan_task_counts();
+  ASSERT_EQ(ms.size(), 50u);
+  EXPECT_EQ(ms.front(), 1u);
+  EXPECT_EQ(ms.back(), 50u);
+  const auto cs = count_task_counts();
+  ASSERT_EQ(cs.size(), 10u);
+  EXPECT_EQ(cs.front(), 5u);
+  EXPECT_EQ(cs.back(), 50u);
+}
+
+TEST(Experiments, MakespanSeriesIsNormalizedAndNamed) {
+  const EvaluationSetup setup;
+  const auto s =
+      makespan_series(platform::hera(), setup, core::Algorithm::kADMVstar,
+                      {1, 10, 20});
+  EXPECT_EQ(s.name, "ADMV*");
+  ASSERT_EQ(s.size(), 3u);
+  for (double y : s.y) {
+    EXPECT_GT(y, 1.0);
+    EXPECT_LT(y, 1.5);
+  }
+  // Paper Figure 5 Hera: ~1.114 at n = 1.
+  EXPECT_NEAR(s.y[0], 1.1144, 0.001);
+}
+
+TEST(Experiments, CountSweepTracksPlanCounts) {
+  const EvaluationSetup setup;
+  const auto sweep = count_sweep(platform::hera(), setup,
+                                 core::Algorithm::kADMV, {10, 50});
+  ASSERT_EQ(sweep.disk.size(), 2u);
+  // Figure 6 observation: no interior disk checkpoints at n = 50 uniform.
+  EXPECT_DOUBLE_EQ(sweep.disk.y[1], 0.0);
+  // Partial verifications appear at n = 50 on Hera (paper: n > 30).
+  EXPECT_GT(sweep.partial.y[1], 0.0);
+  const auto all = sweep.all();
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(Experiments, PlacementReturnsScoredPlan) {
+  const EvaluationSetup setup;
+  const auto result = placement(platform::coastal_ssd(), setup,
+                                core::Algorithm::kADMVstar, 20);
+  result.plan.validate();
+  EXPECT_GT(result.expected_makespan, setup.total_weight);
+}
+
+TEST(Experiments, PatternIsRespected) {
+  EvaluationSetup setup;
+  setup.pattern = chain::Pattern::kDecrease;
+  const auto uniform_result =
+      placement(platform::hera(), {}, core::Algorithm::kADMVstar, 20);
+  const auto decrease_result =
+      placement(platform::hera(), setup, core::Algorithm::kADMVstar, 20);
+  // Different workloads almost surely yield different optima; at minimum
+  // the values must differ.
+  EXPECT_NE(uniform_result.expected_makespan,
+            decrease_result.expected_makespan);
+}
+
+}  // namespace
+}  // namespace chainckpt::report

@@ -1,0 +1,90 @@
+#include "sim/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "plan/plan_builder.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::sim {
+namespace {
+
+TEST(MakespanDistribution, BasicStatisticsFromKnownSamples) {
+  MakespanDistribution d({3.0, 1.0, 2.0, 4.0, 5.0});
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 5.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.125), 1.5);  // interpolated
+}
+
+TEST(MakespanDistribution, RejectsBadInput) {
+  EXPECT_THROW(MakespanDistribution({}), std::invalid_argument);
+  MakespanDistribution d({1.0, 2.0});
+  EXPECT_THROW(d.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW(d.percentile(1.1), std::invalid_argument);
+}
+
+TEST(MakespanDistribution, HistogramCoversAllSamples) {
+  MakespanDistribution d({1.0, 1.5, 2.0, 2.5, 3.0});
+  const auto h = d.histogram(4);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(SampleDistribution, ErrorFreeIsDegenerate) {
+  platform::Platform p = platform::hera();
+  p.lambda_f = 0.0;
+  p.lambda_s = 0.0;
+  const auto chain = chain::make_uniform(5, 1000.0);
+  const Simulator sim(chain, platform::CostModel(p));
+  DistributionOptions options;
+  options.replicas = 100;
+  const auto d =
+      sample_distribution(sim, plan::ResiliencePlan(5), options);
+  EXPECT_DOUBLE_EQ(d.min(), d.max());
+  EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(SampleDistribution, DeterministicPerSeed) {
+  const auto chain = chain::make_uniform(10, 25000.0);
+  const Simulator sim(chain, platform::CostModel(platform::hera()));
+  const auto plan = plan::PlanBuilder(10).memory_checkpoint_at(5).build();
+  DistributionOptions options;
+  options.replicas = 500;
+  options.seed = 77;
+  const auto a = sample_distribution(sim, plan, options);
+  const auto b = sample_distribution(sim, plan, options);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  EXPECT_DOUBLE_EQ(a.percentile(0.99), b.percentile(0.99));
+}
+
+TEST(SampleDistribution, TwoLevelShortensTheTail) {
+  // The headline tail-risk argument: at matched replicas/seed, the ADMV*
+  // plan's P99 improves on the verification-free AD plan's P99 at least
+  // as much as the mean does.
+  const auto chain = chain::make_uniform(25, 25000.0);
+  const platform::CostModel costs(platform::atlas());
+  const Simulator sim(chain, costs);
+  const auto ad = core::optimize(core::Algorithm::kAD, chain, costs).plan;
+  const auto admv =
+      core::optimize(core::Algorithm::kADMVstar, chain, costs).plan;
+  DistributionOptions options;
+  options.replicas = 20000;
+  options.seed = 2026;
+  const auto d_ad = sample_distribution(sim, ad, options);
+  const auto d_admv = sample_distribution(sim, admv, options);
+  EXPECT_LT(d_admv.mean(), d_ad.mean());
+  EXPECT_LT(d_admv.percentile(0.99), d_ad.percentile(0.99));
+  const double mean_gain = d_ad.mean() - d_admv.mean();
+  const double tail_gain =
+      d_ad.percentile(0.99) - d_admv.percentile(0.99);
+  EXPECT_GT(tail_gain, mean_gain);
+}
+
+}  // namespace
+}  // namespace chainckpt::sim

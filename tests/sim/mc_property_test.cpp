@@ -1,0 +1,93 @@
+// Randomized evaluator-vs-simulator agreement: beyond the fixed
+// optimizer outputs, arbitrary valid plans must be priced correctly.
+#include <gtest/gtest.h>
+
+#include "analysis/evaluator.hpp"
+#include "chain/patterns.hpp"
+#include "platform/registry.hpp"
+#include "sim/validation.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::sim {
+namespace {
+
+plan::ResiliencePlan random_plan(std::size_t n, util::Xoshiro256& rng) {
+  plan::ResiliencePlan plan(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double u = rng.uniform01();
+    if (u < 0.45) continue;
+    if (u < 0.65) {
+      plan.set_action(i, plan::Action::kPartialVerif);
+    } else if (u < 0.82) {
+      plan.set_action(i, plan::Action::kGuaranteedVerif);
+    } else if (u < 0.94) {
+      plan.set_action(i, plan::Action::kMemoryCheckpoint);
+    } else {
+      plan.set_action(i, plan::Action::kDiskCheckpoint);
+    }
+  }
+  return plan;
+}
+
+TEST(McProperty, ErrorFreeSimulationEqualsEvaluatorExactly) {
+  // With both rates at zero the expectation is deterministic, so the
+  // evaluator and ONE simulator run must agree to double precision for
+  // arbitrary plans -- a strong structural equivalence check.
+  platform::Platform p = platform::hera();
+  p.lambda_f = 0.0;
+  p.lambda_s = 0.0;
+  const platform::CostModel costs(p);
+  util::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto chain = chain::make_random(15, 9000.0, rng);
+    const auto plan = random_plan(15, rng);
+    const analysis::PlanEvaluator evaluator(chain, costs);
+    const Simulator simulator(chain, costs);
+    const auto stats = simulator.run_seeded(plan, 1, 0);
+    EXPECT_NEAR(evaluator.expected_makespan(plan), stats.makespan,
+                1e-9 * stats.makespan)
+        << "trial " << trial << " plan " << plan.compact_string();
+  }
+}
+
+TEST(McProperty, RandomPlansAgreeWithinNoise) {
+  // Amplified error rates so 12000 replicas give a sharp test of the
+  // rollback pricing, not just the deterministic part.
+  platform::Platform p = platform::hera();
+  p.lambda_f *= 20.0;
+  p.lambda_s *= 20.0;
+  const platform::CostModel costs(p);
+  util::Xoshiro256 rng(22);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto chain = chain::make_random(12, 25000.0, rng);
+    const auto plan = random_plan(12, rng);
+    ExperimentOptions options;
+    options.replicas = 12000;
+    options.seed = 1000 + static_cast<std::uint64_t>(trial);
+    const auto report = validate_plan(chain, costs, plan, options);
+    EXPECT_LT(report.gap_in_sigmas(), 5.5)
+        << "trial " << trial << " plan " << plan.compact_string() << ": "
+        << report.describe();
+    EXPECT_LT(std::abs(report.relative_gap()), 0.03)
+        << report.describe();
+  }
+}
+
+TEST(McProperty, DecreaseAndHighLowChainsAgree) {
+  const platform::CostModel costs(platform::coastal());
+  util::Xoshiro256 rng(33);
+  for (auto pattern :
+       {chain::Pattern::kDecrease, chain::Pattern::kHighLow}) {
+    const auto chain = chain::make_pattern(pattern, 14, 25000.0);
+    const auto plan = random_plan(14, rng);
+    ExperimentOptions options;
+    options.replicas = 20000;
+    options.seed = 99;
+    const auto report = validate_plan(chain, costs, plan, options);
+    EXPECT_LT(report.gap_in_sigmas(), 5.0)
+        << chain::to_string(pattern) << ": " << report.describe();
+  }
+}
+
+}  // namespace
+}  // namespace chainckpt::sim

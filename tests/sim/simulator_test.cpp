@@ -1,0 +1,306 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <stdexcept>
+
+#include "chain/patterns.hpp"
+#include "plan/plan_builder.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::sim {
+namespace {
+
+/// Scripted injector: replays a fixed sequence of attempt outcomes and
+/// partial-verification verdicts, enabling exact failure-injection tests
+/// of the simulator's control flow.
+class ScriptedInjector final : public error::Injector {
+ public:
+  void push_ok(bool silent = false) {
+    outcomes_.push_back(error::TaskAttemptOutcome{std::nullopt, silent});
+  }
+  void push_fail(double after) {
+    outcomes_.push_back(error::TaskAttemptOutcome{after, false});
+  }
+  void push_verdict(bool detects) { verdicts_.push_back(detects); }
+
+  error::TaskAttemptOutcome attempt(double) override {
+    if (outcomes_.empty()) return error::TaskAttemptOutcome{};  // clean
+    auto out = outcomes_.front();
+    outcomes_.pop_front();
+    return out;
+  }
+  bool partial_verification_detects(double) override {
+    if (verdicts_.empty()) return true;
+    const bool v = verdicts_.front();
+    verdicts_.pop_front();
+    return v;
+  }
+
+ private:
+  std::deque<error::TaskAttemptOutcome> outcomes_;
+  std::deque<bool> verdicts_;
+};
+
+platform::Platform test_platform() {
+  // Round numbers make hand-computed makespans readable.
+  platform::Platform p = platform::hera();
+  p.lambda_f = 0.0;
+  p.lambda_s = 0.0;
+  p.c_disk = 100.0;
+  p.r_disk = 100.0;
+  p.c_mem = 10.0;
+  p.r_mem = 10.0;
+  p.v_guaranteed = 5.0;
+  p.v_partial = 1.0;
+  p.recall = 0.8;
+  return p;
+}
+
+TEST(Simulator, ErrorFreeRunIsDeterministicSum) {
+  // 4 tasks x 250s; plan: V at 1, V* at 2, M at 3, final D at 4.
+  const auto chain = chain::make_uniform(4, 1000.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  const auto plan = plan::PlanBuilder(4)
+                        .partial_verif_at(1)
+                        .guaranteed_verif_at(2)
+                        .memory_checkpoint_at(3)
+                        .build();
+  ScriptedInjector inj;
+  const auto stats = sim.run(plan, inj);
+  // 1000 work + V(1) + V*(5) + (V*+CM)(15) + (V*+CM+CD)(115).
+  EXPECT_DOUBLE_EQ(stats.makespan, 1000.0 + 1.0 + 5.0 + 15.0 + 115.0);
+  EXPECT_EQ(stats.tasks_completed, 4u);
+  EXPECT_EQ(stats.task_attempts, 4u);
+  EXPECT_EQ(stats.fail_stop_errors, 0u);
+  EXPECT_EQ(stats.memory_checkpoints, 2u);  // 3 and 4
+  EXPECT_EQ(stats.disk_checkpoints, 1u);
+  EXPECT_EQ(stats.partial_verifications, 1u);
+  EXPECT_EQ(stats.guaranteed_verifications, 3u);  // 2, 3, 4
+}
+
+TEST(Simulator, FailStopRollsBackToDisk) {
+  // 3 tasks x 100s; disk checkpoint after task 1.  Fail task 3 once after
+  // 40s: rollback must resume at task 2 with recovery cost R_D.
+  const auto chain = chain::make_uniform(3, 300.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  const auto plan = plan::PlanBuilder(3).disk_checkpoint_at(1).build();
+  ScriptedInjector inj;
+  inj.push_ok();          // task 1 completes
+  inj.push_ok();          // task 2 completes
+  inj.push_fail(40.0);    // task 3 crashes after 40s
+  inj.push_ok();          // task 2 re-runs
+  inj.push_ok();          // task 3 completes
+  const auto stats = sim.run(plan, inj);
+  // Forward: 100 + (V*+CM+CD = 115) + 100 + 40 (lost) + 100 (R_D)
+  //          + 100 + 100 + 115 (final bundle).
+  EXPECT_DOUBLE_EQ(stats.makespan,
+                   100.0 + 115.0 + 100.0 + 40.0 + 100.0 + 100.0 + 100.0 +
+                       115.0);
+  EXPECT_EQ(stats.fail_stop_errors, 1u);
+  EXPECT_EQ(stats.disk_recoveries, 1u);
+  EXPECT_EQ(stats.task_attempts, 5u);
+  EXPECT_EQ(stats.tasks_completed, 4u);
+}
+
+TEST(Simulator, FailStopFromStartIsFreeRecovery) {
+  const auto chain = chain::make_uniform(2, 200.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  const auto plan = plan::ResiliencePlan(2);
+  ScriptedInjector inj;
+  inj.push_fail(30.0);  // task 1 crashes; R_D(T0) = 0
+  inj.push_ok();
+  inj.push_ok();
+  const auto stats = sim.run(plan, inj);
+  EXPECT_DOUBLE_EQ(stats.makespan, 30.0 + 200.0 + 115.0);
+  EXPECT_EQ(stats.disk_recoveries, 1u);
+}
+
+TEST(Simulator, SilentErrorDetectedByGuaranteedVerification) {
+  // 3 tasks x 100s; M after 1, V* after 2.  Silent error in task 2:
+  // detected at the verification, roll back to task 2 with R_M.
+  const auto chain = chain::make_uniform(3, 300.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  const auto plan = plan::PlanBuilder(3)
+                        .memory_checkpoint_at(1)
+                        .guaranteed_verif_at(2)
+                        .build();
+  ScriptedInjector inj;
+  inj.push_ok();               // task 1 clean
+  inj.push_ok(/*silent=*/true);  // task 2 corrupted
+  inj.push_ok();               // task 2 re-run clean
+  inj.push_ok();               // task 3 clean
+  const auto stats = sim.run(plan, inj);
+  // 100 + 15 (V*+CM) + 100 + 5 (V* detects) + 10 (R_M)
+  // + 100 + 5 (V* passes) + 100 + 115.
+  EXPECT_DOUBLE_EQ(stats.makespan,
+                   100.0 + 15.0 + 100.0 + 5.0 + 10.0 + 100.0 + 5.0 + 100.0 +
+                       115.0);
+  EXPECT_EQ(stats.silent_corruptions, 1u);
+  EXPECT_EQ(stats.guaranteed_detections, 1u);
+  EXPECT_EQ(stats.memory_recoveries, 1u);
+  // V* at 1 (bundled with M), at 2 twice (detect, then pass), final at 3.
+  EXPECT_EQ(stats.guaranteed_verifications, 4u);
+}
+
+TEST(Simulator, PartialVerificationMissDefersDetection) {
+  // V (partial) after task 1, V* bundled with the final checkpoint after
+  // task 2.  The partial verification misses; the guaranteed one catches.
+  const auto chain = chain::make_uniform(2, 200.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  const auto plan = plan::PlanBuilder(2).partial_verif_at(1).build();
+  ScriptedInjector inj;
+  inj.push_ok(/*silent=*/true);  // task 1 corrupted
+  inj.push_verdict(false);       // partial verification misses
+  inj.push_ok();                 // task 2 clean (data still corrupt)
+  inj.push_ok();                 // task 1 re-run clean
+  inj.push_verdict(true);        // partial verification: nothing to detect
+  inj.push_ok();                 // task 2 clean
+  const auto stats = sim.run(plan, inj);
+  // 100 + 1 (V misses) + 100 + 5 (V* detects) + 0 (R_M from T0)
+  // + 100 + 1 (V, clean -> no verdict consumed) + 100 + 115.
+  EXPECT_DOUBLE_EQ(stats.makespan,
+                   100.0 + 1.0 + 100.0 + 5.0 + 0.0 + 100.0 + 1.0 + 100.0 +
+                       115.0);
+  EXPECT_EQ(stats.partial_misses, 1u);
+  EXPECT_EQ(stats.guaranteed_detections, 1u);
+  EXPECT_EQ(stats.partial_detections, 0u);
+}
+
+TEST(Simulator, PartialVerificationDetectionRollsBackToMemory) {
+  const auto chain = chain::make_uniform(3, 300.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  const auto plan = plan::PlanBuilder(3)
+                        .memory_checkpoint_at(1)
+                        .partial_verif_at(2)
+                        .build();
+  ScriptedInjector inj;
+  inj.push_ok();                 // task 1
+  inj.push_ok(/*silent=*/true);  // task 2 corrupted
+  inj.push_verdict(true);        // partial verification detects
+  inj.push_ok();                 // task 2 re-run
+  inj.push_ok();                 // task 3
+  const auto stats = sim.run(plan, inj);
+  // 100 + 15 + 100 + 1 (V) + 10 (R_M) + 100 + 1 (V clean) + 100 + 115.
+  EXPECT_DOUBLE_EQ(stats.makespan,
+                   100.0 + 15.0 + 100.0 + 1.0 + 10.0 + 100.0 + 1.0 + 100.0 +
+                       115.0);
+  EXPECT_EQ(stats.partial_detections, 1u);
+  EXPECT_EQ(stats.memory_recoveries, 1u);
+}
+
+TEST(Simulator, FailStopClearsSilentCorruption) {
+  // Task 1 corrupts silently (no verification), task 2 crashes: the
+  // rollback to T0 must clear the corruption, so the final guaranteed
+  // verification detects nothing.
+  const auto chain = chain::make_uniform(2, 200.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  const auto plan = plan::ResiliencePlan(2);
+  ScriptedInjector inj;
+  inj.push_ok(/*silent=*/true);  // task 1 corrupted
+  inj.push_fail(50.0);           // task 2 crashes -> memory wiped
+  inj.push_ok();                 // task 1 re-run clean
+  inj.push_ok();                 // task 2 clean
+  const auto stats = sim.run(plan, inj);
+  EXPECT_EQ(stats.guaranteed_detections, 0u);
+  EXPECT_DOUBLE_EQ(stats.makespan, 100.0 + 50.0 + 200.0 + 115.0);
+}
+
+TEST(Simulator, MemoryCheckpointResetsToDiskAfterFailStop) {
+  // M after task 2, then fail in task 3: memory checkpoint is lost with
+  // the crash, so a later silent error rolls back to the re-established
+  // memory checkpoint (re-taken at task 2 during re-execution).
+  const auto chain = chain::make_uniform(4, 400.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  const auto plan = plan::PlanBuilder(4)
+                        .memory_checkpoint_at(2)
+                        .guaranteed_verif_at(3)
+                        .build();
+  ScriptedInjector inj;
+  inj.push_ok();                 // 1
+  inj.push_ok();                 // 2 (M taken)
+  inj.push_fail(20.0);           // 3 crashes -> back to T0
+  inj.push_ok();                 // 1 re-run
+  inj.push_ok();                 // 2 re-run (M re-taken)
+  inj.push_ok(/*silent=*/true);  // 3 corrupted -> V* detects -> back to 2
+  inj.push_ok();                 // 3 re-run
+  inj.push_ok();                 // 4
+  const auto stats = sim.run(plan, inj);
+  EXPECT_EQ(stats.memory_checkpoints, 3u);  // 2, 2 again, and final
+  EXPECT_EQ(stats.memory_recoveries, 1u);
+  EXPECT_EQ(stats.task_attempts, 8u);
+  // 100+100+15 + 20 + 0(R_D from T0) + 100+100+15 + 100+5(V*)+10(R_M)
+  // + 100+5(V*) + 100+115.
+  EXPECT_DOUBLE_EQ(stats.makespan, 100 + 100 + 15 + 20 + 0 + 100 + 100 +
+                                       15 + 100 + 5 + 10 + 100 + 5 + 100 +
+                                       115);
+}
+
+TEST(Simulator, TraceRecordsTheStory) {
+  const auto chain = chain::make_uniform(2, 200.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  const auto plan = plan::PlanBuilder(2).memory_checkpoint_at(1).build();
+  ScriptedInjector inj;
+  inj.push_ok();
+  inj.push_ok(/*silent=*/true);
+  inj.push_ok();
+  TraceRecorder trace;
+  const auto stats = sim.run(plan, inj, &trace);
+  (void)stats;
+  EXPECT_EQ(trace.count(EventKind::kSilentCorruption), 1u);
+  EXPECT_EQ(trace.count(EventKind::kGuaranteedVerifDetect), 1u);
+  EXPECT_EQ(trace.count(EventKind::kMemoryRecovery), 1u);
+  // M at 1, then the final bundle's M at 2 (the detection pass through
+  // position 2 rolls back before checkpointing).
+  EXPECT_EQ(trace.count(EventKind::kMemoryCheckpoint), 2u);
+  EXPECT_EQ(trace.count(EventKind::kDiskCheckpoint), 1u);
+  // Times are non-decreasing.
+  double prev = 0.0;
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(Simulator, SeededRunsAreReproducible) {
+  const auto chain = chain::make_uniform(10, 25000.0);
+  const Simulator sim(chain, platform::CostModel(platform::hera()));
+  const auto plan = plan::PlanBuilder(10).memory_checkpoint_at(5).build();
+  const auto a = sim.run_seeded(plan, 1234, 7);
+  const auto b = sim.run_seeded(plan, 1234, 7);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  const auto c = sim.run_seeded(plan, 1234, 8);
+  // Different replica index -> (almost surely) different trajectory;
+  // makespans may coincide only when both runs are error-free.
+  EXPECT_EQ(a.task_attempts, b.task_attempts);
+  (void)c;
+}
+
+TEST(Simulator, RejectsMismatchedPlan) {
+  const auto chain = chain::make_uniform(3, 300.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  ScriptedInjector inj;
+  EXPECT_THROW(sim.run(plan::ResiliencePlan(4), inj),
+               std::invalid_argument);
+}
+
+TEST(Simulator, AttemptLimitGuardsPathologicalConfigs) {
+  const auto chain = chain::make_uniform(1, 100.0);
+  const Simulator sim(chain, platform::CostModel(test_platform()));
+  // An injector that always crashes the task: the run can never finish.
+  class AlwaysFail final : public error::Injector {
+   public:
+    error::TaskAttemptOutcome attempt(double) override {
+      return error::TaskAttemptOutcome{10.0, false};
+    }
+    bool partial_verification_detects(double) override { return true; }
+  } inj;
+  SimulationLimits limits;
+  limits.max_task_attempts = 1000;
+  EXPECT_THROW(sim.run(plan::ResiliencePlan(1), inj, nullptr, limits),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace chainckpt::sim

@@ -1,0 +1,98 @@
+// Statistical agreement between the analytic expectation and Monte-Carlo
+// simulation.  Seeds and replica counts are fixed, so these tests are
+// deterministic; tolerances are set at ~5 sigma of the fixed sample size
+// plus the documented model-nuance margin.
+#include "sim/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "chain/patterns.hpp"
+#include "core/optimizer.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::sim {
+namespace {
+
+using Param = std::tuple<std::string, core::Algorithm>;
+
+class DpVsMonteCarlo : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DpVsMonteCarlo, AnalyticMatchesSimulation) {
+  const auto& [platform_name, algorithm] = GetParam();
+  const auto platform = platform::by_name(platform_name);
+  const platform::CostModel costs(platform);
+  const auto chain = chain::make_uniform(20, 25000.0);
+  const auto result = core::optimize(algorithm, chain, costs);
+
+  ExperimentOptions options;
+  options.replicas = 40000;
+  options.seed = 20240611;
+  const auto report = validate_plan(chain, costs, result.plan, options);
+
+  // Gate on both sigma distance (statistical) and relative gap (absolute
+  // sanity): 5 sigma of 40k replicas plus 0.05% slack for the Section
+  // III-B accounting nuances.
+  EXPECT_LT(report.gap_in_sigmas(), 5.0)
+      << platform_name << "/" << core::to_string(algorithm) << ": "
+      << report.describe();
+  EXPECT_LT(std::abs(report.relative_gap()), 0.005)
+      << report.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlatformsAlgorithms, DpVsMonteCarlo,
+    ::testing::Combine(::testing::Values("Hera", "Atlas", "CoastalSSD"),
+                       ::testing::Values(core::Algorithm::kADVstar,
+                                         core::Algorithm::kADMVstar,
+                                         core::Algorithm::kADMV)));
+
+TEST(Validation, ErrorFreeGapIsExactlyZero) {
+  platform::Platform p = platform::hera();
+  p.lambda_f = 0.0;
+  p.lambda_s = 0.0;
+  const platform::CostModel costs(p);
+  const auto chain = chain::make_uniform(8, 2000.0);
+  const auto result = core::optimize(core::Algorithm::kADMVstar, chain,
+                                     costs);
+  ExperimentOptions options;
+  options.replicas = 50;
+  const auto report = validate_plan(chain, costs, result.plan, options);
+  EXPECT_NEAR(report.relative_gap(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.sim_stderr, 0.0);
+}
+
+TEST(Validation, FailStopOnlyAgreesTightly) {
+  // With lambda_s = 0 the Section III-A formula is exact; 100k replicas
+  // pin the MC mean to ~0.01%.
+  platform::Platform p = platform::hera();
+  p.lambda_s = 0.0;
+  const platform::CostModel costs(p);
+  const auto chain = chain::make_uniform(15, 25000.0);
+  const auto result = core::optimize(core::Algorithm::kADMVstar, chain,
+                                     costs);
+  ExperimentOptions options;
+  options.replicas = 100000;
+  options.seed = 31337;
+  const auto report = validate_plan(chain, costs, result.plan, options);
+  EXPECT_LT(report.gap_in_sigmas(), 5.0) << report.describe();
+}
+
+TEST(Validation, ReportDescribeIsInformative) {
+  const platform::CostModel costs(platform::hera());
+  const auto chain = chain::make_uniform(5, 25000.0);
+  const auto result = core::optimize(core::Algorithm::kADVstar, chain,
+                                     costs);
+  ExperimentOptions options;
+  options.replicas = 1000;
+  const auto report = validate_plan(chain, costs, result.plan, options);
+  const std::string text = report.describe();
+  EXPECT_NE(text.find("analytic"), std::string::npos);
+  EXPECT_NE(text.find("simulated"), std::string::npos);
+  EXPECT_NE(text.find("replicas"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chainckpt::sim

@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace chainckpt::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser p;
+  p.add_option("platform", "Hera", "platform name");
+  p.add_option("tasks", "50", "number of tasks");
+  p.add_option("weight", "25000.0", "total weight");
+  p.add_flag("verbose", "chatty output");
+  return p;
+}
+
+void parse(CliParser& p, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  p.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliParser, DefaultsApply) {
+  CliParser p = make_parser();
+  parse(p, {});
+  EXPECT_EQ(p.get("platform"), "Hera");
+  EXPECT_EQ(p.get_int("tasks"), 50);
+  EXPECT_DOUBLE_EQ(p.get_double("weight"), 25000.0);
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(CliParser, SpaceSeparatedValues) {
+  CliParser p = make_parser();
+  parse(p, {"--platform", "Atlas", "--tasks", "10"});
+  EXPECT_EQ(p.get("platform"), "Atlas");
+  EXPECT_EQ(p.get_int("tasks"), 10);
+}
+
+TEST(CliParser, EqualsSyntax) {
+  CliParser p = make_parser();
+  parse(p, {"--platform=CoastalSSD", "--weight=1e4"});
+  EXPECT_EQ(p.get("platform"), "CoastalSSD");
+  EXPECT_DOUBLE_EQ(p.get_double("weight"), 1e4);
+}
+
+TEST(CliParser, FlagsAndPositionals) {
+  CliParser p = make_parser();
+  parse(p, {"--verbose", "pos1", "pos2"});
+  EXPECT_TRUE(p.get_flag("verbose"));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "pos1");
+  EXPECT_EQ(p.positional()[1], "pos2");
+}
+
+TEST(CliParser, UnknownFlagThrows) {
+  CliParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--nope"}), std::invalid_argument);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  CliParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--tasks"}), std::invalid_argument);
+}
+
+TEST(CliParser, FlagWithValueThrows) {
+  CliParser p = make_parser();
+  EXPECT_THROW(parse(p, {"--verbose=yes"}), std::invalid_argument);
+}
+
+TEST(CliParser, BadNumbersThrow) {
+  CliParser p = make_parser();
+  parse(p, {"--tasks", "12x"});
+  EXPECT_THROW(p.get_int("tasks"), std::invalid_argument);
+  CliParser q = make_parser();
+  parse(q, {"--weight", "abc"});
+  EXPECT_THROW(q.get_double("weight"), std::invalid_argument);
+}
+
+TEST(CliParser, HelpRequested) {
+  CliParser p = make_parser();
+  parse(p, {"--help"});
+  EXPECT_TRUE(p.help_requested());
+  const std::string help = p.help_text("test program");
+  EXPECT_NE(help.find("--platform"), std::string::npos);
+  EXPECT_NE(help.find("chatty output"), std::string::npos);
+}
+
+TEST(CliParser, UnregisteredLookupThrows) {
+  CliParser p = make_parser();
+  parse(p, {});
+  EXPECT_THROW(p.get("nothere"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chainckpt::util

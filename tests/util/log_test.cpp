@@ -1,0 +1,46 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chainckpt::util {
+namespace {
+
+/// RAII guard restoring the global level after each test.
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, LevelIsGlobalAndSettable) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, StreamingBuildsMessages) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kOff);  // discard output; exercise the path
+  log_debug() << "debug " << 42;
+  log_info() << "info " << 3.14;
+  log_warn() << "warn";
+  log_error() << "error " << std::string("text");
+  // Nothing to assert beyond "does not crash / leak": the sink is
+  // stderr.  Re-enable a level and emit once more for coverage.
+  set_log_level(LogLevel::kError);
+  log_debug() << "should be filtered";
+}
+
+TEST(Log, MessagesBelowLevelAreDiscarded) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // log_message must be safe to call directly at any level.
+  log_message(LogLevel::kDebug, "dropped");
+  log_message(LogLevel::kError, "dropped too (level is Off)");
+  set_log_level(LogLevel::kWarn);
+  log_message(LogLevel::kDebug, "still dropped");
+}
+
+}  // namespace
+}  // namespace chainckpt::util

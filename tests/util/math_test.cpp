@@ -1,0 +1,139 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace chainckpt::util {
+namespace {
+
+TEST(ExpM1OverX, EqualsOneAtZero) { EXPECT_DOUBLE_EQ(expm1_over_x(0.0), 1.0); }
+
+TEST(ExpM1OverX, MatchesDirectFormulaAtModerateX) {
+  for (double x : {1e-3, 1e-2, 0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(expm1_over_x(x), std::expm1(x) / x, 1e-12 * expm1_over_x(x))
+        << "x=" << x;
+  }
+}
+
+TEST(ExpM1OverX, SeriesRegimeIsAccurate) {
+  // Compare against the analytically exact value 1 + x/2 + x^2/6 + ... for
+  // tiny x, where the naive quotient would lose precision.
+  for (double x : {1e-12, 1e-9, 1e-7, 1e-6}) {
+    const double exact = 1.0 + x / 2.0 + x * x / 6.0;
+    EXPECT_NEAR(expm1_over_x(x), exact, 1e-15);
+  }
+}
+
+TEST(ExpM1OverX, NegativeArguments) {
+  EXPECT_NEAR(expm1_over_x(-1.0), std::expm1(-1.0) / -1.0, 1e-14);
+  EXPECT_NEAR(expm1_over_x(-1e-10), 1.0 - 0.5e-10, 1e-15);
+}
+
+TEST(OneMinusExpNeg, BasicValues) {
+  EXPECT_DOUBLE_EQ(one_minus_exp_neg(0.0), 0.0);
+  EXPECT_NEAR(one_minus_exp_neg(1.0), 1.0 - std::exp(-1.0), 1e-15);
+  // Tiny x: 1 - e^{-x} ~ x; the naive form would return exactly 0 or lose
+  // most digits.
+  EXPECT_NEAR(one_minus_exp_neg(1e-12), 1e-12, 1e-24);
+}
+
+TEST(ErrorProbability, MatchesPoissonForm) {
+  EXPECT_DOUBLE_EQ(error_probability(0.0, 100.0), 0.0);
+  EXPECT_NEAR(error_probability(1e-6, 25000.0), 1.0 - std::exp(-0.025),
+              1e-12);
+  EXPECT_NEAR(error_probability(1.0, 1000.0), 1.0, 1e-12);
+}
+
+TEST(ErrorProbability, MonotoneInBothArguments) {
+  double prev = -1.0;
+  for (double w : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    const double p = error_probability(1e-5, w);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  prev = -1.0;
+  for (double lambda : {1e-9, 1e-7, 1e-5, 1e-3}) {
+    const double p = error_probability(lambda, 500.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ExpectedTimeLost, ZeroDuration) {
+  EXPECT_DOUBLE_EQ(expected_time_lost(1e-5, 0.0), 0.0);
+}
+
+TEST(ExpectedTimeLost, LambdaToZeroLimitIsHalfDuration) {
+  // T_lost -> W/2 as lambda -> 0 (uniform conditional strike time).
+  EXPECT_NEAR(expected_time_lost(0.0, 1000.0), 500.0, 1e-9);
+  EXPECT_NEAR(expected_time_lost(1e-12, 1000.0), 500.0, 1e-6);
+}
+
+TEST(ExpectedTimeLost, MatchesClosedFormAtModerateRates) {
+  // Eq. (3): 1/lambda - W / (e^{lambda W} - 1).
+  for (double lambda : {1e-4, 1e-3, 1e-2}) {
+    for (double w : {100.0, 1000.0, 25000.0}) {
+      const double direct = 1.0 / lambda - w / std::expm1(lambda * w);
+      EXPECT_NEAR(expected_time_lost(lambda, w), direct,
+                  1e-9 * std::abs(direct))
+          << "lambda=" << lambda << " w=" << w;
+    }
+  }
+}
+
+TEST(ExpectedTimeLost, BoundedByDurationAndMonotone) {
+  for (double lambda : {1e-7, 1e-5, 1e-3, 1e-1}) {
+    double prev = 0.0;
+    for (double w : {1.0, 10.0, 100.0, 1000.0}) {
+      const double t = expected_time_lost(lambda, w);
+      EXPECT_GT(t, 0.0);
+      EXPECT_LT(t, w);
+      EXPECT_GT(t, prev);  // increasing in duration
+      prev = t;
+    }
+  }
+}
+
+TEST(ExpectedTimeLost, ApproachesMtbfForHugeWindows) {
+  // For lambda W >> 1 the conditional loss approaches 1/lambda.
+  EXPECT_NEAR(expected_time_lost(1e-2, 1e6), 100.0, 1e-6);
+}
+
+TEST(ApproxEqual, RelativeAndAbsoluteBehaviour) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12, 1e-9));
+  EXPECT_FALSE(approx_equal(1.0, 1.1, 1e-3));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 * (1 + 1e-10), 1e-9));
+  EXPECT_TRUE(approx_equal(0.0, 1e-12, 1e-9));  // max(1,...) scale
+}
+
+/// Property sweep: expected_time_lost must equal the integral-derived
+/// closed form over a wide (lambda, W) grid spanning the series/direct
+/// branch boundary.
+class TimeLostProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TimeLostProperty, SeriesAndDirectBranchesAgree) {
+  const auto [lambda, w] = GetParam();
+  const double x = lambda * w;
+  // Reference via long double for extra headroom.
+  const long double xl = static_cast<long double>(x);
+  const long double direct =
+      xl < 1e-18L
+          ? static_cast<long double>(w) / 2.0L
+          : static_cast<long double>(w) * (std::expm1(xl) - xl) /
+                (xl * std::expm1(xl));
+  EXPECT_NEAR(expected_time_lost(lambda, w), static_cast<double>(direct),
+              1e-7 * static_cast<double>(direct) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimeLostProperty,
+    ::testing::Combine(::testing::Values(1e-9, 1e-7, 4e-7, 9.46e-7, 1e-5,
+                                         1e-3, 1e-1),
+                       ::testing::Values(0.5, 5.0, 50.0, 500.0, 5000.0,
+                                         25000.0)));
+
+}  // namespace
+}  // namespace chainckpt::util

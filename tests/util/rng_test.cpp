@@ -1,0 +1,137 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace chainckpt::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 1234;
+  std::uint64_t s2 = 1234;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, StreamsAreOrderIndependent) {
+  // stream(seed, k) must be a pure function of (seed, k).
+  Xoshiro256 s3_first = Xoshiro256::stream(99, 3);
+  Xoshiro256 s1 = Xoshiro256::stream(99, 1);
+  (void)s1();
+  Xoshiro256 s3_again = Xoshiro256::stream(99, 3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(s3_first(), s3_again());
+}
+
+TEST(Xoshiro256, DistinctStreamsAreDecorrelated) {
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t k = 0; k < 1000; ++k)
+    firsts.insert(Xoshiro256::stream(5, k)());
+  EXPECT_EQ(firsts.size(), 1000u);
+}
+
+TEST(Xoshiro256, Uniform01InRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01OpenLowNeverZero) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01_open_low();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMomentsAreSane) {
+  Xoshiro256 rng(13);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);          // sigma/sqrt(n) ~ 6.5e-4
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Xoshiro256, ExponentialZeroRateIsInfinite) {
+  Xoshiro256 rng(14);
+  EXPECT_TRUE(std::isinf(rng.exponential(0.0)));
+  EXPECT_TRUE(std::isinf(rng.exponential(-1.0)));
+}
+
+TEST(Xoshiro256, ExponentialMeanMatchesRate) {
+  Xoshiro256 rng(15);
+  const double rate = 0.25;
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);  // sigma/sqrt(n) ~ 0.009
+}
+
+TEST(Xoshiro256, BernoulliEdgesAreExact) {
+  Xoshiro256 rng(16);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Xoshiro256, BernoulliFrequencyMatchesP) {
+  Xoshiro256 rng(17);
+  const double p = 0.8;  // the paper's partial-verification recall
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(p)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.006);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(18);
+  // Usable with <random> distributions.
+  std::vector<std::uint64_t> draws;
+  for (int i = 0; i < 3; ++i) draws.push_back(rng());
+  EXPECT_EQ(draws.size(), 3u);
+}
+
+}  // namespace
+}  // namespace chainckpt::util

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace chainckpt::util {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"n", "makespan"});
+  t.add_row({"1", "1.1144"});
+  t.add_row({"50", "1.0402"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| n "), std::string::npos);
+  EXPECT_NE(out.find("makespan"), std::string::npos);
+  EXPECT_NE(out.find("1.0402"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRowsRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/chainckpt_test.csv";
+  {
+    CsvWriter csv(path, {"series", "x", "y"});
+    csv.add_row({"ADV*", "1", "1.114"});
+    csv.add_row({"with,comma", "2", "3"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_EQ(content,
+            "series,x,y\nADV*,1,1.114\n\"with,comma\",2,3\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWrongWidth) {
+  const std::string path = ::testing::TempDir() + "/chainckpt_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"x"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace chainckpt::util
