@@ -1,9 +1,14 @@
 // google-benchmark: runtime of the three dynamic programs vs chain length.
 // Verifies the paper's complexity discussion (O(n^3)/O(n^4)/O(n^6)) and
-// its claim that ADMV "executes within a few seconds for n = 50".
+// its claim that ADMV "executes within a few seconds for n = 50" -- and
+// tracks the hot-path overhaul that pushes the interactive regime to
+// n = 400 (ADMV*) / n = 100 (ADMV).  The `bench-json` CMake target runs
+// this harness with --benchmark_format=json into BENCH_dp.json, the perf
+// trajectory snapshot consumed by PERFORMANCE.md and future PRs.
 #include <benchmark/benchmark.h>
 
 #include "chain/patterns.hpp"
+#include "core/dp_two_level.hpp"
 #include "core/optimizer.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/registry.hpp"
@@ -40,13 +45,29 @@ void BM_PartialSerial(benchmark::State& state) {
   util::set_parallelism(0);
 }
 
+// The 8x8-tiled table layout (see core::TableLayout), exercised at the
+// sizes where a slab plane outgrows L2.
+void BM_TwoLevelTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chain = chain::make_uniform(n, 25000.0);
+  const platform::CostModel costs(platform::hera());
+  for (auto _ : state) {
+    const auto result =
+        core::optimize_two_level(chain, costs, core::TableLayout::kTiled);
+    benchmark::DoNotOptimize(result.expected_makespan);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
 }  // namespace
 
 BENCHMARK(BM_SingleLevel)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(400)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoLevel)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
+    ->Arg(300)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelTiled)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Partial)->Arg(10)->Arg(25)->Arg(50)->Arg(75)
+BENCHMARK(BM_Partial)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 // The paper's "a few seconds for n = 50" figure was single-threaded.
 BENCHMARK(BM_PartialSerial)->Arg(50)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,74 @@
+#include "analysis/segment_tables.hpp"
+
+#include "analysis/segment_math.hpp"
+#include "util/math.hpp"
+
+namespace chainckpt::analysis {
+
+SegmentTables::SegmentTables(const chain::WeightTable& table,
+                             const platform::CostModel& costs,
+                             bool build_rows)
+    : n_(table.n()), has_rows_(build_rows) {
+  const std::size_t stride = n_ + 1;
+  const std::size_t cells = stride * stride;
+  const double lambda_f = table.lambda_f();
+
+  vg_.assign(stride, 0.0);
+  vp_.assign(stride, 0.0);
+  for (std::size_t i = 1; i <= n_; ++i) {
+    vg_[i] = costs.v_guaranteed_after(i);
+    vp_[i] = costs.v_partial_after(i);
+  }
+
+  if (build_rows) {
+    exv_r_.assign(cells, 0.0);
+    b_r_.assign(cells, 0.0);
+    c_r_.assign(cells, 0.0);
+    d_r_.assign(cells, 0.0);
+    tl_r_.assign(cells, 0.0);
+    pf_r_.assign(cells, 0.0);
+    ef_r_.assign(cells, 0.0);
+    w_r_.assign(cells, 0.0);
+  }
+  exvg_c_.assign(cells, 0.0);
+  b_c_.assign(cells, 0.0);
+  c_c_.assign(cells, 0.0);
+  d_c_.assign(cells, 0.0);
+  fs_c_.assign(cells, 0.0);
+
+  for (std::size_t i = 0; i <= n_; ++i) {
+    for (std::size_t j = i; j <= n_; ++j) {
+      // Same expression trees as segment_math.cpp / WeightTable, so the
+      // stored coefficients are bitwise what the scalar path computes.
+      const double em1_f = table.em1_f(i, j);
+      const double em1_s = table.em1_s(i, j);
+      const double w = table.weight(i, j);
+      const Interval seg{w, em1_f, em1_s};
+      const double x = em1f_over_lambda(seg, lambda_f);
+      const double es = seg.exp_s();
+      const double b = es * em1_f;
+      const double c = seg.em1_fs();
+      const double d = em1_s;
+      const std::size_t cm = j * stride + i;
+      exvg_c_[cm] = es * (x + vg_[j]);
+      b_c_[cm] = b;
+      c_c_[cm] = c;
+      d_c_[cm] = d;
+      fs_c_[cm] = seg.exp_fs();
+      if (build_rows) {
+        const double ef = seg.exp_f();
+        const std::size_t rm = i * stride + j;
+        exv_r_[rm] = es * (x + vp_[j]);
+        b_r_[rm] = b;
+        c_r_[rm] = c;
+        d_r_[rm] = d;
+        tl_r_[rm] = util::expected_time_lost(lambda_f, w);
+        pf_r_[rm] = em1_f / ef;
+        ef_r_[rm] = ef;
+        w_r_[rm] = w;
+      }
+    }
+  }
+}
+
+}  // namespace chainckpt::analysis

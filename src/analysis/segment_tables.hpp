@@ -1,0 +1,108 @@
+// Hoisted interval algebra for the DP hot paths.
+//
+// The closed forms of segment_math.cpp all decompose over an interval
+// (i, j] into coefficient fields that are independent of the DP's left
+// context (d1, m1):
+//
+//   expected_verified_segment = es*(x + V*) + b*(R_D + E_mem)
+//                               + c*E_verif + d*R_M
+//   e_minus_segment           = es*(x + V)  + b*(R_D + E_mem)
+//                               + c*E_verif + d*((1-g) R_M + g E_right')
+//   e_right_step              = pf*(tl + R_D + E_mem)
+//                               + (W + V + (1-g) R_M + g E_right') / ef
+//
+// with  x  = (e^{lf W} - 1)/lf      es = e^{ls W}
+//       b  = es * (e^{lf W} - 1)    c  = e^{(lf+ls) W} - 1
+//       d  = e^{ls W} - 1           fs = e^{(lf+ls) W}
+//       ef = e^{lf W}               pf = (e^{lf W} - 1) / ef
+//       tl = expected_time_lost(lf, W)
+//
+// The O(n^4)/O(n^6) dynamic programs used to rebuild Interval/LeftContext
+// structs and re-derive these quantities -- including an expm1 per
+// e_right_step -- inside their innermost loops; this table materializes
+// them once per (chain, cost model) pair as flat SoA arrays.  The
+// verification costs are folded into the leading term where possible
+// (exv = es*(x + V_j), exvg = es*(x + V*_j)), which drops two more streams
+// from the kernels.  Two orientations are kept:
+//
+//   *_row(i): fixed left endpoint i, contiguous in j -- the access pattern
+//             of the partial-verification inner DP (p2 scan);
+//   *_col(j): fixed right endpoint j, contiguous in i -- the access pattern
+//             of the level-DP v1 scans.
+//
+// Every entry is computed with the exact expression trees of
+// segment_math.cpp on the same WeightTable inputs.  The Eq. (4) level-DP
+// kernels (dp_two_level, dp_single_level) consume them with the scalar
+// formulas' association order and reproduce those values bit for bit;
+// the ADMV kernels (dp_partial) additionally distribute the e^{(lf+ls)W}
+// chain factor across per-scan planes, which reassociates sums of
+// non-negative terms and may differ from the scalar path by a few ulps --
+// well inside the 1e-9 tolerance of the "DP objective == analytic
+// evaluator" property tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/weight_table.hpp"
+#include "platform/cost_model.hpp"
+
+namespace chainckpt::analysis {
+
+class SegmentTables {
+ public:
+  /// `build_rows = false` skips the nine row-oriented arrays, which only
+  /// the ADMV partial solver reads -- the Eq. (4) level DPs (AD, ADV*,
+  /// ADMV*) consume the column views alone and need not pay the extra
+  /// O(n^2) memory and expected_time_lost build work.
+  SegmentTables(const chain::WeightTable& table,
+                const platform::CostModel& costs, bool build_rows = true);
+
+  std::size_t n() const noexcept { return n_; }
+  bool has_rows() const noexcept { return has_rows_; }
+
+  // Row views: pointer indexed by the absolute right endpoint j, valid for
+  // j in [i, n].  Require has_rows().
+  const double* exv_row(std::size_t i) const noexcept {
+    return row(exv_r_, i);
+  }
+  const double* b_row(std::size_t i) const noexcept { return row(b_r_, i); }
+  const double* c_row(std::size_t i) const noexcept { return row(c_r_, i); }
+  const double* d_row(std::size_t i) const noexcept { return row(d_r_, i); }
+  const double* tl_row(std::size_t i) const noexcept { return row(tl_r_, i); }
+  const double* pf_row(std::size_t i) const noexcept { return row(pf_r_, i); }
+  const double* ef_row(std::size_t i) const noexcept { return row(ef_r_, i); }
+  const double* w_row(std::size_t i) const noexcept { return row(w_r_, i); }
+
+  // Column views: pointer indexed by the absolute left endpoint i, valid
+  // for i in [0, j].
+  const double* exvg_col(std::size_t j) const noexcept {
+    return row(exvg_c_, j);
+  }
+  const double* b_col(std::size_t j) const noexcept { return row(b_c_, j); }
+  const double* c_col(std::size_t j) const noexcept { return row(c_c_, j); }
+  const double* d_col(std::size_t j) const noexcept { return row(d_c_, j); }
+  const double* fs_col(std::size_t j) const noexcept { return row(fs_c_, j); }
+
+  /// Guaranteed-verification cost after task i (i >= 1), hoisted out of the
+  /// CostModel's uniform/per-position branch.
+  double vg_after(std::size_t i) const noexcept { return vg_[i]; }
+  /// Partial-verification cost after task i (i >= 1).
+  double vp_after(std::size_t i) const noexcept { return vp_[i]; }
+  /// vp_after as a flat array indexed by position (entry 0 unused).
+  const double* vp_data() const noexcept { return vp_.data(); }
+
+ private:
+  const double* row(const std::vector<double>& v,
+                    std::size_t i) const noexcept {
+    return v.data() + i * (n_ + 1);
+  }
+
+  std::size_t n_;
+  bool has_rows_ = false;
+  std::vector<double> exv_r_, b_r_, c_r_, d_r_, tl_r_, pf_r_, ef_r_, w_r_;
+  std::vector<double> exvg_c_, b_c_, c_c_, d_c_, fs_c_;
+  std::vector<double> vg_, vp_;
+};
+
+}  // namespace chainckpt::analysis

@@ -5,10 +5,11 @@
 namespace chainckpt::core {
 
 DpContext::DpContext(chain::TaskChain chain, platform::CostModel costs,
-                     std::size_t max_n)
+                     std::size_t max_n, bool build_row_tables)
     : chain_(std::move(chain)),
       costs_(std::move(costs)),
-      table_(chain_, costs_.lambda_f(), costs_.lambda_s()) {
+      table_(chain_, costs_.lambda_f(), costs_.lambda_s()),
+      seg_tables_(table_, costs_, build_row_tables) {
   CHAINCKPT_REQUIRE(!chain_.empty(), "optimizer needs a non-empty chain");
   CHAINCKPT_REQUIRE(chain_.size() <= max_n,
                     "chain too long for the dense DP tables; raise max_n "

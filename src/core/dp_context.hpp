@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "analysis/segment_math.hpp"
+#include "analysis/segment_tables.hpp"
 #include "chain/chain.hpp"
 #include "chain/weight_table.hpp"
 #include "plan/plan.hpp"
@@ -19,19 +20,40 @@ struct OptimizationResult {
   double expected_makespan = 0.0;
 };
 
+/// Memory layout of the dense O(n^3) level-DP tables.
+///
+/// kRowMajor keeps each (d1, m1, ·) row contiguous (the layout the value
+/// scans were written for).  kTiled blocks every (m1, v2) plane into 8x8
+/// tiles so walks along EITHER axis touch full cache lines -- the m1-scan
+/// of the E_mem pass and the sparse reconstruction reads stay
+/// cache-friendly once a slab plane outgrows L2.  The DP itself runs on a
+/// contiguous thread-local scratch plane either way, so the two layouts
+/// produce bitwise-identical tables and plans.
+enum class TableLayout { kRowMajor, kTiled };
+
 /// Precomputed chain/cost/interval data shared by all DP levels.
 class DpContext {
  public:
-  /// `max_n` bounds the O(n^3) table memory of the multi-level DPs;
-  /// the default (600) corresponds to ~1.7 GiB for the largest table and
-  /// is far beyond the paper's n <= 50 regime.
+  static constexpr std::size_t kDefaultMaxN = 900;
+
+  /// `max_n` bounds the O(n^3) table memory of the multi-level DPs; the
+  /// default (900) corresponds to ~8.8 GiB across the value + argmin
+  /// tables of the largest DP.  The tiled layout and the scratch-plane
+  /// hot path keep that regime compute-bound; pass a larger max_n
+  /// explicitly if you have the memory.  `build_row_tables = false`
+  /// skips the SegmentTables row arrays that only the ADMV partial
+  /// solver reads (see analysis::SegmentTables).
   DpContext(chain::TaskChain chain, platform::CostModel costs,
-            std::size_t max_n = 600);
+            std::size_t max_n = kDefaultMaxN, bool build_row_tables = true);
 
   std::size_t n() const noexcept { return chain_.size(); }
   const chain::TaskChain& chain() const noexcept { return chain_; }
   const platform::CostModel& costs() const noexcept { return costs_; }
   const chain::WeightTable& table() const noexcept { return table_; }
+  /// Hoisted SoA interval algebra for the DP inner kernels.
+  const analysis::SegmentTables& seg_tables() const noexcept {
+    return seg_tables_;
+  }
   double lambda_f() const noexcept { return costs_.lambda_f(); }
 
   analysis::Interval interval(std::size_t i, std::size_t j) const {
@@ -42,6 +64,7 @@ class DpContext {
   chain::TaskChain chain_;
   platform::CostModel costs_;
   chain::WeightTable table_;
+  analysis::SegmentTables seg_tables_;
 };
 
 }  // namespace chainckpt::core

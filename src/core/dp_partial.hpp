@@ -26,8 +26,11 @@
 
 namespace chainckpt::core {
 
-/// Returns the optimal ADMV plan and its expected makespan.
-OptimizationResult optimize_with_partial(const chain::TaskChain& chain,
-                                         const platform::CostModel& costs);
+/// Returns the optimal ADMV plan and its expected makespan.  `layout`
+/// selects the storage layout of the dense DP tables (values and plans are
+/// identical under both; see core::TableLayout).
+OptimizationResult optimize_with_partial(
+    const chain::TaskChain& chain, const platform::CostModel& costs,
+    TableLayout layout = TableLayout::kRowMajor);
 
 }  // namespace chainckpt::core

@@ -36,37 +36,42 @@ struct SingleLevelTables {
 OptimizationResult optimize_single_level(const chain::TaskChain& chain,
                                          const platform::CostModel& costs,
                                          SingleLevelOptions options) {
-  const DpContext ctx(chain, costs);
+  const DpContext ctx(chain, costs, DpContext::kDefaultMaxN,
+                      /*build_row_tables=*/false);
   const std::size_t n = ctx.n();
   const auto& cm = ctx.costs();
-  const double lambda_f = ctx.lambda_f();
   SingleLevelTables t(n);
 
   // E_verif(d1, v2) with m1 = d1: E_mem(d1, d1) = 0 and R_M is the memory
-  // copy bundled with the disk checkpoint at d1.
+  // copy bundled with the disk checkpoint at d1.  Eq. (4) is fused over
+  // the hoisted SoA columns (see analysis::SegmentTables); each slab's
+  // E_verif row is contiguous, so the v1 scan reads flat arrays only.
+  const auto& seg = ctx.seg_tables();
   util::parallel_for(0, n, [&](std::size_t d1) {
-    t.everif[t.idx(d1, d1)] = 0.0;
+    double* everif_row = t.everif.data() + t.idx(d1, 0);
+    everif_row[d1] = 0.0;
+    const double k1 = cm.r_disk_after(d1) + 0.0;  // left e_mem is 0 here
+    const double k2 = cm.r_mem_after(d1);
     for (std::size_t j = d1 + 1; j <= n; ++j) {
+      const double* exvg = seg.exvg_col(j);
+      const double* b = seg.b_col(j);
+      const double* c = seg.c_col(j);
+      const double* d = seg.d_col(j);
       double best = std::numeric_limits<double>::infinity();
       std::int32_t best_arg = -1;
       // AD restricts the segment to start at d1 (no interior verifs).
       const std::size_t v1_last =
           options.allow_extra_verifications ? j - 1 : d1;
       for (std::size_t v1 = d1; v1 <= v1_last; ++v1) {
-        const double everif_at_v1 = t.everif[t.idx(d1, v1)];
-        const analysis::LeftContext left{cm.r_disk_after(d1),
-                                         cm.r_mem_after(d1),
-                                         /*e_mem=*/0.0, everif_at_v1};
+        const double ev = everif_row[v1];
         const double candidate =
-            everif_at_v1 + analysis::expected_verified_segment(
-                               ctx.interval(v1, j), lambda_f,
-                               cm.v_guaranteed_after(j), left);
+            ev + (exvg[v1] + b[v1] * k1 + c[v1] * ev + d[v1] * k2);
         if (candidate < best) {
           best = candidate;
           best_arg = static_cast<std::int32_t>(v1);
         }
       }
-      t.everif[t.idx(d1, j)] = best;
+      everif_row[j] = best;
       t.best_v1[t.idx(d1, j)] = best_arg;
     }
   });

@@ -1,5 +1,6 @@
 #include "core/dp_two_level.hpp"
 
+#include <cstdint>
 #include <vector>
 
 #include "core/level_dp.hpp"
@@ -7,23 +8,42 @@
 namespace chainckpt::core {
 
 OptimizationResult optimize_two_level(const chain::TaskChain& chain,
-                                      const platform::CostModel& costs) {
-  const DpContext ctx(chain, costs);
-  detail::LevelTables tables(ctx.n());
+                                      const platform::CostModel& costs,
+                                      TableLayout layout) {
+  const DpContext ctx(chain, costs, DpContext::kDefaultMaxN,
+                      /*build_row_tables=*/false);
+  // ADMV* never re-reads E_verif values (plan extraction needs only the
+  // argmin tables), so skip the O(n^3) value table entirely.
+  detail::LevelTables tables(ctx.n(), layout, /*keep_verif_values=*/false);
 
-  const double lambda_f = ctx.lambda_f();
+  const auto& seg = ctx.seg_tables();
   const auto& cm = ctx.costs();
-  // Paper Eq. (4): the verified segment (v1, v2] in context (d1, m1).
-  const auto segment = [&](std::size_t d1, std::size_t m1, std::size_t v1,
-                           std::size_t v2, double everif_at_v1,
-                           double emem_at_m1) {
-    const analysis::LeftContext left{cm.r_disk_after(d1), cm.r_mem_after(m1),
-                                     emem_at_m1, everif_at_v1};
-    return analysis::expected_verified_segment(
-        ctx.interval(v1, v2), lambda_f, cm.v_guaranteed_after(v2), left);
+  // Paper Eq. (4) fused over the hoisted SoA columns: for the verified
+  // segment (v1, j] in context (d1, m1),
+  //   E = es*(x + V*) + b*(R_D + E_mem) + c*E_verif + d*R_M
+  // where exvg = es*(x + V*) and b/c/d depend only on (v1, j) and are read
+  // at unit stride.
+  const auto scan = [&](std::size_t d1, std::size_t m1, std::size_t j,
+                        double emem_at_m1, const double* everif_row,
+                        double& best, std::int32_t& best_arg) {
+    const double* exvg = seg.exvg_col(j);
+    const double* b = seg.b_col(j);
+    const double* c = seg.c_col(j);
+    const double* d = seg.d_col(j);
+    const double k1 = cm.r_disk_after(d1) + emem_at_m1;
+    const double k2 = cm.r_mem_after(m1);
+    for (std::size_t v1 = m1; v1 < j; ++v1) {
+      const double ev = everif_row[v1];
+      const double candidate =
+          ev + (exvg[v1] + b[v1] * k1 + c[v1] * ev + d[v1] * k2);
+      if (candidate < best) {
+        best = candidate;
+        best_arg = static_cast<std::int32_t>(v1);
+      }
+    }
   };
 
-  detail::run_level_dp(ctx, tables, segment);
+  detail::run_level_dp(ctx, tables, scan);
 
   const auto no_partials = [](std::size_t, std::size_t, std::size_t,
                               std::size_t) {

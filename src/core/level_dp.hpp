@@ -10,13 +10,18 @@
 //                                           + <segment>(d1,m1,v1,v2)
 //
 // and differ only in <segment>: Eq. (4) for ADMV*, the E_partial inner DP
-// for ADMV.  The segment evaluator is injected as a template parameter so
-// there is zero dispatch cost in the innermost loop.
+// for ADMV.  The inner v1 scan is injected as a template parameter (see
+// the ColumnScanner contract below) so there is zero dispatch cost in the
+// innermost loop and each algorithm can fuse its segment formula into a
+// branch-light kernel over flat SoA arrays (analysis::SegmentTables).
 //
-// Dependence structure (per fixed d1, increasing right endpoint j):
-// E_verif(d1,m1,j) consumes E_mem(d1,m1) and E_verif(d1,m1,v1<j), both
-// finalized at earlier j; different d1 slabs are fully independent, which
-// is what the OpenMP parallelization exploits.
+// Hot-path structure (per fixed d1, increasing right endpoint j):
+// E_verif(d1, m1, j) consumes E_mem(d1, m1) and E_verif(d1, m1, v1 < j),
+// both finalized at earlier j; different d1 slabs are fully independent,
+// which is what the parallelization exploits.  Each slab runs on a
+// contiguous thread-local scratch plane (SlabScratch) so the v1 scans read
+// unit-stride rows and the m1-scan of the E_mem pass reads a gathered
+// contiguous column, independent of the global LevelTables layout.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +36,14 @@ namespace chainckpt::core::detail {
 
 struct LevelTables {
   std::size_t n = 0;
-  /// E_verif(d1, m1, v2), flattened over (n+1)^3; valid for d1<=m1<=v2.
+  /// E_verif(d1, m1, v2); valid for d1<=m1<=v2.  Flattened per idx3(),
+  /// whose mapping depends on the layout (see core::TableLayout).  Empty
+  /// when constructed with keep_verif_values = false: the DP itself reads
+  /// E_verif only from its slab scratch plane, so the O(n^3) value table
+  /// is needed solely by consumers that re-derive segment interiors after
+  /// the fact (ADMV's partial reconstruction) -- ADMV* skips it, which
+  /// removes roughly two-thirds of its peak memory and a hot-loop store
+  /// stream.
   std::vector<double> everif;
   std::vector<std::int32_t> best_v1;
   /// E_mem(d1, m2), flattened over (n+1)^2; valid for d1<=m2.
@@ -41,18 +53,36 @@ struct LevelTables {
   std::vector<double> edisk;
   std::vector<std::int32_t> best_d1;
 
-  explicit LevelTables(std::size_t n_in)
+  explicit LevelTables(std::size_t n_in,
+                       TableLayout layout = TableLayout::kRowMajor,
+                       bool keep_verif_values = true)
       : n(n_in),
-        everif((n + 1) * (n + 1) * (n + 1),
-               std::numeric_limits<double>::quiet_NaN()),
-        best_v1((n + 1) * (n + 1) * (n + 1), -1),
         emem((n + 1) * (n + 1), std::numeric_limits<double>::quiet_NaN()),
         best_m1((n + 1) * (n + 1), -1),
         edisk(n + 1, std::numeric_limits<double>::quiet_NaN()),
-        best_d1(n + 1, -1) {}
+        best_d1(n + 1, -1),
+        tiled_(layout == TableLayout::kTiled) {
+    if (tiled_) {
+      // Pad the (m1, v2) plane to whole 8x8 tiles; tile rows are
+      // contiguous, so both m1-walks and v2-walks use full cache lines.
+      tdim_ = (n + 8) & ~std::size_t{7};
+      plane_ = tdim_ * tdim_;
+    } else {
+      plane_ = (n + 1) * (n + 1);
+    }
+    if (keep_verif_values) {
+      everif.assign((n + 1) * plane_,
+                    std::numeric_limits<double>::quiet_NaN());
+    }
+    best_v1.assign((n + 1) * plane_, -1);
+  }
 
   std::size_t idx3(std::size_t d1, std::size_t m1, std::size_t v2) const {
-    return (d1 * (n + 1) + m1) * (n + 1) + v2;
+    if (tiled_) {
+      return d1 * plane_ + ((m1 >> 3) * (tdim_ >> 3) + (v2 >> 3)) * 64 +
+             ((m1 & 7) << 3) + (v2 & 7);
+    }
+    return d1 * plane_ + m1 * (n + 1) + v2;
   }
   std::size_t idx2(std::size_t d1, std::size_t m2) const {
     return d1 * (n + 1) + m2;
@@ -64,52 +94,85 @@ struct LevelTables {
   double emem_at(std::size_t d1, std::size_t m2) const {
     return emem[idx2(d1, m2)];
   }
+
+ private:
+  bool tiled_ = false;
+  std::size_t tdim_ = 0;
+  std::size_t plane_ = 0;
 };
 
-/// SegmentEvaluator contract:
-///   double operator()(std::size_t d1, std::size_t m1, std::size_t v1,
-///                     std::size_t v2, double everif_at_v1,
-///                     double emem_at_m1) const;
-/// returning the expected time of the verified segment (v1, v2] in context
-/// (d1, m1).  It must be safe to call concurrently for different d1.
-template <typename SegmentEvaluator>
+/// Per-slab scratch: the (m1, v1) plane of E_verif values for the current
+/// d1 kept contiguous and cache-hot, plus the E_verif(d1, ·, j) column
+/// gathered for the E_mem scan.  thread_local so each worker allocates the
+/// O(n^2) plane once, not once per slab.
+struct SlabScratch {
+  std::vector<double> plane;
+  std::vector<double> column;
+
+  void ensure(std::size_t n) {
+    const std::size_t cells = (n + 1) * (n + 1);
+    if (plane.size() < cells) plane.resize(cells);
+    if (column.size() < n + 1) column.resize(n + 1);
+  }
+};
+
+inline SlabScratch& slab_scratch() {
+  static thread_local SlabScratch scratch;
+  return scratch;
+}
+
+/// ColumnScanner contract:
+///   void operator()(std::size_t d1, std::size_t m1, std::size_t j,
+///                   double emem_at_m1, const double* everif_row,
+///                   double& best, std::int32_t& best_arg) const;
+/// where everif_row[v1] = E_verif(d1, m1, v1) for v1 in [m1, j), unit
+/// stride.  The scanner must write the min over v1 in [m1, j) of
+///   E_verif(d1, m1, v1) + <segment>(d1, m1, v1, j)
+/// into `best` and the first attaining v1 into `best_arg` (strict-less
+/// argmin, matching the determinism contract).  It must be safe to call
+/// concurrently for different d1.
+template <typename ColumnScanner>
 void run_level_dp(const DpContext& ctx, LevelTables& t,
-                  const SegmentEvaluator& segment) {
+                  const ColumnScanner& scan) {
   const std::size_t n = ctx.n();
   const auto& costs = ctx.costs();
 
   // Independent d1 slabs: E_verif(d1, *, *) and E_mem(d1, *).
+  const bool keep_values = !t.everif.empty();
   util::parallel_for(0, n, [&](std::size_t d1) {
+    SlabScratch& scratch = slab_scratch();
+    scratch.ensure(n);
+    double* plane = scratch.plane.data();
+    double* column = scratch.column.data();
+    const std::size_t stride = n + 1;
+    const double* emem_row = t.emem.data() + t.idx2(d1, 0);
+
     t.emem[t.idx2(d1, d1)] = 0.0;  // E_mem(d1, d1) = 0
     t.best_m1[t.idx2(d1, d1)] = static_cast<std::int32_t>(d1);
     for (std::size_t j = d1 + 1; j <= n; ++j) {
       // E_verif(d1, m1, j) for all m1 in [d1, j).
       for (std::size_t m1 = d1; m1 < j; ++m1) {
-        t.everif[t.idx3(d1, m1, m1)] = 0.0;  // E_verif(d1, m1, m1) = 0
-        const double emem_at_m1 = t.emem_at(d1, m1);
+        double* row = plane + m1 * stride;
+        if (m1 + 1 == j) {
+          row[m1] = 0.0;  // E_verif(d1, m1, m1) = 0
+          if (keep_values) t.everif[t.idx3(d1, m1, m1)] = 0.0;
+        }
+        const double emem_at_m1 = emem_row[m1];
         CHAINCKPT_ASSERT(emem_at_m1 == emem_at_m1,
                          "E_mem(d1, m1) must be finalized before use");
         double best = std::numeric_limits<double>::infinity();
         std::int32_t best_arg = -1;
-        for (std::size_t v1 = m1; v1 < j; ++v1) {
-          const double everif_at_v1 = t.everif_at(d1, m1, v1);
-          const double candidate =
-              everif_at_v1 +
-              segment(d1, m1, v1, j, everif_at_v1, emem_at_m1);
-          if (candidate < best) {
-            best = candidate;
-            best_arg = static_cast<std::int32_t>(v1);
-          }
-        }
-        t.everif[t.idx3(d1, m1, j)] = best;
+        scan(d1, m1, j, emem_at_m1, row, best, best_arg);
+        row[j] = best;
+        column[m1] = best;
+        if (keep_values) t.everif[t.idx3(d1, m1, j)] = best;
         t.best_v1[t.idx3(d1, m1, j)] = best_arg;
       }
-      // E_mem(d1, j).
+      // E_mem(d1, j): contiguous scan over the gathered E_verif column.
       double best = std::numeric_limits<double>::infinity();
       std::int32_t best_arg = -1;
       for (std::size_t m1 = d1; m1 < j; ++m1) {
-        const double candidate =
-            t.emem_at(d1, m1) + t.everif_at(d1, m1, j);
+        const double candidate = emem_row[m1] + column[m1];
         if (candidate < best) {
           best = candidate;
           best_arg = static_cast<std::int32_t>(m1);

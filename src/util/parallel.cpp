@@ -1,7 +1,6 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
-#include <mutex>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -29,37 +28,7 @@ void set_parallelism(int threads) noexcept {
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
-  if (begin >= end) return;
-  const std::size_t count = end - begin;
-  const int threads = hardware_parallelism();
-  if (threads <= 1 || count == 1) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
-  for (long long i = static_cast<long long>(begin);
-       i < static_cast<long long>(end); ++i) {
-    try {
-      body(static_cast<std::size_t>(i));
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-#else
-  for (std::size_t i = begin; i < end; ++i) {
-    try {
-      body(i);
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-#endif
-  if (first_error) std::rethrow_exception(first_error);
+  detail::parallel_for_impl(begin, end, body);
 }
 
 }  // namespace chainckpt::util

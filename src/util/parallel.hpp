@@ -5,6 +5,12 @@
 // maps onto OpenMP when available and degrades to a serial loop otherwise,
 // so the library has no hard dependency on a threading runtime.
 //
+// The primary overload is a header-only template: the body is invoked
+// through its static type, so lambdas inline into the loop with zero
+// type-erasure (no std::function construction, no indirect call per
+// iteration).  A std::function overload is kept with the original mangled
+// symbol for ABI-stable callers that hold an erased callable already.
+//
 // Determinism contract: the callable receives the iteration index and must
 // derive any randomness from it (see Xoshiro256::stream), so results are
 // identical for every thread count.
@@ -13,6 +19,7 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <mutex>
 
 namespace chainckpt::util {
 
@@ -23,10 +30,59 @@ int hardware_parallelism() noexcept;
 /// runtime default.  Mostly used by tests and benches.
 void set_parallelism(int threads) noexcept;
 
-/// Runs body(i) for i in [begin, end) with dynamic scheduling.  Exceptions
-/// thrown by the body are captured and the first one is rethrown on the
-/// calling thread after the loop completes (OpenMP regions must not leak
-/// exceptions).
+namespace detail {
+
+/// Shared loop skeleton for both overloads.  Exceptions thrown by the body
+/// are captured and the first one is rethrown on the calling thread after
+/// the loop completes (OpenMP regions must not leak exceptions).
+template <typename Body>
+void parallel_for_impl(std::size_t begin, std::size_t end, const Body& body) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const int threads = hardware_parallelism();
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+  for (long long i = static_cast<long long>(begin);
+       i < static_cast<long long>(end); ++i) {
+    try {
+      body(static_cast<std::size_t>(i));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) {
+    try {
+      body(i);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+#endif
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+/// Runs body(i) for i in [begin, end) with dynamic scheduling.  The body is
+/// called through its concrete type -- prefer this overload everywhere.
+template <typename Body>
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const Body& body) {
+  detail::parallel_for_impl(begin, end, body);
+}
+
+/// Type-erased overload, kept so callers that already hold a std::function
+/// (and pre-built binaries linking the old symbol) keep working.  Overload
+/// resolution prefers this non-template for actual std::function arguments.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 

@@ -2,11 +2,15 @@
 // the DP optimum must never lose to any sampled valid plan of its class.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "analysis/evaluator.hpp"
 #include "chain/patterns.hpp"
 #include "core/dp_partial.hpp"
+#include "core/dp_single_level.hpp"
 #include "core/dp_two_level.hpp"
 #include "platform/registry.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace chainckpt::core {
@@ -77,6 +81,68 @@ TEST_P(RandomDominance, PartialDpDominatesSampledPlans) {
 INSTANTIATE_TEST_SUITE_P(Platforms, RandomDominance,
                          ::testing::Values("Hera", "Atlas", "Coastal",
                                            "CoastalSSD"));
+
+/// Determinism guard for the hot-path refactor: for random chains, every
+/// algorithm must produce bitwise-identical expected makespans and
+/// identical plans under forced-serial, default, and oversubscribed
+/// parallelism (see the contract in util/parallel.hpp).
+TEST(Determinism, SerialAndParallelRunsAgreeExactly) {
+  util::Xoshiro256 rng(0xD5EED);
+  for (const char* name : {"Hera", "Coastal"}) {
+    const auto platform = platform::by_name(name);
+    const platform::CostModel costs(platform);
+    const auto chain = chain::make_random(20, 25000.0, rng);
+
+    const auto run_all = [&] {
+      std::vector<OptimizationResult> results;
+      results.push_back(optimize_single_level(chain, costs));
+      results.push_back(optimize_two_level(chain, costs));
+      results.push_back(optimize_with_partial(chain, costs));
+      return results;
+    };
+
+    util::set_parallelism(1);
+    const auto serial = run_all();
+    util::set_parallelism(0);  // runtime default
+    const auto dflt = run_all();
+    util::set_parallelism(4);  // oversubscribed on small machines
+    const auto wide = run_all();
+    util::set_parallelism(0);
+
+    for (std::size_t a = 0; a < serial.size(); ++a) {
+      EXPECT_DOUBLE_EQ(serial[a].expected_makespan, dflt[a].expected_makespan)
+          << name << " algorithm " << a << " serial vs default";
+      EXPECT_DOUBLE_EQ(serial[a].expected_makespan, wide[a].expected_makespan)
+          << name << " algorithm " << a << " serial vs 4 threads";
+      EXPECT_EQ(serial[a].plan.compact_string(),
+                dflt[a].plan.compact_string())
+          << name << " algorithm " << a << " plan serial vs default";
+      EXPECT_EQ(serial[a].plan.compact_string(),
+                wide[a].plan.compact_string())
+          << name << " algorithm " << a << " plan serial vs 4 threads";
+    }
+  }
+}
+
+/// The tiled table layout must be a pure storage change: same objective,
+/// same plan, bit for bit.
+TEST(Determinism, TiledLayoutMatchesRowMajor) {
+  util::Xoshiro256 rng(0x711ED);
+  const platform::CostModel costs(platform::hera());
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto chain = chain::make_random(22, 25000.0, rng);
+    const auto row2 = optimize_two_level(chain, costs, TableLayout::kRowMajor);
+    const auto tile2 = optimize_two_level(chain, costs, TableLayout::kTiled);
+    EXPECT_DOUBLE_EQ(row2.expected_makespan, tile2.expected_makespan);
+    EXPECT_EQ(row2.plan.compact_string(), tile2.plan.compact_string());
+
+    const auto rowp =
+        optimize_with_partial(chain, costs, TableLayout::kRowMajor);
+    const auto tilep = optimize_with_partial(chain, costs, TableLayout::kTiled);
+    EXPECT_DOUBLE_EQ(rowp.expected_makespan, tilep.expected_makespan);
+    EXPECT_EQ(rowp.plan.compact_string(), tilep.plan.compact_string());
+  }
+}
 
 TEST(RandomDominance, HoldsUnderRandomPerPositionCosts) {
   util::Xoshiro256 rng(777);
