@@ -1,0 +1,112 @@
+// google-benchmark: throughput of core::BatchSolver on a mixed multi-chain
+// workload, in chains/sec, against solving the same jobs through
+// standalone core::optimize() calls in a plain loop.  Also tracks the
+// streamed single-level memory profile: the arena bytes left resident
+// after a solve, versus the dense (n+1)^2 value + argmin tables the
+// pre-streaming formulation allocated.  The `bench-batch-json` CMake
+// target runs this harness into BENCH_batch.json, the batch-throughput
+// snapshot consumed by PERFORMANCE.md and future PRs.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/patterns.hpp"
+#include "core/batch_solver.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "util/arena.hpp"
+
+namespace {
+
+using namespace chainckpt;
+
+/// `copies` waves of a mixed request: four platforms x three patterns of
+/// single-level jobs (the high-n regime a service would meet) plus a pair
+/// of two-level jobs.  Chains repeat across waves, which is exactly the
+/// traffic shape the SegmentTables cache exploits.
+std::vector<core::BatchJob> mixed_workload(std::size_t copies) {
+  std::vector<core::BatchJob> jobs;
+  const auto platforms = platform::table1_platforms();
+  for (std::size_t c = 0; c < copies; ++c) {
+    for (const auto& p : platforms) {
+      const platform::CostModel costs{p};
+      jobs.push_back(
+          {core::Algorithm::kADVstar, chain::make_uniform(200, 25000.0), costs});
+      jobs.push_back(
+          {core::Algorithm::kAD, chain::make_decrease(200, 25000.0), costs});
+      jobs.push_back(
+          {core::Algorithm::kADVstar, chain::make_highlow(100, 50000.0), costs});
+    }
+    const platform::CostModel hera{platform::hera()};
+    jobs.push_back(
+        {core::Algorithm::kADMVstar, chain::make_uniform(60, 25000.0), hera});
+    jobs.push_back(
+        {core::Algorithm::kADMV, chain::make_uniform(30, 25000.0), hera});
+  }
+  return jobs;
+}
+
+void BM_BatchMixed(benchmark::State& state) {
+  const auto jobs = mixed_workload(static_cast<std::size_t>(state.range(0)));
+  core::BatchSolver solver;
+  for (auto _ : state) {
+    const auto results = solver.solve(jobs);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+  state.counters["chains"] = static_cast<double>(jobs.size());
+  state.counters["chains_per_sec"] = benchmark::Counter(
+      static_cast<double>(jobs.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// The same jobs through standalone optimize() calls: every chain rebuilds
+/// its own coefficient tables and nothing load-balances.
+void BM_SequentialMixed(benchmark::State& state) {
+  const auto jobs = mixed_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& job : jobs) {
+      const auto result = core::optimize(job.algorithm, job.chain, job.costs);
+      benchmark::DoNotOptimize(result.expected_makespan);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+  state.counters["chains"] = static_cast<double>(jobs.size());
+  state.counters["chains_per_sec"] = benchmark::Counter(
+      static_cast<double>(jobs.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Single-level memory profile: solve one n-task ADV* chain and report the
+/// arena bytes the streamed DP keeps resident, next to the dense
+/// (n+1)^2 * (8 + 4) bytes the pre-streaming tables held.
+void BM_SingleLevelStreamedMemory(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chain = chain::make_uniform(n, 25000.0);
+  const platform::CostModel costs{platform::hera()};
+  // Drop leftovers from earlier benchmarks so the resident count below is
+  // this solve's scratch alone.
+  util::release_all_arenas();
+  for (auto _ : state) {
+    const auto result = core::optimize(core::Algorithm::kADVstar, chain, costs);
+    benchmark::DoNotOptimize(result.expected_makespan);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["streamed_scratch_bytes"] =
+      static_cast<double>(util::arena_resident_bytes());
+  state.counters["dense_table_bytes"] = static_cast<double>(
+      (n + 1) * (n + 1) * (sizeof(double) + sizeof(std::int32_t)));
+  util::release_all_arenas();
+}
+
+}  // namespace
+
+BENCHMARK(BM_BatchMixed)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SequentialMixed)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleLevelStreamedMemory)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -71,4 +71,14 @@ SegmentTables::SegmentTables(const chain::WeightTable& table,
   }
 }
 
+std::size_t SegmentTables::resident_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto* v :
+       {&exv_r_, &b_r_, &c_r_, &d_r_, &tl_r_, &pf_r_, &ef_r_, &w_r_,
+        &exvg_c_, &b_c_, &c_c_, &d_c_, &fs_c_, &vg_, &vp_}) {
+    total += v->capacity() * sizeof(double);
+  }
+  return total;
+}
+
 }  // namespace chainckpt::analysis

@@ -92,6 +92,10 @@ class SegmentTables {
   /// vp_after as a flat array indexed by position (entry 0 unused).
   const double* vp_data() const noexcept { return vp_.data(); }
 
+  /// Bytes held by the coefficient arrays -- what a BatchSolver cache
+  /// entry keeps resident and release_scratch() gives back.
+  std::size_t resident_bytes() const noexcept;
+
  private:
   const double* row(const std::vector<double>& v,
                     std::size_t i) const noexcept {

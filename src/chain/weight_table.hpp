@@ -58,6 +58,12 @@ class WeightTable {
     return 1.0 + em1_fs(i, j);
   }
 
+  /// Bytes held by the triangular matrices (BatchSolver cache accounting).
+  std::size_t resident_bytes() const noexcept {
+    return (prefix_.capacity() + em1_f_.capacity() + em1_s_.capacity()) *
+           sizeof(double);
+  }
+
  private:
   std::size_t idx(std::size_t i, std::size_t j) const noexcept {
     return i * (n_ + 1) + j;

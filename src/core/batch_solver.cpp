@@ -1,0 +1,182 @@
+#include "core/batch_solver.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "util/arena.hpp"
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+
+namespace chainckpt::core {
+
+namespace {
+
+/// The four dynamic programs read the shared coefficient tables; the
+/// heuristic baselines score candidate plans through the analytic
+/// evaluator and gain nothing from a prebuilt context.
+bool is_dp_algorithm(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kAD:
+    case Algorithm::kADVstar:
+    case Algorithm::kADMVstar:
+    case Algorithm::kADMV:
+      return true;
+    case Algorithm::kPeriodic:
+    case Algorithm::kDaly:
+      return false;
+  }
+  return false;
+}
+
+/// Only the ADMV inner DP reads the row-oriented coefficient arrays.
+bool needs_row_tables(Algorithm algorithm) {
+  return algorithm == Algorithm::kADMV;
+}
+
+std::uint64_t to_bits(double value) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+BatchSolver::BatchSolver(BatchOptions options) : options_(options) {}
+
+std::size_t BatchSolver::TableKeyHash::operator()(
+    const TableKey& key) const noexcept {
+  // FNV-1a over the 64-bit words, byte by byte.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t word : key.bits) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (word >> shift) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+BatchSolver::TableKey BatchSolver::make_key(
+    const chain::TaskChain& chain, const platform::CostModel& costs) {
+  TableKey key;
+  const std::size_t n = chain.size();
+  key.bits.reserve(3 + 3 * n);
+  key.bits.push_back(static_cast<std::uint64_t>(n));
+  key.bits.push_back(to_bits(costs.lambda_f()));
+  key.bits.push_back(to_bits(costs.lambda_s()));
+  for (std::size_t i = 1; i <= n; ++i) {
+    key.bits.push_back(to_bits(chain.weight(i)));
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    key.bits.push_back(to_bits(costs.v_guaranteed_after(i)));
+    key.bits.push_back(to_bits(costs.v_partial_after(i)));
+  }
+  return key;
+}
+
+std::vector<OptimizationResult> BatchSolver::solve(
+    const std::vector<BatchJob>& jobs) {
+  std::vector<OptimizationResult> results(jobs.size());
+
+  // Phase 1 (serial): key the DP jobs, resolve cache entries, and collect
+  // the distinct missing tables as build tasks.  Entry pointers are stable
+  // under rehash, so jobs can hold them across the phases.
+  struct Build {
+    TableEntry* entry;
+    const BatchJob* job;
+    bool rows;
+  };
+  std::vector<Build> builds;
+  std::unordered_map<TableEntry*, std::size_t> build_index;
+  std::vector<TableEntry*> job_entry(jobs.size(), nullptr);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJob& job = jobs[i];
+    CHAINCKPT_REQUIRE(!job.chain.empty(),
+                      "batch job needs a non-empty chain");
+    if (!is_dp_algorithm(job.algorithm)) continue;
+    CHAINCKPT_REQUIRE(job.chain.size() <= options_.max_n,
+                      "batch job chain longer than BatchOptions::max_n");
+    auto [it, inserted] = cache_.try_emplace(make_key(job.chain, job.costs));
+    TableEntry& entry = it->second;
+    job_entry[i] = &entry;
+    const bool rows = needs_row_tables(job.algorithm);
+    // An entry built without rows is rebuilt in place when an ADMV job
+    // joins its key: the column arrays are identical either way, so the
+    // non-ADMV jobs sharing the entry keep their exact results.
+    if (entry.seg == nullptr || (rows && !entry.seg->has_rows())) {
+      const auto pending = build_index.find(&entry);
+      if (pending == build_index.end()) {
+        build_index.emplace(&entry, builds.size());
+        builds.push_back(Build{&entry, &job, rows});
+      } else {
+        builds[pending->second].rows |= rows;
+        ++stats_.tables_reused;
+      }
+    } else {
+      ++stats_.tables_reused;
+    }
+  }
+
+  // Phase 2: build the missing tables, in parallel over distinct keys --
+  // each task writes one distinct, pre-inserted cache entry.
+  const auto build_one = [&](std::size_t b) {
+    const Build& task = builds[b];
+    const BatchJob& job = *task.job;
+    auto table = std::make_shared<const chain::WeightTable>(
+        job.chain, job.costs.lambda_f(), job.costs.lambda_s());
+    auto seg = std::make_shared<const analysis::SegmentTables>(
+        *table, job.costs, task.rows);
+    task.entry->table = std::move(table);
+    task.entry->seg = std::move(seg);
+  };
+  if (options_.parallel) {
+    util::parallel_for(0, builds.size(), build_one);
+  } else {
+    for (std::size_t b = 0; b < builds.size(); ++b) build_one(b);
+  }
+  stats_.tables_built += builds.size();
+
+  // Phase 3: the work-queue.  Dynamic scheduling load-balances the
+  // heterogeneous jobs; each solver's own slab parallelism degrades to
+  // serial inside the region, so workers stay busy on whole chains.
+  const auto solve_one = [&](std::size_t i) {
+    const BatchJob& job = jobs[i];
+    if (TableEntry* entry = job_entry[i]) {
+      const DpContext ctx(job.chain, job.costs, entry->table, entry->seg,
+                          options_.max_n);
+      results[i] = optimize(job.algorithm, ctx, options_.layout);
+    } else {
+      results[i] = optimize(job.algorithm, job.chain, job.costs);
+    }
+  };
+  if (options_.parallel) {
+    util::parallel_for(0, jobs.size(), solve_one);
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) solve_one(i);
+  }
+  stats_.jobs_solved += jobs.size();
+  return results;
+}
+
+std::size_t BatchSolver::release_scratch() {
+  std::size_t freed = 0;
+  for (const auto& [key, entry] : cache_) {
+    if (entry.table != nullptr) freed += entry.table->resident_bytes();
+    if (entry.seg != nullptr) freed += entry.seg->resident_bytes();
+  }
+  cache_.clear();
+  freed += util::release_all_arenas();
+  stats_.released_bytes += freed;
+  return freed;
+}
+
+std::size_t BatchSolver::resident_bytes() const {
+  std::size_t total = util::arena_resident_bytes();
+  for (const auto& [key, entry] : cache_) {
+    if (entry.table != nullptr) total += entry.table->resident_bytes();
+    if (entry.seg != nullptr) total += entry.seg->resident_bytes();
+  }
+  return total;
+}
+
+}  // namespace chainckpt::core

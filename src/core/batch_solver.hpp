@@ -1,0 +1,133 @@
+// Batched multi-chain solver: the server-shaped front end of the library.
+//
+// A production embedding does not optimize one chain at a time -- a request
+// carries many independent chains (different lengths, platforms, and
+// algorithms), and a long-lived process serves many requests.  BatchSolver
+// drives such a workload through one engine:
+//
+//   * a shared work-queue: jobs are solved through util::parallel_for with
+//     dynamic scheduling, so heterogeneous chains load-balance across
+//     workers (an n = 400 ADMV* job does not serialize behind twenty
+//     n = 50 ones);
+//   * a coefficient-table cache: the O(n^2) analysis::SegmentTables +
+//     chain::WeightTable pair -- the dominant per-solve setup cost -- is
+//     built once per distinct (chain weights, cost model) key and shared
+//     by every job that matches, within a batch and across batches;
+//   * one thread-local arena pool: the solvers' grow-only scratch
+//     (util::ArenaBlock) is reused across the whole batch, so steady-state
+//     solving performs no per-job scratch allocation;
+//   * an explicit lifecycle: release_scratch() drops the cache and every
+//     arena, returning the memory between traffic bursts; the next solve
+//     simply rebuilds what it needs.
+//
+// Determinism: every job's result (plan and objective) is bit-identical to
+// a standalone core::optimize() call with the same inputs, whether the
+// batch runs serially or in parallel, cached or cold.
+//
+// Thread-safety: a BatchSolver instance is NOT internally synchronized --
+// it IS the parallelism.  Use one instance per serving thread, or fence
+// calls externally.  The arena pool behind release_scratch() /
+// resident_bytes() is PROCESS-WIDE (every solver's thread-local scratch
+// registers with it), so release_scratch() must not overlap a running
+// solve() on ANY instance in the process, and the byte counts cover all
+// instances, not just this one.  A multi-solver embedding should treat
+// scratch release as a global quiescent-point operation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/optimizer.hpp"
+
+namespace chainckpt::core {
+
+/// One chain to solve: which algorithm, over which chain, under which cost
+/// model.  Jobs are self-contained so a batch can mix platforms and
+/// per-position cost models freely.
+struct BatchJob {
+  Algorithm algorithm = Algorithm::kADMVstar;
+  chain::TaskChain chain;
+  platform::CostModel costs;
+};
+
+struct BatchOptions {
+  /// Solve jobs through the shared work-queue (dynamic scheduling over
+  /// util::parallel_for).  false runs an in-order serial loop; results are
+  /// identical either way (determinism contract).
+  bool parallel = true;
+  /// Storage layout of the dense level-DP tables (ADMV*/ADMV jobs).
+  TableLayout layout = TableLayout::kRowMajor;
+  /// Upper bound on chain length, guarding the dense O(n^3) DP tables
+  /// (see DpContext::kDefaultMaxN).
+  std::size_t max_n = DpContext::kDefaultMaxN;
+};
+
+/// Counters accumulated over the solver's lifetime.
+struct BatchStats {
+  std::size_t jobs_solved = 0;
+  /// Distinct (WeightTable, SegmentTables) pairs constructed.
+  std::size_t tables_built = 0;
+  /// DP jobs served by a previously built pair (same batch or earlier).
+  std::size_t tables_reused = 0;
+  /// Total bytes returned by release_scratch() calls so far.
+  std::size_t released_bytes = 0;
+};
+
+class BatchSolver {
+ public:
+  explicit BatchSolver(BatchOptions options = {});
+
+  /// Solves every job; results[i] corresponds to jobs[i].  Safe to call
+  /// repeatedly -- the table cache persists and warms across calls.
+  std::vector<OptimizationResult> solve(const std::vector<BatchJob>& jobs);
+
+  /// Drops this solver's coefficient-table cache and the backing memory
+  /// of every thread-local solver arena IN THE PROCESS (the arena pool is
+  /// global -- see the header comment); returns the number of bytes
+  /// freed.  The solver stays fully usable -- the next solve() rebuilds
+  /// on demand and reproduces identical results.  Must not overlap a
+  /// running solve() on any BatchSolver or standalone optimizer call.
+  std::size_t release_scratch();
+
+  /// Bytes currently held by this solver's table cache plus all solver
+  /// arenas in the process.
+  std::size_t resident_bytes() const;
+
+  const BatchOptions& options() const noexcept { return options_; }
+  const BatchStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Cache key: the exact bit patterns of everything a WeightTable /
+  /// SegmentTables build reads -- chain length and weights, the two error
+  /// rates, and the two per-position verification-cost streams.  The
+  /// remaining cost streams (checkpoint/recovery costs, recall) are read
+  /// per job at solve time, never baked into the tables, so jobs
+  /// differing only in those -- e.g. a checkpoint-price sweep -- share
+  /// one table pair.  Bitwise comparison (not double ==) keeps hash and
+  /// equality consistent for every value including -0.0 and NaN.
+  struct TableKey {
+    std::vector<std::uint64_t> bits;
+    bool operator==(const TableKey& other) const noexcept {
+      return bits == other.bits;
+    }
+  };
+  struct TableKeyHash {
+    std::size_t operator()(const TableKey& key) const noexcept;
+  };
+  struct TableEntry {
+    std::shared_ptr<const chain::WeightTable> table;
+    std::shared_ptr<const analysis::SegmentTables> seg;
+  };
+
+  static TableKey make_key(const chain::TaskChain& chain,
+                           const platform::CostModel& costs);
+
+  BatchOptions options_;
+  BatchStats stats_;
+  std::unordered_map<TableKey, TableEntry, TableKeyHash> cache_;
+};
+
+}  // namespace chainckpt::core

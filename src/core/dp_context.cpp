@@ -1,24 +1,52 @@
 #include "core/dp_context.hpp"
 
+#include <utility>
+
 #include "util/assert.hpp"
 
 namespace chainckpt::core {
 
-DpContext::DpContext(chain::TaskChain chain, platform::CostModel costs,
-                     std::size_t max_n, bool build_row_tables)
-    : chain_(std::move(chain)),
-      costs_(std::move(costs)),
-      table_(chain_, costs_.lambda_f(), costs_.lambda_s()),
-      seg_tables_(table_, costs_, build_row_tables) {
-  CHAINCKPT_REQUIRE(!chain_.empty(), "optimizer needs a non-empty chain");
-  CHAINCKPT_REQUIRE(chain_.size() <= max_n,
+namespace {
+
+void check_context(const chain::TaskChain& chain,
+                   const platform::CostModel& costs, std::size_t max_n) {
+  CHAINCKPT_REQUIRE(!chain.empty(), "optimizer needs a non-empty chain");
+  CHAINCKPT_REQUIRE(chain.size() <= max_n,
                     "chain too long for the dense DP tables; raise max_n "
                     "explicitly if you have the memory");
-  if (!costs_.is_uniform()) {
+  if (!costs.is_uniform()) {
     // Per-position cost models must cover every task of this chain; probe
     // the last position so failures surface at construction time.
-    (void)costs_.c_disk_after(chain_.size());
+    (void)costs.c_disk_after(chain.size());
   }
+}
+
+}  // namespace
+
+DpContext::DpContext(chain::TaskChain chain, platform::CostModel costs,
+                     std::size_t max_n, bool build_row_tables)
+    : chain_(std::move(chain)), costs_(std::move(costs)) {
+  check_context(chain_, costs_, max_n);
+  table_ = std::make_shared<const chain::WeightTable>(
+      chain_, costs_.lambda_f(), costs_.lambda_s());
+  seg_tables_ = std::make_shared<const analysis::SegmentTables>(
+      *table_, costs_, build_row_tables);
+}
+
+DpContext::DpContext(chain::TaskChain chain, platform::CostModel costs,
+                     std::shared_ptr<const chain::WeightTable> table,
+                     std::shared_ptr<const analysis::SegmentTables> seg_tables,
+                     std::size_t max_n)
+    : chain_(std::move(chain)),
+      costs_(std::move(costs)),
+      table_(std::move(table)),
+      seg_tables_(std::move(seg_tables)) {
+  check_context(chain_, costs_, max_n);
+  CHAINCKPT_REQUIRE(table_ != nullptr && seg_tables_ != nullptr,
+                    "shared-table DpContext needs non-null tables");
+  CHAINCKPT_REQUIRE(
+      table_->n() == chain_.size() && seg_tables_->n() == chain_.size(),
+      "shared tables were built for a different chain length");
 }
 
 }  // namespace chainckpt::core

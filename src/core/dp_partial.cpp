@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/level_dp.hpp"
+#include "util/arena.hpp"
 
 namespace chainckpt::core {
 
@@ -15,10 +16,12 @@ namespace {
 /// allocations per run -- which dominated the malloc profile.  Deliberate
 /// tradeoff: the arenas live in thread_local storage and are only ever
 /// grown, so the O(n^2)-per-thread footprint of the largest chain stays
-/// resident until thread exit (fine for the CLI/bench processes this
-/// library ships in; a long-lived multi-tenant server would want an
-/// explicit release hook -- see ROADMAP).
-struct PartialScratch {
+/// resident between solves.  Long-lived embeddings reclaim it through the
+/// arena pool (util::release_all_arenas, reached via
+/// core::BatchSolver::release_scratch).
+struct PartialScratch final : util::ArenaBlock {
+  ~PartialScratch() override { unregister(); }
+
   // O(n) buffers of the right-to-left recursion.
   std::vector<double> ep;
   std::vector<double> er;
@@ -42,6 +45,23 @@ struct PartialScratch {
       qq.resize((n + 1) * (n + 1));
       rr.resize((n + 1) * (n + 1));
     }
+  }
+
+  std::size_t resident_bytes() const noexcept override {
+    return util::vector_bytes(ep) + util::vector_bytes(er) +
+           util::vector_bytes(cand) + util::vector_bytes(next) +
+           util::vector_bytes(pp) + util::vector_bytes(qq) +
+           util::vector_bytes(rr) + util::vector_bytes(t0);
+  }
+  void release() noexcept override {
+    util::free_vector(ep);
+    util::free_vector(er);
+    util::free_vector(cand);
+    util::free_vector(next);
+    util::free_vector(pp);
+    util::free_vector(qq);
+    util::free_vector(rr);
+    util::free_vector(t0);
   }
 };
 
@@ -167,6 +187,13 @@ OptimizationResult optimize_with_partial(const chain::TaskChain& chain,
                                          const platform::CostModel& costs,
                                          TableLayout layout) {
   const DpContext ctx(chain, costs);
+  return optimize_with_partial(ctx, layout);
+}
+
+OptimizationResult optimize_with_partial(const DpContext& ctx,
+                                         TableLayout layout) {
+  CHAINCKPT_REQUIRE(ctx.seg_tables().has_rows(),
+                    "ADMV needs a context built with row tables");
   const std::size_t n = ctx.n();
   detail::LevelTables tables(ctx.n(), layout);
   const PartialSegmentSolver solver{ctx};

@@ -33,4 +33,11 @@ OptimizationResult optimize_with_partial(
     const chain::TaskChain& chain, const platform::CostModel& costs,
     TableLayout layout = TableLayout::kRowMajor);
 
+/// Same solver on a prebuilt context -- the shared-SegmentTables path used
+/// by core::BatchSolver.  The inner DP reads the row-oriented coefficient
+/// arrays, so the context must have been built with row tables (throws
+/// std::invalid_argument otherwise).
+OptimizationResult optimize_with_partial(
+    const DpContext& ctx, TableLayout layout = TableLayout::kRowMajor);
+
 }  // namespace chainckpt::core

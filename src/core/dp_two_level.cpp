@@ -12,6 +12,11 @@ OptimizationResult optimize_two_level(const chain::TaskChain& chain,
                                       TableLayout layout) {
   const DpContext ctx(chain, costs, DpContext::kDefaultMaxN,
                       /*build_row_tables=*/false);
+  return optimize_two_level(ctx, layout);
+}
+
+OptimizationResult optimize_two_level(const DpContext& ctx,
+                                      TableLayout layout) {
   // ADMV* never re-reads E_verif values (plan extraction needs only the
   // argmin tables), so skip the O(n^3) value table entirely.
   detail::LevelTables tables(ctx.n(), layout, /*keep_verif_values=*/false);

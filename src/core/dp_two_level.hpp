@@ -16,4 +16,10 @@ OptimizationResult optimize_two_level(
     const chain::TaskChain& chain, const platform::CostModel& costs,
     TableLayout layout = TableLayout::kRowMajor);
 
+/// Same solver on a prebuilt context -- the shared-SegmentTables path used
+/// by core::BatchSolver.  Only the column tables are read, so a context
+/// built with `build_row_tables = false` suffices.
+OptimizationResult optimize_two_level(
+    const DpContext& ctx, TableLayout layout = TableLayout::kRowMajor);
+
 }  // namespace chainckpt::core

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/dp_context.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
 
@@ -104,15 +105,27 @@ struct LevelTables {
 /// Per-slab scratch: the (m1, v1) plane of E_verif values for the current
 /// d1 kept contiguous and cache-hot, plus the E_verif(d1, ·, j) column
 /// gathered for the E_mem scan.  thread_local so each worker allocates the
-/// O(n^2) plane once, not once per slab.
-struct SlabScratch {
+/// O(n^2) plane once, not once per slab; registered with the arena pool so
+/// a long-lived embedding can drop it (util::release_all_arenas, reached
+/// through core::BatchSolver::release_scratch).
+struct SlabScratch final : util::ArenaBlock {
   std::vector<double> plane;
   std::vector<double> column;
+
+  ~SlabScratch() override { unregister(); }
 
   void ensure(std::size_t n) {
     const std::size_t cells = (n + 1) * (n + 1);
     if (plane.size() < cells) plane.resize(cells);
     if (column.size() < n + 1) column.resize(n + 1);
+  }
+
+  std::size_t resident_bytes() const noexcept override {
+    return util::vector_bytes(plane) + util::vector_bytes(column);
+  }
+  void release() noexcept override {
+    util::free_vector(plane);
+    util::free_vector(column);
   }
 };
 

@@ -64,6 +64,26 @@ OptimizationResult optimize(Algorithm algorithm,
   throw std::invalid_argument("unknown algorithm enum value");
 }
 
+OptimizationResult optimize(Algorithm algorithm, const DpContext& ctx,
+                            TableLayout layout) {
+  switch (algorithm) {
+    case Algorithm::kAD:
+      return optimize_single_level(ctx,
+                                   {.allow_extra_verifications = false});
+    case Algorithm::kADVstar:
+      return optimize_single_level(ctx);
+    case Algorithm::kADMVstar:
+      return optimize_two_level(ctx, layout);
+    case Algorithm::kADMV:
+      return optimize_with_partial(ctx, layout);
+    case Algorithm::kPeriodic:
+      return optimize_periodic(ctx.chain(), ctx.costs());
+    case Algorithm::kDaly:
+      return optimize_daly(ctx.chain(), ctx.costs());
+  }
+  throw std::invalid_argument("unknown algorithm enum value");
+}
+
 std::vector<Algorithm> paper_algorithms() {
   return {Algorithm::kADVstar, Algorithm::kADMVstar, Algorithm::kADMV};
 }

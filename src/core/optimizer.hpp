@@ -31,6 +31,15 @@ OptimizationResult optimize(Algorithm algorithm,
                             const chain::TaskChain& chain,
                             const platform::CostModel& costs);
 
+/// Runs the requested optimizer on a prebuilt context -- the
+/// shared-SegmentTables path used by core::BatchSolver.  Results are
+/// identical to the (chain, costs) overload.  kADMV requires a context
+/// built with row tables (throws std::invalid_argument otherwise); the
+/// heuristic baselines ignore the context's tables and read only its
+/// chain and cost model.
+OptimizationResult optimize(Algorithm algorithm, const DpContext& ctx,
+                            TableLayout layout = TableLayout::kRowMajor);
+
 /// The three algorithms compared in the paper's evaluation, in paper
 /// order: { kADVstar, kADMVstar, kADMV }.
 std::vector<Algorithm> paper_algorithms();

@@ -39,6 +39,8 @@ class ResiliencePlan {
   /// Action after task i, 1-based.  Position 0 (virtual T0) is reported as
   /// kDiskCheckpoint, matching the paper's convention.
   Action action(std::size_t i) const;
+  /// Replaces the action after task i (1-based); bounds-checked.  Callers
+  /// mutating interior positions should re-run validate() when done.
   void set_action(std::size_t i, Action a);
 
   /// Structural validation: n >= 1 and the final task carries a disk
@@ -46,9 +48,13 @@ class ResiliencePlan {
   /// saved).  Throws std::invalid_argument on violation.
   void validate() const;
 
+  /// Mechanism counts over interior positions 1..n-1 / all positions 1..n
+  /// (see ActionCounts for the bundling conventions).
   ActionCounts interior_counts() const noexcept;
   ActionCounts total_counts() const noexcept;
 
+  /// True when any position carries a partial verification -- i.e. the
+  /// plan needs the Section III-B (ADMV) scoring formulas.
   bool uses_partial_verifications() const noexcept;
 
   /// Position of the last action satisfying `pred` at or before position i

@@ -15,14 +15,18 @@
 
 namespace chainckpt::plan {
 
+/// Canonical round-trippable serialization (see the format above).
 std::string to_text(const ResiliencePlan& plan);
 
 /// Parses the text format; throws std::invalid_argument on malformed input
 /// or structurally invalid plans.
 ResiliencePlan from_text(const std::string& text);
 
+/// JSON rendering for external tooling; write-only (to_text/from_text is
+/// the round-trip pair).
 std::string to_json(const ResiliencePlan& plan);
 
+/// Streams exactly what to_text returns.
 void write_text(std::ostream& os, const ResiliencePlan& plan);
 
 }  // namespace chainckpt::plan

@@ -1,0 +1,59 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace chainckpt::util {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<ArenaBlock*> blocks;
+};
+
+/// Leaked on purpose: thread_local arenas in worker threads unregister at
+/// thread exit, which can happen after static destruction has begun on the
+/// main thread -- a function-local static Registry could already be gone.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+}  // namespace
+
+ArenaBlock::ArenaBlock() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.blocks.push_back(this);
+}
+
+ArenaBlock::~ArenaBlock() { unregister(); }
+
+void ArenaBlock::unregister() noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.blocks.erase(std::remove(r.blocks.begin(), r.blocks.end(), this),
+                 r.blocks.end());
+}
+
+std::size_t arena_resident_bytes() noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::size_t total = 0;
+  for (const ArenaBlock* block : r.blocks) total += block->resident_bytes();
+  return total;
+}
+
+std::size_t release_all_arenas() noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::size_t freed = 0;
+  for (ArenaBlock* block : r.blocks) {
+    freed += block->resident_bytes();
+    block->release();
+  }
+  return freed;
+}
+
+}  // namespace chainckpt::util

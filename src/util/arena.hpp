@@ -1,0 +1,81 @@
+// Thread-local scratch arena pool.
+//
+// The DP solvers keep grow-only scratch buffers in thread_local storage so
+// a run performs O(1) allocations per worker thread instead of O(n^3)
+// mallocs per solve (see dp_partial.cpp, level_dp.hpp).  The deliberate
+// tradeoff is residency: the buffers outlive the solve that grew them.
+// That is fine for one-shot CLI and bench processes, but a long-lived
+// server embedding (core::BatchSolver) needs a way to give the memory
+// back between traffic bursts.
+//
+// Every scratch block therefore registers itself with this process-wide
+// pool on construction; release_all_arenas() walks the pool and drops the
+// backing memory of every block while leaving the blocks themselves
+// registered and reusable -- the next ensure() call on a released block
+// simply regrows it.  core::BatchSolver::release_scratch() is the public
+// entry point; this registry is the mechanism.
+//
+// Thread-safety contract: registration and unregistration (which happen at
+// thread creation/exit) and the release/measure walks are serialized by an
+// internal mutex.  The arena CONTENTS are not locked -- callers must not
+// run release_all_arenas() or arena_resident_bytes() concurrently with a
+// running solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chainckpt::util {
+
+/// Base class for a reusable scratch block owned by one thread.  Derived
+/// classes implement resident_bytes()/release() over their buffers; the
+/// base class handles pool registration.
+///
+/// Destruction: a concrete destructor MUST call unregister() as its first
+/// statement.  A pool walk on another thread can otherwise acquire the
+/// registry mutex while this block is mid-destruction and invoke a
+/// virtual on a partially destroyed object; unregistering inside the
+/// derived destructor body runs while the dynamic type is still the
+/// derived one, so any concurrent walk either completes against the
+/// fully-alive block or skips it.  (The base destructor unregisters too,
+/// as a backstop -- it is idempotent.)
+class ArenaBlock {
+ public:
+  ArenaBlock(const ArenaBlock&) = delete;
+  ArenaBlock& operator=(const ArenaBlock&) = delete;
+
+  /// Bytes of backing memory currently held by this block.
+  virtual std::size_t resident_bytes() const noexcept = 0;
+  /// Frees the backing memory.  The block stays registered and usable.
+  virtual void release() noexcept = 0;
+
+ protected:
+  ArenaBlock();
+  virtual ~ArenaBlock();
+  /// Removes this block from the pool; idempotent, blocks on any walk in
+  /// progress.  Call first in every concrete destructor (see above).
+  void unregister() noexcept;
+};
+
+/// Capacity of a vector in bytes (what release() would give back).
+template <typename T>
+inline std::size_t vector_bytes(const std::vector<T>& v) noexcept {
+  return v.capacity() * sizeof(T);
+}
+
+/// Frees a vector's backing memory (capacity -> 0); returns bytes freed.
+template <typename T>
+inline std::size_t free_vector(std::vector<T>& v) noexcept {
+  const std::size_t bytes = vector_bytes(v);
+  std::vector<T>().swap(v);
+  return bytes;
+}
+
+/// Total bytes currently held across all registered arenas.
+std::size_t arena_resident_bytes() noexcept;
+
+/// Releases the backing memory of every registered arena and returns the
+/// number of bytes freed.  Must not run concurrently with a solver.
+std::size_t release_all_arenas() noexcept;
+
+}  // namespace chainckpt::util

@@ -26,6 +26,14 @@ void set_parallelism(int threads) noexcept {
   g_forced_threads.store(threads < 0 ? 0 : threads);
 }
 
+bool in_parallel_region() noexcept {
+#ifdef _OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
   detail::parallel_for_impl(begin, end, body);

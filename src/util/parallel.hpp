@@ -30,6 +30,12 @@ int hardware_parallelism() noexcept;
 /// runtime default.  Mostly used by tests and benches.
 void set_parallelism(int threads) noexcept;
 
+/// True when called from inside a parallel_for worker.  Nested parallel
+/// regions degrade to serial execution, so solvers that size scratch by
+/// worker count use this to avoid over-allocating when they are themselves
+/// an item of an outer loop (e.g. one chain of a BatchSolver batch).
+bool in_parallel_region() noexcept;
+
 namespace detail {
 
 /// Shared loop skeleton for both overloads.  Exceptions thrown by the body

@@ -1,0 +1,174 @@
+#include "core/batch_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/patterns.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "util/arena.hpp"
+#include "util/parallel.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+/// A heterogeneous workload: mixed algorithms, lengths, weight patterns,
+/// and platforms, with deliberate (chain, platform) repeats so the table
+/// cache has something to share.  The single-level jobs carry the large n.
+std::vector<BatchJob> mixed_batch() {
+  std::vector<BatchJob> jobs;
+  const platform::CostModel hera{platform::hera()};
+  const platform::CostModel atlas{platform::atlas()};
+  jobs.push_back({Algorithm::kADVstar, chain::make_uniform(400, 25000.0), hera});
+  jobs.push_back({Algorithm::kAD, chain::make_uniform(400, 25000.0), hera});
+  jobs.push_back({Algorithm::kADMVstar, chain::make_decrease(60, 25000.0), hera});
+  jobs.push_back({Algorithm::kADMV, chain::make_highlow(30, 25000.0), atlas});
+  jobs.push_back({Algorithm::kADVstar, chain::make_highlow(30, 25000.0), atlas});
+  jobs.push_back({Algorithm::kADMVstar, chain::make_uniform(45, 50000.0), atlas});
+  jobs.push_back({Algorithm::kPeriodic, chain::make_uniform(25, 25000.0), hera});
+  jobs.push_back({Algorithm::kDaly, chain::make_uniform(25, 25000.0), hera});
+  return jobs;
+}
+
+TEST(BatchSolver, MatchesPerChainOptimizeBitIdentically) {
+  const auto jobs = mixed_batch();
+  BatchSolver solver;
+  const auto batch = solver.solve(jobs);
+  ASSERT_EQ(batch.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto standalone =
+        optimize(jobs[i].algorithm, jobs[i].chain, jobs[i].costs);
+    EXPECT_EQ(batch[i].expected_makespan, standalone.expected_makespan)
+        << "job " << i << " (" << to_string(jobs[i].algorithm) << ")";
+    EXPECT_EQ(batch[i].plan, standalone.plan)
+        << "job " << i << " (" << to_string(jobs[i].algorithm) << ")";
+  }
+}
+
+TEST(BatchSolver, SerialAndParallelBatchesAgreeBitwise) {
+  const auto jobs = mixed_batch();
+  BatchSolver parallel_solver{{.parallel = true}};
+  BatchSolver serial_solver{{.parallel = false}};
+  const auto par = parallel_solver.solve(jobs);
+  const auto ser = serial_solver.solve(jobs);
+  ASSERT_EQ(par.size(), ser.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(par[i].expected_makespan, ser[i].expected_makespan) << i;
+    EXPECT_EQ(par[i].plan, ser[i].plan) << i;
+  }
+}
+
+TEST(BatchSolver, SharesTablesAcrossJobsAndBatches) {
+  const auto jobs = mixed_batch();
+  BatchSolver solver;
+  solver.solve(jobs);
+  // 6 DP jobs over 4 distinct (chain, platform) keys.
+  EXPECT_EQ(solver.stats().tables_built, 4u);
+  EXPECT_EQ(solver.stats().tables_reused, 2u);
+  // A second identical batch is served entirely from the cache.
+  solver.solve(jobs);
+  EXPECT_EQ(solver.stats().tables_built, 4u);
+  EXPECT_EQ(solver.stats().tables_reused, 8u);
+  EXPECT_EQ(solver.stats().jobs_solved, 2 * jobs.size());
+}
+
+TEST(BatchSolver, ReleaseScratchThenResolveReproducesResults) {
+  const auto jobs = mixed_batch();
+  BatchSolver solver;
+  const auto before = solver.solve(jobs);
+  EXPECT_GT(solver.resident_bytes(), 0u);
+
+  const std::size_t freed = solver.release_scratch();
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(solver.stats().released_bytes, freed);
+  // The table cache is empty and the solver arenas hold no memory.
+  EXPECT_EQ(solver.resident_bytes(), util::arena_resident_bytes());
+  EXPECT_EQ(util::arena_resident_bytes(), 0u);
+
+  const auto after = solver.solve(jobs);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(after[i].expected_makespan, before[i].expected_makespan) << i;
+    EXPECT_EQ(after[i].plan, before[i].plan) << i;
+  }
+  // The re-solve rebuilt the four distinct tables from scratch.
+  EXPECT_EQ(solver.stats().tables_built, 8u);
+}
+
+TEST(BatchSolver, RowlessEntryIsUpgradedWhenAdmvJoins) {
+  // Same (chain, platform) key first without, then with an ADMV job:
+  // the cache entry is rebuilt with row tables, and the non-ADMV job
+  // still matches its standalone result exactly.
+  const auto chain = chain::make_uniform(25, 25000.0);
+  const platform::CostModel costs{platform::hera()};
+  BatchSolver solver;
+  solver.solve({{Algorithm::kADVstar, chain, costs}});
+  EXPECT_EQ(solver.stats().tables_built, 1u);
+  const auto mixed = solver.solve({{Algorithm::kADMV, chain, costs},
+                                   {Algorithm::kADVstar, chain, costs}});
+  EXPECT_EQ(solver.stats().tables_built, 2u);  // rebuilt with rows
+  const auto adv = optimize(Algorithm::kADVstar, chain, costs);
+  const auto admv = optimize(Algorithm::kADMV, chain, costs);
+  EXPECT_EQ(mixed[0].expected_makespan, admv.expected_makespan);
+  EXPECT_EQ(mixed[0].plan, admv.plan);
+  EXPECT_EQ(mixed[1].expected_makespan, adv.expected_makespan);
+  EXPECT_EQ(mixed[1].plan, adv.plan);
+}
+
+TEST(BatchSolver, JobsDifferingOnlyInCheckpointCostsShareTables) {
+  // The coefficient tables read weights, error rates, and verification
+  // costs only; checkpoint/recovery costs and recall enter per job at
+  // solve time.  A checkpoint-price sweep must therefore share one table
+  // pair -- and still solve each job under its own cost model.
+  const auto chain = chain::make_uniform(30, 25000.0);
+  platform::Platform pricey = platform::hera();
+  pricey.c_disk *= 10.0;
+  pricey.r_disk = pricey.c_disk;
+  const platform::CostModel cheap_costs{platform::hera()};
+  const platform::CostModel pricey_costs{pricey};
+  BatchSolver solver;
+  const auto results =
+      solver.solve({{Algorithm::kADVstar, chain, cheap_costs},
+                    {Algorithm::kADVstar, chain, pricey_costs}});
+  EXPECT_EQ(solver.stats().tables_built, 1u);
+  EXPECT_EQ(solver.stats().tables_reused, 1u);
+  const auto cheap_alone = optimize(Algorithm::kADVstar, chain, cheap_costs);
+  const auto pricey_alone =
+      optimize(Algorithm::kADVstar, chain, pricey_costs);
+  EXPECT_EQ(results[0].expected_makespan, cheap_alone.expected_makespan);
+  EXPECT_EQ(results[0].plan, cheap_alone.plan);
+  EXPECT_EQ(results[1].expected_makespan, pricey_alone.expected_makespan);
+  EXPECT_EQ(results[1].plan, pricey_alone.plan);
+  EXPECT_NE(results[0].expected_makespan, results[1].expected_makespan);
+}
+
+TEST(BatchSolver, EmptyBatchAndEmptyChainEdgeCases) {
+  BatchSolver solver;
+  EXPECT_TRUE(solver.solve({}).empty());
+  EXPECT_THROW(solver.solve({{Algorithm::kADVstar, chain::TaskChain{},
+                              platform::CostModel{platform::hera()}}}),
+               std::invalid_argument);
+}
+
+TEST(BatchSolver, ThreadCountDoesNotChangeResults) {
+  const auto jobs = mixed_batch();
+  BatchSolver solver;
+  const auto baseline = solver.solve(jobs);
+  for (int threads : {1, 7}) {
+    util::set_parallelism(threads);
+    BatchSolver other;
+    const auto results = other.solve(jobs);
+    util::set_parallelism(0);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(results[i].expected_makespan, baseline[i].expected_makespan)
+          << "threads=" << threads << " job=" << i;
+      EXPECT_EQ(results[i].plan, baseline[i].plan)
+          << "threads=" << threads << " job=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chainckpt::core

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's Markdown files.
+
+Scans every *.md under the repo root (skipping build trees), extracts
+inline links and images ``[text](target)``, and checks that relative
+targets exist on disk.  External schemes (http/https/mailto) and pure
+anchors are ignored; a ``#fragment`` suffix on a relative target is
+stripped before the existence check.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+"""
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {"build", "build-native", ".git", ".cache"}
+# [text](target) with no nesting; target ends at the first unescaped ')'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.relative_to(root).parts):
+            yield path
+
+
+def check_file(md: Path) -> list:
+    dead = []
+    text = md.read_text(encoding="utf-8", errors="replace")
+    in_code = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (md.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                dead.append((md, lineno, target))
+    return dead
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    dead = []
+    count = 0
+    for md in markdown_files(root):
+        count += 1
+        dead.extend(check_file(md))
+    if dead:
+        for md, lineno, target in dead:
+            print(f"DEAD LINK {md}:{lineno}: ({target})")
+        print(f"{len(dead)} dead link(s) across {count} Markdown file(s)")
+        return 1
+    print(f"OK: no dead relative links across {count} Markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
