@@ -2,11 +2,15 @@
 // Verifies the paper's complexity discussion (O(n^3)/O(n^4)/O(n^6)) and
 // its claim that ADMV "executes within a few seconds for n = 50" -- and
 // tracks the hot-path overhaul that pushes the interactive regime to
-// n = 400 (ADMV*) / n = 100 (ADMV).  The `bench-json` CMake target runs
-// this harness with --benchmark_format=json into BENCH_dp.json, the perf
-// trajectory snapshot consumed by PERFORMANCE.md and future PRs.
+// n = 400 (ADMV*) / n = 100 (ADMV), plus the quadrangle-inequality
+// argmin pruning (core::ScanMode::kMonotonePruned) layered on top.  The
+// `bench-json` CMake target runs this harness with
+// --benchmark_format=json into BENCH_dp.json, the perf trajectory
+// snapshot consumed by PERFORMANCE.md and future PRs.  All randomized
+// scenarios derive from bench::kBenchSeed, so the JSON is reproducible.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "chain/patterns.hpp"
 #include "core/dp_two_level.hpp"
 #include "core/optimizer.hpp"
@@ -27,6 +31,31 @@ void run_algorithm(benchmark::State& state, core::Algorithm algorithm) {
     benchmark::DoNotOptimize(result.expected_makespan);
   }
   state.counters["n"] = static_cast<double>(n);
+}
+
+/// Same shape as run_algorithm (context build included in the timed
+/// region, so Dense and Pruned rows are directly comparable), with the
+/// scan mode applied and the prune/fallback counters of the last
+/// iteration reported alongside the timing.
+void run_algorithm_mode(benchmark::State& state, core::Algorithm algorithm,
+                        core::ScanMode mode) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chain = chain::make_uniform(n, 25000.0);
+  const platform::CostModel costs(platform::hera());
+  const bool rows = algorithm == core::Algorithm::kADMV;
+  core::ScanStats last;
+  for (auto _ : state) {
+    core::DpContext ctx(chain, costs, core::DpContext::kDefaultMaxN, rows);
+    ctx.set_scan_mode(mode);
+    const auto result = core::optimize(algorithm, ctx);
+    benchmark::DoNotOptimize(result.expected_makespan);
+    last = result.scan;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["prune_pct"] = 100.0 * last.prune_fraction();
+  state.counters["guard_fallbacks"] =
+      static_cast<double>(last.guard_fallbacks);
+  state.counters["gated_rows"] = static_cast<double>(last.gated_rows);
 }
 
 void BM_SingleLevel(benchmark::State& state) {
@@ -59,6 +88,53 @@ void BM_TwoLevelTiled(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
 }
 
+// Monotonicity-pruned scans (core::ScanMode::kMonotonePruned): same
+// inputs and bit-identical outputs as the dense rows above, with the
+// prune/fallback counters attached.
+void BM_SingleLevelPruned(benchmark::State& state) {
+  run_algorithm_mode(state, core::Algorithm::kADVstar,
+                     core::ScanMode::kMonotonePruned);
+}
+void BM_TwoLevelPruned(benchmark::State& state) {
+  run_algorithm_mode(state, core::Algorithm::kADMVstar,
+                     core::ScanMode::kMonotonePruned);
+}
+void BM_PartialPruned(benchmark::State& state) {
+  run_algorithm_mode(state, core::Algorithm::kADMV,
+                     core::ScanMode::kMonotonePruned);
+}
+
+// Dense vs pruned across seeded random platforms (4 per iteration), off
+// the uniform-chain/Hera happy path.  bench::kBenchSeed makes the
+// scenario set identical across runs.
+void run_random_platforms(benchmark::State& state, core::ScanMode mode) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(bench::kBenchSeed);
+  std::vector<std::pair<chain::TaskChain, platform::CostModel>> cases;
+  for (int i = 0; i < 4; ++i) {
+    auto platform = bench::random_platform(rng);
+    cases.emplace_back(chain::make_random(n, 25000.0 * n, rng),
+                       platform::CostModel(platform));
+  }
+  for (auto _ : state) {
+    for (const auto& [chain, costs] : cases) {
+      core::DpContext ctx(chain, costs, core::DpContext::kDefaultMaxN,
+                          /*build_row_tables=*/false);
+      ctx.set_scan_mode(mode);
+      const auto result = core::optimize(core::Algorithm::kADMVstar, ctx);
+      benchmark::DoNotOptimize(result.expected_makespan);
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_TwoLevelRandomDense(benchmark::State& state) {
+  run_random_platforms(state, core::ScanMode::kDense);
+}
+void BM_TwoLevelRandomPruned(benchmark::State& state) {
+  run_random_platforms(state, core::ScanMode::kMonotonePruned);
+}
+
 }  // namespace
 
 BENCHMARK(BM_SingleLevel)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
@@ -71,5 +147,13 @@ BENCHMARK(BM_Partial)->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 // The paper's "a few seconds for n = 50" figure was single-threaded.
 BENCHMARK(BM_PartialSerial)->Arg(50)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleLevelPruned)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelPruned)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PartialPruned)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelRandomDense)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelRandomPruned)->Arg(100)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -142,8 +142,9 @@ std::vector<OptimizationResult> BatchSolver::solve(
   const auto solve_one = [&](std::size_t i) {
     const BatchJob& job = jobs[i];
     if (TableEntry* entry = job_entry[i]) {
-      const DpContext ctx(job.chain, job.costs, entry->table, entry->seg,
-                          options_.max_n);
+      DpContext ctx(job.chain, job.costs, entry->table, entry->seg,
+                    options_.max_n);
+      ctx.set_scan_mode(options_.scan_mode);
       results[i] = optimize(job.algorithm, ctx, options_.layout);
     } else {
       results[i] = optimize(job.algorithm, job.chain, job.costs);
@@ -155,6 +156,9 @@ std::vector<OptimizationResult> BatchSolver::solve(
     for (std::size_t i = 0; i < jobs.size(); ++i) solve_one(i);
   }
   stats_.jobs_solved += jobs.size();
+  for (const OptimizationResult& result : results) {
+    stats_.scan += result.scan;
+  }
   return results;
 }
 

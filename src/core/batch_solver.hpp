@@ -60,6 +60,11 @@ struct BatchOptions {
   bool parallel = true;
   /// Storage layout of the dense level-DP tables (ADMV*/ADMV jobs).
   TableLayout layout = TableLayout::kRowMajor;
+  /// Inner argmin scan mode for the DP jobs (see
+  /// core/monotone_scanner.hpp).  kMonotonePruned is bit-compatible with
+  /// kDense under the QI gate + boundary guard and reports its pruning
+  /// counters through stats().scan.
+  ScanMode scan_mode = ScanMode::kDense;
   /// Upper bound on chain length, guarding the dense O(n^3) DP tables
   /// (see DpContext::kDefaultMaxN).
   std::size_t max_n = DpContext::kDefaultMaxN;
@@ -74,6 +79,9 @@ struct BatchStats {
   std::size_t tables_reused = 0;
   /// Total bytes returned by release_scratch() calls so far.
   std::size_t released_bytes = 0;
+  /// Aggregated prune/fallback counters of every DP job's inner scans
+  /// (all-zero while scan_mode is kDense).
+  ScanStats scan;
 };
 
 class BatchSolver {

@@ -8,6 +8,7 @@
 #include "analysis/segment_tables.hpp"
 #include "chain/chain.hpp"
 #include "chain/weight_table.hpp"
+#include "core/monotone_scanner.hpp"
 #include "plan/plan.hpp"
 #include "platform/cost_model.hpp"
 
@@ -15,10 +16,13 @@ namespace chainckpt::core {
 
 /// Result of any optimizer: the chosen plan and its expected makespan
 /// (the DP objective value; re-scoring the plan through the analytic
-/// evaluator reproduces it).
+/// evaluator reproduces it).  `scan` holds the prune/fallback counters of
+/// the inner argmin scans; it is all-zero for ScanMode::kDense solves and
+/// for the heuristic baselines.
 struct OptimizationResult {
   plan::ResiliencePlan plan;
   double expected_makespan = 0.0;
+  ScanStats scan{};
 };
 
 /// Memory layout of the dense O(n^3) level-DP tables.
@@ -60,6 +64,13 @@ class DpContext {
             std::shared_ptr<const analysis::SegmentTables> seg_tables,
             std::size_t max_n = kDefaultMaxN);
 
+  /// Selects how the DPs run their inner argmin scans (see
+  /// core/monotone_scanner.hpp).  Dense by default; set to
+  /// kMonotonePruned before handing the context to an optimizer.  The AD
+  /// baseline's degenerate single-cell scan ignores the knob.
+  void set_scan_mode(ScanMode mode) noexcept { scan_mode_ = mode; }
+  ScanMode scan_mode() const noexcept { return scan_mode_; }
+
   std::size_t n() const noexcept { return chain_.size(); }
   const chain::TaskChain& chain() const noexcept { return chain_; }
   const platform::CostModel& costs() const noexcept { return costs_; }
@@ -77,6 +88,7 @@ class DpContext {
  private:
   chain::TaskChain chain_;
   platform::CostModel costs_;
+  ScanMode scan_mode_ = ScanMode::kDense;
   /// shared_ptr so a BatchSolver cache entry and every context borrowing
   /// it stay valid independently of each other's lifetime; the
   /// build-your-own constructors simply own the single reference.

@@ -200,16 +200,22 @@ OptimizationResult optimize_with_partial(const DpContext& ctx,
   const auto& cm = ctx.costs();
   const double g = cm.miss();
 
-  const auto scan = [&](std::size_t d1, std::size_t m1, std::size_t j,
-                        double emem_at_m1, const double* everif_row,
-                        double& best, std::int32_t& best_arg) {
+  // Under kMemChainOnly (below) this kernel is invoked exactly once per
+  // (d1, m1, j) step with [lo, hi) = [m1, j), so the planes are built
+  // once per scan, exactly as the PartialScratch contract describes.  A
+  // profile that windowed the v1 scans would re-enter the kernel per
+  // step and would need to key the plane builds.
+  const auto scan = [&](std::size_t d1, std::size_t m1, std::size_t lo,
+                        std::size_t hi, std::size_t j, double emem_at_m1,
+                        const double* everif_row, double& best,
+                        std::int32_t& best_arg) {
     PartialScratch& scratch = partial_scratch();
     scratch.ensure(n);
     analysis::LeftContext left{cm.r_disk_after(d1), cm.r_mem_after(m1),
                                emem_at_m1, 0.0};
     solver.build_planes(m1, j, left.r_disk + left.e_mem,
                         (1.0 - g) * left.r_mem, left.r_mem, scratch);
-    for (std::size_t v1 = m1; v1 < j; ++v1) {
+    for (std::size_t v1 = lo; v1 < hi; ++v1) {
       left.e_verif = everif_row[v1];
       solver.solve(v1, j, left, scratch);
       const double candidate = everif_row[v1] + scratch.ep[v1];
@@ -220,7 +226,13 @@ OptimizationResult optimize_with_partial(const DpContext& ctx,
     }
   };
 
-  detail::run_level_dp(ctx, tables, scan);
+  // ADMV windows only its E_mem m1 chain: measured on the partial
+  // segment costs, the v1 argmin stays pinned to m1 (nothing to prune)
+  // and the fused inner solver's codegen is sensitive to the v1-scan
+  // call structure (see LevelScanProfile).
+  ScanStats scan_stats;
+  detail::run_level_dp(ctx, tables, scan, &scan_stats,
+                       detail::LevelScanProfile::kMemChainOnly);
 
   // Partial positions of a winning segment are re-derived from the (now
   // final) E_verif / E_mem tables: same inputs, same deterministic inner
@@ -244,7 +256,7 @@ OptimizationResult optimize_with_partial(const DpContext& ctx,
   };
 
   return OptimizationResult{detail::extract_plan(ctx, tables, partials),
-                            tables.edisk[n]};
+                            tables.edisk[n], scan_stats};
 }
 
 }  // namespace chainckpt::core

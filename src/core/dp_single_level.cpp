@@ -5,7 +5,10 @@
 #include <limits>
 #include <vector>
 
+#include <mutex>
+
 #include "analysis/segment_math.hpp"
+#include "core/monotone_scanner.hpp"
 #include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
@@ -98,31 +101,50 @@ std::size_t stream_block_rows(std::size_t n) {
 /// is 0 and R_M is the memory copy bundled with the disk checkpoint at d1.
 /// When `args` is non-null the v1 argmins are recorded for plan
 /// extraction.  Bitwise the recurrence the dense tables used to hold.
+///
+/// kWindowed prunes the v1 scans through the gate-and-guard window of
+/// core::MonotoneScanner; it requires a scanner + certificate and
+/// allow_extra_verifications (the AD single-cell scans gain nothing).
+/// The mode is a compile-time parameter so the dense instantiation keeps
+/// the original branch-free loop body (see run_level_dp_impl for the
+/// rationale).  Plan extraction re-streams rows with the same mode, so
+/// the recovered argmins match the folded values bit for bit either way.
+template <bool kWindowed>
 void stream_everif_row(const DpContext& ctx, std::size_t d1,
                        std::size_t limit, bool allow_extra_verifications,
-                       double* row, std::int32_t* args) {
+                       double* row, std::int32_t* args,
+                       MonotoneScanner* scanner,
+                       const analysis::QiCertificate* cert) {
   const auto& cm = ctx.costs();
   const auto& seg = ctx.seg_tables();
   row[d1] = 0.0;
   const double k1 = cm.r_disk_after(d1) + 0.0;  // left e_mem is 0 here
   const double k2 = cm.r_mem_after(d1);
+  if constexpr (kWindowed) scanner->begin_row(d1, cert->row_ok(d1));
   for (std::size_t j = d1 + 1; j <= limit; ++j) {
     const double* exvg = seg.exvg_col(j);
     const double* b = seg.b_col(j);
     const double* c = seg.c_col(j);
     const double* d = seg.d_col(j);
+    const auto kernel = [&](std::size_t lo, std::size_t hi, double& best,
+                            std::int32_t& best_arg) {
+      for (std::size_t v1 = lo; v1 < hi; ++v1) {
+        const double ev = row[v1];
+        const double candidate =
+            ev + (exvg[v1] + b[v1] * k1 + c[v1] * ev + d[v1] * k2);
+        if (candidate < best) {
+          best = candidate;
+          best_arg = static_cast<std::int32_t>(v1);
+        }
+      }
+    };
     double best = std::numeric_limits<double>::infinity();
     std::int32_t best_arg = -1;
-    // AD restricts the segment to start at d1 (no interior verifs).
-    const std::size_t v1_last = allow_extra_verifications ? j - 1 : d1;
-    for (std::size_t v1 = d1; v1 <= v1_last; ++v1) {
-      const double ev = row[v1];
-      const double candidate =
-          ev + (exvg[v1] + b[v1] * k1 + c[v1] * ev + d[v1] * k2);
-      if (candidate < best) {
-        best = candidate;
-        best_arg = static_cast<std::int32_t>(v1);
-      }
+    if constexpr (kWindowed) {
+      scanner->step(d1, j, kernel, best, best_arg);
+    } else {
+      // AD restricts the segment to start at d1 (no interior verifs).
+      kernel(d1, allow_extra_verifications ? j : d1 + 1, best, best_arg);
     }
     row[j] = best;
     if (args != nullptr) args[j] = best_arg;
@@ -137,6 +159,12 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
   const auto& cm = ctx.costs();
   const std::size_t stride = n + 1;
   const std::size_t block = stream_block_rows(n);
+  const bool pruned = ctx.scan_mode() == ScanMode::kMonotonePruned &&
+                      options.allow_extra_verifications;
+  const analysis::QiCertificate* cert =
+      pruned ? &ctx.seg_tables().verify_quadrangle() : nullptr;
+  ScanStats scan_stats;
+  std::mutex stats_mutex;
   SingleLevelScratch& s = single_level_scratch();
   s.ensure(n, block);
   std::fill(s.run_best.begin(), s.run_best.begin() + stride,
@@ -149,8 +177,20 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
     const std::size_t b1 = std::min(n, b0 + block);
     double* rows = s.rows.data();
     util::parallel_for(b0, b1, [&](std::size_t d1) {
-      stream_everif_row(ctx, d1, n, options.allow_extra_verifications,
-                        rows + (d1 - b0) * stride, nullptr);
+      if (pruned) {
+        MonotoneScanner scanner(n);
+        stream_everif_row<true>(ctx, d1, n,
+                                options.allow_extra_verifications,
+                                rows + (d1 - b0) * stride, nullptr,
+                                &scanner, cert);
+        const std::lock_guard<std::mutex> lock(stats_mutex);
+        scan_stats += scanner.stats();
+      } else {
+        stream_everif_row<false>(ctx, d1, n,
+                                 options.allow_extra_verifications,
+                                 rows + (d1 - b0) * stride, nullptr,
+                                 nullptr, nullptr);
+      }
     });
     // Fold the block into the running E_disk minima.  E_disk(d1) excludes
     // the segment value but pays the memory + disk checkpoint pair at d1
@@ -186,8 +226,19 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
     const auto d1 = static_cast<std::size_t>(s.best_d1[d2]);
     CHAINCKPT_ASSERT(s.best_d1[d2] >= 0 && d1 < d2, "broken E_disk argmin");
     plan.set_action(d2, plan::Action::kDiskCheckpoint);
-    stream_everif_row(ctx, d1, d2, options.allow_extra_verifications, row,
-                      args);
+    if (pruned) {
+      // Same mode as the fold, so the re-streamed values and argmins are
+      // the ones the running minima consumed.
+      MonotoneScanner scanner(n);
+      stream_everif_row<true>(ctx, d1, d2,
+                              options.allow_extra_verifications, row, args,
+                              &scanner, cert);
+      scan_stats += scanner.stats();
+    } else {
+      stream_everif_row<false>(ctx, d1, d2,
+                               options.allow_extra_verifications, row, args,
+                               nullptr, nullptr);
+    }
     std::size_t v2 = d2;
     while (v2 > d1) {
       const auto v1 = static_cast<std::size_t>(args[v2]);
@@ -198,7 +249,7 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
     d2 = d1;
   }
   plan.validate();
-  return OptimizationResult{std::move(plan), expected_makespan};
+  return OptimizationResult{std::move(plan), expected_makespan, scan_stats};
 }
 
 OptimizationResult optimize_single_level(const chain::TaskChain& chain,

@@ -28,16 +28,17 @@ OptimizationResult optimize_two_level(const DpContext& ctx,
   //   E = es*(x + V*) + b*(R_D + E_mem) + c*E_verif + d*R_M
   // where exvg = es*(x + V*) and b/c/d depend only on (v1, j) and are read
   // at unit stride.
-  const auto scan = [&](std::size_t d1, std::size_t m1, std::size_t j,
-                        double emem_at_m1, const double* everif_row,
-                        double& best, std::int32_t& best_arg) {
+  const auto scan = [&](std::size_t d1, std::size_t m1, std::size_t lo,
+                        std::size_t hi, std::size_t j, double emem_at_m1,
+                        const double* everif_row, double& best,
+                        std::int32_t& best_arg) {
     const double* exvg = seg.exvg_col(j);
     const double* b = seg.b_col(j);
     const double* c = seg.c_col(j);
     const double* d = seg.d_col(j);
     const double k1 = cm.r_disk_after(d1) + emem_at_m1;
     const double k2 = cm.r_mem_after(m1);
-    for (std::size_t v1 = m1; v1 < j; ++v1) {
+    for (std::size_t v1 = lo; v1 < hi; ++v1) {
       const double ev = everif_row[v1];
       const double candidate =
           ev + (exvg[v1] + b[v1] * k1 + c[v1] * ev + d[v1] * k2);
@@ -48,14 +49,15 @@ OptimizationResult optimize_two_level(const DpContext& ctx,
     }
   };
 
-  detail::run_level_dp(ctx, tables, scan);
+  ScanStats scan_stats;
+  detail::run_level_dp(ctx, tables, scan, &scan_stats);
 
   const auto no_partials = [](std::size_t, std::size_t, std::size_t,
                               std::size_t) {
     return std::vector<std::size_t>{};
   };
   return OptimizationResult{detail::extract_plan(ctx, tables, no_partials),
-                            tables.edisk[ctx.n()]};
+                            tables.edisk[ctx.n()], scan_stats};
 }
 
 }  // namespace chainckpt::core

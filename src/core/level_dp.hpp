@@ -26,9 +26,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "core/dp_context.hpp"
+#include "core/monotone_scanner.hpp"
 #include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
@@ -135,20 +137,57 @@ inline SlabScratch& slab_scratch() {
 }
 
 /// ColumnScanner contract:
-///   void operator()(std::size_t d1, std::size_t m1, std::size_t j,
-///                   double emem_at_m1, const double* everif_row,
-///                   double& best, std::int32_t& best_arg) const;
+///   void operator()(std::size_t d1, std::size_t m1, std::size_t lo,
+///                   std::size_t hi, std::size_t j, double emem_at_m1,
+///                   const double* everif_row, double& best,
+///                   std::int32_t& best_arg) const;
 /// where everif_row[v1] = E_verif(d1, m1, v1) for v1 in [m1, j), unit
-/// stride.  The scanner must write the min over v1 in [m1, j) of
+/// stride.  The scanner must fold the candidates
 ///   E_verif(d1, m1, v1) + <segment>(d1, m1, v1, j)
-/// into `best` and the first attaining v1 into `best_arg` (strict-less
-/// argmin, matching the determinism contract).  It must be safe to call
+/// for v1 in [lo, hi) into `best`/`best_arg` with the strict-less
+/// leftmost-argmin rule (matching the determinism contract); callers seed
+/// best = +inf, best_arg = -1.  The dense formulation passes
+/// [lo, hi) = [m1, j); ScanMode::kMonotonePruned drives sub-ranges
+/// through core::MonotoneScanner, whose gate + guard keep the combined
+/// result bit-identical to the dense scan.  It must be safe to call
 /// concurrently for different d1.
-template <typename ColumnScanner>
-void run_level_dp(const DpContext& ctx, LevelTables& t,
-                  const ColumnScanner& scan) {
+///
+/// Which inner scans of the engine the pruned mode windows.  kFull
+/// windows both the v1 scans and the E_mem m1 chain (the Eq. (4) DPs,
+/// whose v1 argmin drifts right with j).  kMemChainOnly windows only the
+/// m1 chain: measured on the ADMV segment costs, the v1 argmin is
+/// degenerate (pinned to m1, nothing to prune) and its heavy fused inner
+/// solver is acutely sensitive to the extra v1-scan call structure, so
+/// the partial DP keeps its v1 scans dense by construction.
+///
+/// Gate honesty: the QI certificate probes the Eq. (4) column streams.
+/// For the v1 scans of the Eq. (4) DPs that is the cost function being
+/// scanned; for the E_mem chain (whose candidates are derived
+/// E_verif/E_mem values, and under kMemChainOnly come from the
+/// partial-framework solver entirely) the certificate is a structural
+/// proxy, not a check of the scanned function -- there the per-step
+/// boundary guard plus the oracle/property batteries carry the safety
+/// argument.
+enum class LevelScanProfile { kFull, kMemChainOnly };
+
+/// `scan_stats`, when non-null, accumulates the pruning counters of every
+/// slab (plus zeros in dense mode).
+///
+/// Both window modes are compile-time parameters of the implementation:
+/// the dense instantiation must stay token-identical to the
+/// scanner-free engine -- even a dead runtime branch or an out-of-line
+/// call in the step body measurably deoptimizes the fused kernels GCC
+/// inlines into the slab (2x swings on the ADMV inner solver) -- so
+/// run_level_dp dispatches once on ctx.scan_mode() and the profile.
+template <bool kWindowV1, bool kWindowMem, typename ColumnScanner>
+void run_level_dp_impl(const DpContext& ctx, LevelTables& t,
+                       const ColumnScanner& scan, ScanStats* scan_stats) {
   const std::size_t n = ctx.n();
   const auto& costs = ctx.costs();
+  const analysis::QiCertificate* cert =
+      (kWindowV1 || kWindowMem) ? &ctx.seg_tables().verify_quadrangle()
+                                : nullptr;
+  std::mutex stats_mutex;
 
   // Independent d1 slabs: E_verif(d1, *, *) and E_mem(d1, *).
   const bool keep_values = !t.everif.empty();
@@ -159,6 +198,9 @@ void run_level_dp(const DpContext& ctx, LevelTables& t,
     double* column = scratch.column.data();
     const std::size_t stride = n + 1;
     const double* emem_row = t.emem.data() + t.idx2(d1, 0);
+    MonotoneScanner scanner(kWindowV1 ? n : 0);
+    MonotoneScanner mem_scanner(kWindowMem ? n : 0);
+    if constexpr (kWindowMem) mem_scanner.begin_row(d1, cert->row_ok(d1));
 
     t.emem[t.idx2(d1, d1)] = 0.0;  // E_mem(d1, d1) = 0
     t.best_m1[t.idx2(d1, d1)] = static_cast<std::int32_t>(d1);
@@ -169,13 +211,24 @@ void run_level_dp(const DpContext& ctx, LevelTables& t,
         if (m1 + 1 == j) {
           row[m1] = 0.0;  // E_verif(d1, m1, m1) = 0
           if (keep_values) t.everif[t.idx3(d1, m1, m1)] = 0.0;
+          if constexpr (kWindowV1) scanner.begin_row(m1, cert->row_ok(m1));
         }
         const double emem_at_m1 = emem_row[m1];
         CHAINCKPT_ASSERT(emem_at_m1 == emem_at_m1,
                          "E_mem(d1, m1) must be finalized before use");
         double best = std::numeric_limits<double>::infinity();
         std::int32_t best_arg = -1;
-        scan(d1, m1, j, emem_at_m1, row, best, best_arg);
+        if constexpr (kWindowV1) {
+          scanner.step(
+              m1, j,
+              [&](std::size_t lo, std::size_t hi, double& b,
+                  std::int32_t& a) {
+                scan(d1, m1, lo, hi, j, emem_at_m1, row, b, a);
+              },
+              best, best_arg);
+        } else {
+          scan(d1, m1, m1, j, j, emem_at_m1, row, best, best_arg);
+        }
         row[j] = best;
         column[m1] = best;
         if (keep_values) t.everif[t.idx3(d1, m1, j)] = best;
@@ -184,15 +237,38 @@ void run_level_dp(const DpContext& ctx, LevelTables& t,
       // E_mem(d1, j): contiguous scan over the gathered E_verif column.
       double best = std::numeric_limits<double>::infinity();
       std::int32_t best_arg = -1;
-      for (std::size_t m1 = d1; m1 < j; ++m1) {
-        const double candidate = emem_row[m1] + column[m1];
-        if (candidate < best) {
-          best = candidate;
-          best_arg = static_cast<std::int32_t>(m1);
+      if constexpr (kWindowMem) {
+        mem_scanner.step(
+            d1, j,
+            [&](std::size_t lo, std::size_t hi, double& b,
+                std::int32_t& a) {
+              for (std::size_t m1 = lo; m1 < hi; ++m1) {
+                const double candidate = emem_row[m1] + column[m1];
+                if (candidate < b) {
+                  b = candidate;
+                  a = static_cast<std::int32_t>(m1);
+                }
+              }
+            },
+            best, best_arg);
+      } else {
+        for (std::size_t m1 = d1; m1 < j; ++m1) {
+          const double candidate = emem_row[m1] + column[m1];
+          if (candidate < best) {
+            best = candidate;
+            best_arg = static_cast<std::int32_t>(m1);
+          }
         }
       }
       t.emem[t.idx2(d1, j)] = best + costs.c_mem_after(j);
       t.best_m1[t.idx2(d1, j)] = best_arg;
+    }
+    if constexpr (kWindowV1 || kWindowMem) {
+      if (scan_stats != nullptr) {
+        const std::lock_guard<std::mutex> lock(stats_mutex);
+        if constexpr (kWindowV1) *scan_stats += scanner.stats();
+        if constexpr (kWindowMem) *scan_stats += mem_scanner.stats();
+      }
     }
   });
 
@@ -211,6 +287,22 @@ void run_level_dp(const DpContext& ctx, LevelTables& t,
     }
     t.edisk[d2] = best + costs.c_disk_after(d2);
     t.best_d1[d2] = best_arg;
+  }
+}
+
+template <typename ColumnScanner>
+void run_level_dp(const DpContext& ctx, LevelTables& t,
+                  const ColumnScanner& scan,
+                  ScanStats* scan_stats = nullptr,
+                  LevelScanProfile profile = LevelScanProfile::kFull) {
+  if (ctx.scan_mode() == ScanMode::kMonotonePruned) {
+    if (profile == LevelScanProfile::kFull) {
+      run_level_dp_impl<true, true>(ctx, t, scan, scan_stats);
+    } else {
+      run_level_dp_impl<false, true>(ctx, t, scan, scan_stats);
+    }
+  } else {
+    run_level_dp_impl<false, false>(ctx, t, scan, scan_stats);
   }
 }
 

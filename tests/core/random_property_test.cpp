@@ -1,14 +1,21 @@
 // Randomized dominance properties at sizes far beyond brute force:
-// the DP optimum must never lose to any sampled valid plan of its class.
+// the DP optimum must never lose to any sampled valid plan of its class,
+// and the monotonicity-pruned scan mode must reproduce the dense plans
+// and objectives bit for bit across a 500-case random battery.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "../../bench/bench_common.hpp"
 #include "analysis/evaluator.hpp"
 #include "chain/patterns.hpp"
 #include "core/dp_partial.hpp"
 #include "core/dp_single_level.hpp"
 #include "core/dp_two_level.hpp"
+#include "core/optimizer.hpp"
 #include "platform/registry.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -141,6 +148,114 @@ TEST(Determinism, TiledLayoutMatchesRowMajor) {
     const auto tilep = optimize_with_partial(chain, costs, TableLayout::kTiled);
     EXPECT_DOUBLE_EQ(rowp.expected_makespan, tilep.expected_makespan);
     EXPECT_EQ(rowp.plan.compact_string(), tilep.plan.compact_string());
+  }
+}
+
+/// One Dense-vs-Pruned equivalence case.  The coefficient tables are
+/// built once and shared by both contexts (the BatchSolver borrow path),
+/// so the comparison isolates the scan mode.
+struct PrunedCase {
+  Algorithm algorithm;
+  std::size_t n;
+};
+
+ScanStats check_pruned_case(const PrunedCase& c,
+                            const platform::CostModel& costs,
+                            util::Xoshiro256& rng,
+                            const std::string& label) {
+  const auto chain =
+      chain::make_random(c.n, 25000.0 * static_cast<double>(c.n), rng);
+  const bool rows = c.algorithm == Algorithm::kADMV;
+  auto table = std::make_shared<const chain::WeightTable>(
+      chain, costs.lambda_f(), costs.lambda_s());
+  auto seg =
+      std::make_shared<const analysis::SegmentTables>(*table, costs, rows);
+  DpContext dense_ctx(chain, costs, table, seg);
+  DpContext pruned_ctx(chain, costs, table, seg);
+  pruned_ctx.set_scan_mode(ScanMode::kMonotonePruned);
+  const auto dense = optimize(c.algorithm, dense_ctx);
+  const auto pruned = optimize(c.algorithm, pruned_ctx);
+  EXPECT_EQ(dense.expected_makespan, pruned.expected_makespan) << label;
+  EXPECT_EQ(dense.plan.compact_string(), pruned.plan.compact_string())
+      << label;
+  EXPECT_EQ(dense.scan.steps, 0u) << label << ": dense mode kept counters";
+  return pruned.scan;
+}
+
+TEST(PrunedEquivalence, FiveHundredRandomCasesBitwiseEqual) {
+  // 500 randomized platform/chain draws spread over the three DPs and
+  // n in {50, 200, 400} (the ADMV cases run at n <= 48 to keep the
+  // O(n^6) battery inside the tier-1 budget; its larger sizes live in
+  // oracle_pruning_slow_test.cpp).
+  const struct {
+    PrunedCase shape;
+    int count;
+  } buckets[] = {
+      {{Algorithm::kADVstar, 50}, 200},
+      {{Algorithm::kADMVstar, 50}, 160},
+      {{Algorithm::kADMV, 32}, 64},
+      {{Algorithm::kADVstar, 200}, 56},
+      {{Algorithm::kADMVstar, 200}, 8},
+      {{Algorithm::kADVstar, 400}, 6},
+      {{Algorithm::kADMV, 48}, 6},
+  };
+  util::Xoshiro256 rng(util::Xoshiro256::stream(bench::kBenchSeed, 20)());
+  int cases = 0;
+  ScanStats total;
+  for (const auto& bucket : buckets) {
+    for (int i = 0; i < bucket.count; ++i, ++cases) {
+      // Every 8th case exercises the per-position cost extension.
+      const auto platform =
+          bench::random_platform(rng, "Prop" + std::to_string(cases));
+      const platform::CostModel costs =
+          (cases % 8 == 7)
+              ? bench::random_per_position_costs(platform, bucket.shape.n,
+                                                 rng)
+              : platform::CostModel(platform);
+      total += check_pruned_case(
+          bucket.shape, costs, rng,
+          "case " + std::to_string(cases) + " " + platform.describe());
+    }
+  }
+  EXPECT_EQ(cases, 500);
+  // The mode must actually prune somewhere in the battery, not pass
+  // vacuously with every row gated dense.
+  EXPECT_LT(total.cells_scanned, total.dense_cells);
+  EXPECT_GT(total.windowed_rows, 0u);
+}
+
+TEST(PrunedEquivalence, QuadrangleViolationEngagesFallbackAndStaysExact) {
+  // Fabricated per-position verification costs with a cliff: V* huge
+  // after task 8, near-zero after task 9.  The exvg stream then violates
+  // the quadrangle inequality, verify_quadrangle() must report it, and
+  // the pruned solve must gate the affected rows dense (fallback counter
+  // > 0) while still matching the dense scan bit for bit.
+  const std::size_t n = 16;
+  const platform::Platform base = platform::hera();
+  std::vector<double> c_disk(n, base.c_disk), c_mem(n, base.c_mem);
+  std::vector<double> v_g(n, base.v_guaranteed), v_p(n, base.v_partial);
+  v_g[7] = 5000.0;  // after task 8
+  v_g[8] = 0.01;    // after task 9
+  const platform::CostModel costs(base, c_disk, c_mem, v_g, v_p);
+  const auto chain = chain::make_uniform(n, 25000.0);
+
+  DpContext pruned_ctx(chain, costs);
+  const auto& cert = pruned_ctx.seg_tables().verify_quadrangle();
+  ASSERT_GT(cert.violating_cells, 0u)
+      << "fabricated table no longer violates QI; rebuild the test";
+  EXPECT_FALSE(cert.row_ok(0));
+  EXPECT_LT(cert.worst_defect, 0.0);
+  pruned_ctx.set_scan_mode(ScanMode::kMonotonePruned);
+
+  DpContext dense_ctx(chain, costs);
+  for (const Algorithm algorithm :
+       {Algorithm::kADVstar, Algorithm::kADMVstar, Algorithm::kADMV}) {
+    const auto dense = optimize(algorithm, dense_ctx);
+    const auto pruned = optimize(algorithm, pruned_ctx);
+    EXPECT_EQ(dense.expected_makespan, pruned.expected_makespan);
+    EXPECT_EQ(dense.plan.compact_string(), pruned.plan.compact_string());
+    EXPECT_GT(pruned.scan.gated_rows, 0u)
+        << to_string(algorithm) << ": QI fallback did not engage";
   }
 }
 
