@@ -98,6 +98,7 @@ std::vector<OptimizationResult> BatchSolver::solve(
                       "batch job chain longer than BatchOptions::max_n");
     auto [it, inserted] = cache_.try_emplace(make_key(job.chain, job.costs));
     TableEntry& entry = it->second;
+    entry.last_used = ++use_tick_;
     job_entry[i] = &entry;
     const bool rows = needs_row_tables(job.algorithm);
     // An entry built without rows is rebuilt in place when an ADMV job
@@ -159,28 +160,207 @@ std::vector<OptimizationResult> BatchSolver::solve(
   for (const OptimizationResult& result : results) {
     stats_.scan += result.scan;
   }
+  if (options_.cache_budget_bytes != 0) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    evict_locked(options_.cache_budget_bytes);
+  }
   return results;
+}
+
+OptimizationResult BatchSolver::solve_job(const BatchJob& job,
+                                          const CancelToken* cancel) {
+  CHAINCKPT_REQUIRE(!job.chain.empty(), "batch job needs a non-empty chain");
+
+  // The heuristic baselines read no shared tables; poll once and run.
+  if (!is_dp_algorithm(job.algorithm)) {
+    poll_cancellation(cancel);
+    OptimizationResult result = optimize(job.algorithm, job.chain, job.costs);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.jobs_solved;
+    return result;
+  }
+
+  CHAINCKPT_REQUIRE(job.chain.size() <= options_.max_n,
+                    "batch job chain longer than BatchOptions::max_n");
+  const bool rows = needs_row_tables(job.algorithm);
+  const TableKey key = make_key(job.chain, job.costs);
+
+  // Acquire (building if necessary) the shared table pair.  References
+  // into the map survive rehashes; the loop re-looks the key up after
+  // every wait, so a concurrent eviction of the entry just causes a
+  // rebuild instead of a dangling pointer.
+  std::shared_ptr<const chain::WeightTable> table;
+  std::shared_ptr<const analysis::SegmentTables> seg;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      TableEntry& entry = cache_.try_emplace(key).first->second;
+      if (entry.seg != nullptr && (!rows || entry.seg->has_rows())) {
+        entry.last_used = ++use_tick_;
+        ++stats_.tables_reused;
+        table = entry.table;
+        seg = entry.seg;
+        break;
+      }
+      if (entry.building) {
+        build_done_.wait(lock);
+        continue;  // re-resolve: built, row-upgraded, or even evicted
+      }
+      entry.building = true;
+      // A rowless entry being row-upgraded keeps its WeightTable: the
+      // table depends only on key material, so rebuilding it would be
+      // pure duplicate work (the SegmentTables must rebuild -- rows are
+      // a construction-time property).
+      std::shared_ptr<const chain::WeightTable> built_table = entry.table;
+      lock.unlock();
+      std::shared_ptr<const analysis::SegmentTables> built_seg;
+      try {
+        if (built_table == nullptr) {
+          built_table = std::make_shared<const chain::WeightTable>(
+              job.chain, job.costs.lambda_f(), job.costs.lambda_s());
+        }
+        built_seg = std::make_shared<const analysis::SegmentTables>(
+            *built_table, job.costs, rows);
+      } catch (...) {
+        lock.lock();
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+          it->second.building = false;
+          // A fresh entry that never got tables would otherwise linger
+          // as an unevictable zero-byte zombie; a row-upgrade failure
+          // keeps the still-valid rowless pair.
+          if (it->second.seg == nullptr) cache_.erase(it);
+        }
+        build_done_.notify_all();
+        throw;
+      }
+      lock.lock();
+      // Re-resolve after re-locking: the unlocked build may have raced a
+      // rehash (pointer-stable, but re-looking up is simpler to reason
+      // about than held references across the gap).
+      TableEntry& built = cache_.try_emplace(key).first->second;
+      built.table = std::move(built_table);
+      built.seg = std::move(built_seg);
+      built.building = false;
+      built.last_used = ++use_tick_;
+      ++stats_.tables_built;
+      build_done_.notify_all();
+      table = built.table;
+      seg = built.seg;
+      break;
+    }
+  }
+
+  // The solve itself runs outside the lock -- the shared_ptrs keep the
+  // tables alive even if the entry is evicted mid-solve.
+  DpContext ctx(job.chain, job.costs, std::move(table), std::move(seg),
+                options_.max_n);
+  ctx.set_scan_mode(options_.scan_mode);
+  ctx.set_cancel_token(cancel);
+  OptimizationResult result;
+  try {
+    result = optimize(job.algorithm, ctx, options_.layout);
+  } catch (const SolveInterrupted&) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.jobs_interrupted;
+    throw;
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.jobs_solved;
+  stats_.scan += result.scan;
+  if (options_.cache_budget_bytes != 0) {
+    evict_locked(options_.cache_budget_bytes);
+  }
+  return result;
 }
 
 std::size_t BatchSolver::release_scratch() {
   std::size_t freed = 0;
-  for (const auto& [key, entry] : cache_) {
-    if (entry.table != nullptr) freed += entry.table->resident_bytes();
-    if (entry.seg != nullptr) freed += entry.seg->resident_bytes();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    freed = cache_bytes_locked();
+    cache_.clear();
   }
-  cache_.clear();
   freed += util::release_all_arenas();
+  const std::lock_guard<std::mutex> lock(mutex_);
   stats_.released_bytes += freed;
   return freed;
 }
 
+std::size_t BatchSolver::evict_to(std::size_t budget_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evict_locked(budget_bytes);
+}
+
+void BatchSolver::set_cache_budget(std::size_t budget_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  options_.cache_budget_bytes = budget_bytes;
+  if (budget_bytes != 0) evict_locked(budget_bytes);
+}
+
 std::size_t BatchSolver::resident_bytes() const {
   std::size_t total = util::arena_resident_bytes();
-  for (const auto& [key, entry] : cache_) {
-    if (entry.table != nullptr) total += entry.table->resident_bytes();
-    if (entry.seg != nullptr) total += entry.seg->resident_bytes();
-  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total + cache_bytes_locked();
+}
+
+std::size_t BatchSolver::cache_resident_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_bytes_locked();
+}
+
+BatchStats BatchSolver::stats_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t BatchSolver::entry_bytes(const TableEntry& entry) noexcept {
+  std::size_t bytes = 0;
+  if (entry.table != nullptr) bytes += entry.table->resident_bytes();
+  if (entry.seg != nullptr) bytes += entry.seg->resident_bytes();
+  return bytes;
+}
+
+std::size_t BatchSolver::cache_bytes_locked() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, entry] : cache_) total += entry_bytes(entry);
   return total;
+}
+
+std::size_t BatchSolver::evict_locked(std::size_t budget_bytes) {
+  // Sweep table-less leftovers first (a phase-1 validation throw in
+  // solve() can strand freshly keyed entries); they hold no bytes but
+  // would otherwise occupy map nodes forever.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (!it->second.building && it->second.seg == nullptr) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::size_t freed = 0;
+  std::size_t resident = cache_bytes_locked();
+  while (resident > budget_bytes) {
+    // Oldest stamp first.  Entries mid-build are skipped: their bytes are
+    // claimed by the builder and will be accounted at its own evict pass.
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.building || it->second.seg == nullptr) continue;
+      if (victim == cache_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == cache_.end()) break;
+    const std::size_t bytes = entry_bytes(victim->second);
+    cache_.erase(victim);
+    resident -= bytes;
+    freed += bytes;
+    ++stats_.tables_evicted;
+    stats_.evicted_bytes += bytes;
+  }
+  return freed;
 }
 
 }  // namespace chainckpt::core

@@ -13,6 +13,11 @@
 //     chain::WeightTable pair -- the dominant per-solve setup cost -- is
 //     built once per distinct (chain weights, cost model) key and shared
 //     by every job that matches, within a batch and across batches;
+//   * LRU eviction: an optional byte budget on that cache
+//     (BatchOptions::cache_budget_bytes) evicts least-recently-used
+//     entries after each solve instead of the all-or-nothing
+//     release_scratch(), so a long-lived service bounds table residency
+//     while hot keys stay cached;
 //   * one thread-local arena pool: the solvers' grow-only scratch
 //     (util::ArenaBlock) is reused across the whole batch, so steady-state
 //     solving performs no per-job scratch allocation;
@@ -22,24 +27,33 @@
 //
 // Determinism: every job's result (plan and objective) is bit-identical to
 // a standalone core::optimize() call with the same inputs, whether the
-// batch runs serially or in parallel, cached or cold.
+// batch runs serially or in parallel, cached or cold, and whether the
+// entry survived eviction or was rebuilt.
 //
-// Thread-safety: a BatchSolver instance is NOT internally synchronized --
-// it IS the parallelism.  Use one instance per serving thread, or fence
-// calls externally.  The arena pool behind release_scratch() /
-// resident_bytes() is PROCESS-WIDE (every solver's thread-local scratch
-// registers with it), so release_scratch() must not overlap a running
-// solve() on ANY instance in the process, and the byte counts cover all
-// instances, not just this one.  A multi-solver embedding should treat
-// scratch release as a global quiescent-point operation.
+// Thread-safety: the batch entry point solve() is NOT internally
+// synchronized -- it IS the parallelism; use it from one thread at a time.
+// The per-job entry point solve_job() IS thread-safe against other
+// solve_job() calls on the same instance (the table cache, LRU state, and
+// stats sit behind an internal mutex; the DP itself runs outside it) --
+// it is the entry the async service::SolverService workers use.  Do not
+// interleave solve() with concurrent solve_job() calls.  The arena pool
+// behind release_scratch() / resident_bytes() is PROCESS-WIDE (every
+// solver's thread-local scratch registers with it), so release_scratch()
+// must not overlap a running solve on ANY instance in the process, and
+// the arena byte counts cover all instances, not just this one.  A
+// multi-solver embedding should treat scratch release as a global
+// quiescent-point operation.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "core/cancellation.hpp"
 #include "core/optimizer.hpp"
 
 namespace chainckpt::core {
@@ -68,6 +82,13 @@ struct BatchOptions {
   /// Upper bound on chain length, guarding the dense O(n^3) DP tables
   /// (see DpContext::kDefaultMaxN).
   std::size_t max_n = DpContext::kDefaultMaxN;
+  /// Byte budget for the coefficient-table cache; 0 keeps it unbounded.
+  /// After every solve()/solve_job(), least-recently-used entries are
+  /// evicted until the cache fits (an entry larger than the whole budget
+  /// is evicted right after its solve).  Evicted keys simply rebuild on
+  /// their next use -- results are unaffected.  Runtime-adjustable via
+  /// set_cache_budget().
+  std::size_t cache_budget_bytes = 0;
 };
 
 /// Counters accumulated over the solver's lifetime.
@@ -77,8 +98,14 @@ struct BatchStats {
   std::size_t tables_built = 0;
   /// DP jobs served by a previously built pair (same batch or earlier).
   std::size_t tables_reused = 0;
+  /// Cache entries dropped by the LRU budget, and their bytes.
+  std::size_t tables_evicted = 0;
+  std::size_t evicted_bytes = 0;
   /// Total bytes returned by release_scratch() calls so far.
   std::size_t released_bytes = 0;
+  /// solve_job() calls that ended in SolveInterrupted (cancellation or
+  /// deadline) instead of a result.
+  std::size_t jobs_interrupted = 0;
   /// Aggregated prune/fallback counters of every DP job's inner scans
   /// (all-zero while scan_mode is kDense).
   ScanStats scan;
@@ -92,20 +119,50 @@ class BatchSolver {
   /// repeatedly -- the table cache persists and warms across calls.
   std::vector<OptimizationResult> solve(const std::vector<BatchJob>& jobs);
 
+  /// Solves one job through the shared cache.  Unlike solve(), this entry
+  /// is thread-safe against concurrent solve_job() calls on the same
+  /// instance: workers serving an async queue call it directly (see
+  /// service::SolverService).  Concurrent callers missing the same key
+  /// build its tables once (the first claims the build, the rest wait).
+  /// `cancel`, when non-null, is threaded to the DP's cooperative
+  /// checkpoints; a fired token makes this call throw SolveInterrupted
+  /// (counted in stats().jobs_interrupted) with the cache intact.
+  /// Results are bit-identical to solve() and to standalone optimize().
+  OptimizationResult solve_job(const BatchJob& job,
+                               const CancelToken* cancel = nullptr);
+
   /// Drops this solver's coefficient-table cache and the backing memory
   /// of every thread-local solver arena IN THE PROCESS (the arena pool is
   /// global -- see the header comment); returns the number of bytes
   /// freed.  The solver stays fully usable -- the next solve() rebuilds
   /// on demand and reproduces identical results.  Must not overlap a
-  /// running solve() on any BatchSolver or standalone optimizer call.
+  /// running solve on any BatchSolver or standalone optimizer call.
   std::size_t release_scratch();
+
+  /// Evicts least-recently-used cache entries until the table cache holds
+  /// at most `budget_bytes`; returns the bytes freed.  Entries mid-build
+  /// by a concurrent solve_job() are skipped.  The LRU counterpart of
+  /// release_scratch() (which also drops the arenas).
+  std::size_t evict_to(std::size_t budget_bytes);
+
+  /// Replaces BatchOptions::cache_budget_bytes at runtime and applies it
+  /// immediately; 0 removes the bound.
+  void set_cache_budget(std::size_t budget_bytes);
 
   /// Bytes currently held by this solver's table cache plus all solver
   /// arenas in the process.
   std::size_t resident_bytes() const;
 
+  /// Bytes held by the table cache alone (the pool the LRU budget
+  /// governs), excluding the process-wide arenas.
+  std::size_t cache_resident_bytes() const;
+
   const BatchOptions& options() const noexcept { return options_; }
+  /// Borrowing accessor for the exclusive-use batch path; while
+  /// concurrent solve_job() calls are in flight, use stats_snapshot().
   const BatchStats& stats() const noexcept { return stats_; }
+  /// Consistent copy of the counters, taken under the cache lock.
+  BatchStats stats_snapshot() const;
 
  private:
   /// Cache key: the exact bit patterns of everything a WeightTable /
@@ -128,14 +185,33 @@ class BatchSolver {
   struct TableEntry {
     std::shared_ptr<const chain::WeightTable> table;
     std::shared_ptr<const analysis::SegmentTables> seg;
+    /// LRU stamp: value of use_tick_ at the entry's last touch.  The
+    /// cache is small (one entry per distinct workload shape), so
+    /// eviction scans for the minimum stamp instead of maintaining an
+    /// intrusive list.
+    std::uint64_t last_used = 0;
+    /// A solve_job() worker is building (or row-upgrading) this entry;
+    /// other workers wait on build_done_ and eviction skips it.
+    bool building = false;
   };
 
   static TableKey make_key(const chain::TaskChain& chain,
                            const platform::CostModel& costs);
+  static std::size_t entry_bytes(const TableEntry& entry) noexcept;
+
+  /// The following helpers require mutex_ to be held.
+  std::size_t cache_bytes_locked() const noexcept;
+  std::size_t evict_locked(std::size_t budget_bytes);
 
   BatchOptions options_;
   BatchStats stats_;
   std::unordered_map<TableKey, TableEntry, TableKeyHash> cache_;
+  std::uint64_t use_tick_ = 0;
+  /// Guards cache_, stats_, use_tick_, and the cache-budget option for
+  /// the solve_job() path; solve() relies on its exclusive contract and
+  /// takes it only around shared bookkeeping.
+  mutable std::mutex mutex_;
+  std::condition_variable build_done_;
 };
 
 }  // namespace chainckpt::core

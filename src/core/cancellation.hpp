@@ -1,0 +1,126 @@
+// Cooperative cancellation and deadlines for the DP solvers.
+//
+// A long ADMV solve is O(n^6); a service cannot afford to let one run to
+// completion after its client hung up or its deadline passed.  The
+// solvers therefore accept an optional CancelToken through DpContext and
+// poll it at coarse-grained checkpoints -- once per right-endpoint step of
+// a slab, once per streamed row, never inside the fused inner kernels
+// (whose codegen is measurably sensitive to extra call structure; see
+// core/level_dp.hpp).  When the token fires, the polling worker throws
+// SolveInterrupted; util::parallel_for rethrows it on the calling thread
+// after the remaining workers observe the same token and unwind too.
+//
+// The contract is cooperative and coarse: cancellation latency is one
+// checkpoint interval (microseconds for the single-level DP, up to a few
+// milliseconds for a large ADMV slab step), and an interrupted solve
+// produces no result -- the thread-local scratch arenas remain registered,
+// grow-only, and reusable, so a later util::release_all_arenas() (or
+// core::BatchSolver::release_scratch()) still reclaims every byte.
+//
+// Thread-safety: request_cancel() / set_deadline() may race freely with
+// polls from any number of worker threads (relaxed atomics -- a poll may
+// observe the request one checkpoint late, which the latency contract
+// already allows).  set_deadline() should be called before the solve
+// starts; tokens are single-use per job (there is deliberately no reset).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace chainckpt::core {
+
+/// Why an interrupted solve stopped.
+enum class InterruptReason {
+  kCancelled,  ///< CancelToken::request_cancel() was called
+  kDeadline,   ///< the token's deadline passed mid-solve
+};
+
+/// Thrown from a solver checkpoint when its CancelToken fires.  Escapes
+/// through optimize() to the caller; core::BatchSolver::solve_job lets it
+/// propagate after updating its interruption counter.
+class SolveInterrupted : public std::runtime_error {
+ public:
+  explicit SolveInterrupted(InterruptReason reason)
+      : std::runtime_error(reason == InterruptReason::kDeadline
+                               ? "solve interrupted: deadline expired"
+                               : "solve interrupted: cancelled"),
+        reason_(reason) {}
+
+  InterruptReason reason() const noexcept { return reason_; }
+
+ private:
+  InterruptReason reason_;
+};
+
+/// Shared flag + optional deadline, owned by the submitter, polled by the
+/// solver.  The deadline is stored as steady-clock nanoseconds so polls
+/// stay lock-free.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  void set_deadline(Clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  bool deadline_passed() const noexcept {
+    const std::int64_t ns = deadline_ns_.load(std::memory_order_relaxed);
+    return ns != 0 && Clock::now().time_since_epoch().count() >= ns;
+  }
+
+  /// Solver checkpoint: throws SolveInterrupted when the token fired.
+  /// The cancel flag is checked on every poll (one relaxed load); the
+  /// deadline clock read is strided (every 64th poll per thread) to keep
+  /// checkpoints cheap enough for per-step placement.
+  void poll() const {
+    if (cancel_requested()) {
+      throw SolveInterrupted(InterruptReason::kCancelled);
+    }
+    if (!has_deadline()) return;
+    static thread_local std::uint32_t ticker = 0;
+    if ((ticker++ & 63u) == 0 && deadline_passed()) {
+      throw SolveInterrupted(InterruptReason::kDeadline);
+    }
+  }
+
+  /// Unstrided checkpoint for solve entry and other coarse placements:
+  /// always reads the clock when a deadline is set, so an already-expired
+  /// deadline fires before any DP work starts.
+  void poll_now() const {
+    if (cancel_requested()) {
+      throw SolveInterrupted(InterruptReason::kCancelled);
+    }
+    if (deadline_passed()) {
+      throw SolveInterrupted(InterruptReason::kDeadline);
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Deadline as steady-clock nanoseconds since the clock epoch; 0 means
+  /// no deadline (the epoch itself is unreachable for a running process).
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+/// Null-tolerant checkpoint used by the DP drivers: a solve without a
+/// token pays one predictable branch per checkpoint.
+inline void poll_cancellation(const CancelToken* token) {
+  if (token != nullptr) token->poll();
+}
+
+}  // namespace chainckpt::core

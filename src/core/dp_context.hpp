@@ -8,6 +8,7 @@
 #include "analysis/segment_tables.hpp"
 #include "chain/chain.hpp"
 #include "chain/weight_table.hpp"
+#include "core/cancellation.hpp"
 #include "core/monotone_scanner.hpp"
 #include "plan/plan.hpp"
 #include "platform/cost_model.hpp"
@@ -71,6 +72,16 @@ class DpContext {
   void set_scan_mode(ScanMode mode) noexcept { scan_mode_ = mode; }
   ScanMode scan_mode() const noexcept { return scan_mode_; }
 
+  /// Attaches a cooperative cancellation/deadline token (see
+  /// core/cancellation.hpp); the DP drivers poll it at their checkpoint
+  /// placements and throw SolveInterrupted when it fires.  The token must
+  /// outlive every solve run on this context; nullptr (the default)
+  /// disables the checkpoints' work entirely.  Not owned.
+  void set_cancel_token(const CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+  const CancelToken* cancel_token() const noexcept { return cancel_; }
+
   std::size_t n() const noexcept { return chain_.size(); }
   const chain::TaskChain& chain() const noexcept { return chain_; }
   const platform::CostModel& costs() const noexcept { return costs_; }
@@ -89,6 +100,7 @@ class DpContext {
   chain::TaskChain chain_;
   platform::CostModel costs_;
   ScanMode scan_mode_ = ScanMode::kDense;
+  const CancelToken* cancel_ = nullptr;
   /// shared_ptr so a BatchSolver cache entry and every context borrowing
   /// it stay valid independently of each other's lifetime; the
   /// build-your-own constructors simply own the single reference.

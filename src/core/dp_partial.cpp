@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/cancellation.hpp"
 #include "core/level_dp.hpp"
 #include "util/arena.hpp"
 
@@ -194,6 +195,10 @@ OptimizationResult optimize_with_partial(const DpContext& ctx,
                                          TableLayout layout) {
   CHAINCKPT_REQUIRE(ctx.seg_tables().has_rows(),
                     "ADMV needs a context built with row tables");
+  // Entry checkpoint; the per-(d1, j) checkpoints of the O(n^6) engine
+  // run live in run_level_dp_impl, outside this solver's fused kernels
+  // (whose call structure must not change -- see the scan note below).
+  if (const CancelToken* token = ctx.cancel_token()) token->poll_now();
   const std::size_t n = ctx.n();
   detail::LevelTables tables(ctx.n(), layout);
   const PartialSegmentSolver solver{ctx};
@@ -239,6 +244,7 @@ OptimizationResult optimize_with_partial(const DpContext& ctx,
   // DP, same argmin chain.
   const auto partials = [&](std::size_t d1, std::size_t m1, std::size_t v1,
                             std::size_t v2) {
+    poll_cancellation(ctx.cancel_token());  // one inner solve per segment
     PartialScratch& scratch = partial_scratch();
     scratch.ensure(n);
     const analysis::LeftContext left{

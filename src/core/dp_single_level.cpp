@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "analysis/segment_math.hpp"
+#include "core/cancellation.hpp"
 #include "core/monotone_scanner.hpp"
 #include "util/arena.hpp"
 #include "util/assert.hpp"
@@ -157,6 +158,8 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
                                          SingleLevelOptions options) {
   const std::size_t n = ctx.n();
   const auto& cm = ctx.costs();
+  const CancelToken* cancel = ctx.cancel_token();
+  if (cancel != nullptr) cancel->poll_now();
   const std::size_t stride = n + 1;
   const std::size_t block = stream_block_rows(n);
   const bool pruned = ctx.scan_mode() == ScanMode::kMonotonePruned &&
@@ -177,6 +180,9 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
     const std::size_t b1 = std::min(n, b0 + block);
     double* rows = s.rows.data();
     util::parallel_for(b0, b1, [&](std::size_t d1) {
+      // Cancellation checkpoint: per streamed row (a row is O(n) scan
+      // steps), keeping the fused Eq. (4) kernel itself untouched.
+      poll_cancellation(cancel);
       if (pruned) {
         MonotoneScanner scanner(n);
         stream_everif_row<true>(ctx, d1, n,
@@ -223,6 +229,7 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
   std::int32_t* args = s.row_args.data();
   std::size_t d2 = n;
   while (d2 > 0) {
+    poll_cancellation(cancel);  // one re-streamed row per chosen segment
     const auto d1 = static_cast<std::size_t>(s.best_d1[d2]);
     CHAINCKPT_ASSERT(s.best_d1[d2] >= 0 && d1 < d2, "broken E_disk argmin");
     plan.set_action(d2, plan::Action::kDiskCheckpoint);

@@ -17,6 +17,10 @@ OptimizationResult optimize_two_level(const chain::TaskChain& chain,
 
 OptimizationResult optimize_two_level(const DpContext& ctx,
                                       TableLayout layout) {
+  // Entry checkpoint: a token that fired while the job sat in a queue
+  // aborts before the O(n^3) tables are even allocated.  The per-step
+  // checkpoints live in run_level_dp_impl.
+  if (const CancelToken* token = ctx.cancel_token()) token->poll_now();
   // ADMV* never re-reads E_verif values (plan extraction needs only the
   // argmin tables), so skip the O(n^3) value table entirely.
   detail::LevelTables tables(ctx.n(), layout, /*keep_verif_values=*/false);

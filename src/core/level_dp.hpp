@@ -29,6 +29,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/cancellation.hpp"
 #include "core/dp_context.hpp"
 #include "core/monotone_scanner.hpp"
 #include "util/arena.hpp"
@@ -184,6 +185,7 @@ void run_level_dp_impl(const DpContext& ctx, LevelTables& t,
                        const ColumnScanner& scan, ScanStats* scan_stats) {
   const std::size_t n = ctx.n();
   const auto& costs = ctx.costs();
+  const CancelToken* cancel = ctx.cancel_token();
   const analysis::QiCertificate* cert =
       (kWindowV1 || kWindowMem) ? &ctx.seg_tables().verify_quadrangle()
                                 : nullptr;
@@ -205,6 +207,12 @@ void run_level_dp_impl(const DpContext& ctx, LevelTables& t,
     t.emem[t.idx2(d1, d1)] = 0.0;  // E_mem(d1, d1) = 0
     t.best_m1[t.idx2(d1, d1)] = static_cast<std::int32_t>(d1);
     for (std::size_t j = d1 + 1; j <= n; ++j) {
+      // Cancellation checkpoint: per (d1, j) step, OUTSIDE the fused m1/v1
+      // kernels whose codegen must stay untouched (see the dispatch note
+      // above).  A fired token unwinds this slab; the other slabs poll the
+      // same token and unwind too, and parallel_for rethrows the first
+      // SolveInterrupted on the calling thread.
+      poll_cancellation(cancel);
       // E_verif(d1, m1, j) for all m1 in [d1, j).
       for (std::size_t m1 = d1; m1 < j; ++m1) {
         double* row = plane + m1 * stride;

@@ -1,0 +1,128 @@
+// Admission control: price a solve before running it.
+//
+// The algorithms the service fronts have wildly different asymptotic
+// costs -- the streamed single-level DP is O(n^3), the two-level engine
+// O(n^4), and ADMV's partial-verification DP O(n^6) -- so a queue that
+// treats "one job" as one unit of work lets a single ADMV request starve
+// hundreds of cheap ones.  The admission controller prices every job from
+// its algorithm class and chain length (price_units, the n^k cost model),
+// rejects work that is individually over the per-job cap or arrives to a
+// full queue, and hands the dispatcher a budget test so the priced sum of
+// in-flight work stays under the configured concurrency budget.
+//
+// Pricing is a static model; calibration makes it actionable.  Every
+// completed job reports its observed wall time, its ScanStats (whose
+// dense/scanned cell counts measure how much of the priced work the
+// monotonicity pruning actually skipped), and the solver's resident table
+// bytes.  The controller folds these into per-class EWMA throughput
+// estimates, so estimate() can translate abstract units into expected
+// seconds once traffic has warmed it up -- the numbers an operator tunes
+// the budget against (see docs/SERVER.md).
+//
+// Thread-safety: all methods are safe to call concurrently; calibration
+// state sits behind an internal mutex, and assess() reads only immutable
+// config plus caller-supplied load figures.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+#include "core/batch_solver.hpp"
+
+namespace chainckpt::service {
+
+/// Exponent k of the algorithm's asymptotic DP cost O(n^k): 2 for AD and
+/// the heuristic baselines, 3 for ADV*, 4 for ADMV*, 6 for ADMV.
+double complexity_exponent(core::Algorithm algorithm) noexcept;
+
+/// Abstract priced cost of one job: n^k scaled by 1e-6, so an ADV* job at
+/// n = 400 prices at 64 units while an ADMV job at n = 100 prices at one
+/// million -- the asymmetry the budget is there to manage.
+double price_units(core::Algorithm algorithm, std::size_t n) noexcept;
+
+struct AdmissionConfig {
+  /// Priced units allowed in flight at once; 0 = unlimited.  When the
+  /// next queued job would push the in-flight sum past the budget it
+  /// waits in the queue (an idle service always dispatches at least one
+  /// job, so a single over-budget job cannot wedge the queue).
+  double budget_units = 0.0;
+  /// Per-job cap; a submission priced above it is rejected outright.
+  /// 0 = no cap.
+  double max_job_units = 0.0;
+  /// Submissions rejected once this many jobs are already queued.
+  std::size_t queue_capacity = 1024;
+};
+
+/// Only kReject changes what happens to a submission; the kAdmit/kQueue
+/// split is advisory (would the job start right now?), because the
+/// budget is enforced at dispatch time by fits(), not at submit time --
+/// SolverService queues both and lets its dispatcher gate the start.
+enum class AdmissionDecision {
+  kAdmit,   ///< fits the budget right now
+  kQueue,   ///< admissible, but must wait for in-flight work to drain
+  kReject,  ///< over the per-job cap or the queue is full
+};
+
+struct AdmissionVerdict {
+  AdmissionDecision decision = AdmissionDecision::kAdmit;
+  double cost_units = 0.0;
+  /// Static human-readable explanation (never null).
+  const char* reason = "";
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  const AdmissionConfig& config() const noexcept { return config_; }
+
+  /// Prices (algorithm, n) and decides against the caller's current load
+  /// (queued job count, priced units in flight).  Pure function of its
+  /// arguments plus config -- the caller serializes load reads itself.
+  AdmissionVerdict assess(core::Algorithm algorithm, std::size_t n,
+                          std::size_t queued_now,
+                          double inflight_units) const noexcept;
+
+  /// Dispatcher-side budget test: may a job priced `cost_units` start
+  /// while `inflight_units` are already running?
+  bool fits(double cost_units, double inflight_units) const noexcept;
+
+  /// Calibration feed, called per completed job: priced units, the
+  /// solve's ScanStats, observed wall seconds, and the solver's resident
+  /// table bytes after the job.
+  void observe(core::Algorithm algorithm, double cost_units,
+               const core::ScanStats& scan, double seconds,
+               std::size_t resident_bytes);
+
+  struct Estimate {
+    double cost_units = 0.0;
+    /// Expected wall seconds from the class's calibrated throughput;
+    /// negative (kUncalibrated) until the class has completed a job.
+    double seconds = kUncalibrated;
+    /// EWMA fraction of priced cells the pruned scans skipped (0 while
+    /// running ScanMode::kDense).
+    double prune_fraction = 0.0;
+  };
+  static constexpr double kUncalibrated = -1.0;
+
+  Estimate estimate(core::Algorithm algorithm, std::size_t n) const;
+
+  /// Most recent resident-table-bytes observation (0 before any).
+  std::size_t observed_resident_bytes() const;
+
+ private:
+  static std::size_t class_index(core::Algorithm algorithm) noexcept;
+
+  struct ClassCalibration {
+    double units_per_second = 0.0;  ///< EWMA; 0 = no sample yet
+    double prune_fraction = 0.0;    ///< EWMA of ScanStats::prune_fraction
+    std::size_t samples = 0;
+  };
+
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  ClassCalibration classes_[6];
+  std::size_t resident_bytes_ = 0;
+};
+
+}  // namespace chainckpt::service

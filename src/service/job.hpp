@@ -1,0 +1,81 @@
+// Job-side types of the async service: what a client submits, the handle
+// it gets back, and the status snapshots it polls.  The service itself
+// lives in service/solver_service.hpp.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/batch_solver.hpp"
+
+namespace chainckpt::service {
+
+class SolverService;
+
+using JobId = std::uint64_t;
+
+/// Lifecycle of a submitted job.  kQueued/kRunning are transient; the
+/// rest are terminal.  A job reaches exactly one terminal state, and the
+/// completion callback fires exactly once when it does.
+enum class JobState {
+  kQueued,     ///< admitted, waiting for budget + a worker
+  kRunning,    ///< a worker is solving it
+  kSucceeded,  ///< result available
+  kFailed,     ///< the solve threw (JobStatus::error has the message)
+  kCancelled,  ///< cancel() reached it (queued or mid-solve)
+  kExpired,    ///< its deadline passed (queued or mid-solve)
+  kRejected,   ///< refused at submit (admission cap, full queue, bad job)
+};
+
+const char* to_string(JobState state) noexcept;
+bool is_terminal(JobState state) noexcept;
+
+/// One submission: the work itself (algorithm + chain + cost model, the
+/// same triple core::BatchSolver takes) plus an optional wall-clock
+/// deadline measured from submit time.  A job whose deadline passes while
+/// queued never starts; one that expires mid-solve is interrupted at the
+/// DP's next cancellation checkpoint.  Zero means no deadline.
+struct JobRequest {
+  core::BatchJob work;
+  std::chrono::milliseconds deadline{0};
+};
+
+/// Point-in-time snapshot of one job, returned by poll()/wait() and
+/// passed to the completion callback.  `result` is meaningful only in
+/// kSucceeded; `error` carries the rejection or failure reason.
+struct JobStatus {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  /// Admission price of the job (see service/admission.hpp).
+  double cost_units = 0.0;
+  core::OptimizationResult result;
+  std::string error;
+};
+
+namespace detail {
+struct JobRecord;
+}
+
+/// Client-side reference to a submitted job.  Cheap to copy; valid for
+/// the life of the process (the record it shares outlives the service).
+/// All interrogation goes through the service: poll(), wait(), cancel().
+/// A default-constructed (empty) handle polls as terminal kRejected --
+/// never as a live job -- so poll-until-terminal loops cannot hang on it.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  JobId id() const noexcept;
+  bool valid() const noexcept { return record_ != nullptr; }
+
+ private:
+  friend class SolverService;
+  explicit JobHandle(std::shared_ptr<detail::JobRecord> record)
+      : record_(std::move(record)) {}
+
+  std::shared_ptr<detail::JobRecord> record_;
+};
+
+}  // namespace chainckpt::service

@@ -1,0 +1,392 @@
+#include "service/solver_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/parallel.hpp"
+
+namespace chainckpt::service {
+
+namespace detail {
+
+/// Shared record behind a JobHandle.  `work`, `cost_units`, and `id` are
+/// immutable after submit; `token` is internally synchronized; the
+/// mutable tail (state/result/error) is guarded by the service mutex.
+struct JobRecord {
+  explicit JobRecord(core::BatchJob job) : work(std::move(job)) {}
+
+  JobId id = 0;
+  core::BatchJob work;
+  double cost_units = 0.0;
+  core::CancelToken token;
+
+  JobState state = JobState::kQueued;
+  core::OptimizationResult result;
+  std::string error;
+};
+
+}  // namespace detail
+
+JobId JobHandle::id() const noexcept {
+  return record_ != nullptr ? record_->id : 0;
+}
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kSucceeded:
+      return "succeeded";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kExpired:
+      return "expired";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState state) noexcept {
+  return state != JobState::kQueued && state != JobState::kRunning;
+}
+
+namespace {
+
+/// What poll()/wait() report for an empty handle: terminal, so the
+/// natural poll-until-terminal loop cannot spin on a job that does not
+/// exist.
+JobStatus empty_handle_status() {
+  JobStatus status;
+  status.state = JobState::kRejected;
+  status.error = "empty job handle (no job was submitted)";
+  return status;
+}
+
+/// Callbacks run outside the service lock on whichever thread finished
+/// the job; an exception escaping one would either double-complete the
+/// job (worker catch blocks) or terminate the process (pool unwinding),
+/// so the contract is: callbacks must not throw, and one that does is
+/// swallowed here.
+void invoke_callback(const SolverService::CompletionCallback& callback,
+                     const JobStatus& status) noexcept {
+  if (!callback) return;
+  try {
+    callback(status);
+  } catch (...) {
+  }
+}
+
+}  // namespace
+
+SolverService::SolverService(ServiceOptions options)
+    : options_(options),
+      solver_(options.solver),
+      admission_(options.admission) {
+  workers_ = options_.workers != 0
+                 ? options_.workers
+                 : static_cast<std::size_t>(
+                       std::max(1, util::hardware_parallelism()));
+  // The pool is one long-lived parallel_for region on a dedicated thread:
+  // each body is a worker looping on the queue until shutdown.  Without
+  // OpenMP the region degrades to a serial call chain -- worker 0 serves
+  // the whole queue and the rest exit immediately at shutdown -- which
+  // keeps the service functional (single-worker) on any build.
+  pool_ = std::thread([this] {
+    util::parallel_for(0, workers_, [this](std::size_t) { worker_loop(); });
+  });
+}
+
+SolverService::~SolverService() { shutdown(); }
+
+JobHandle SolverService::submit(JobRequest request) {
+  auto record = std::make_shared<detail::JobRecord>(std::move(request.work));
+  const std::size_t n = record->work.chain.size();
+
+  CompletionCallback callback;
+  JobStatus rejected_status;
+  bool rejected = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    record->id = ++next_id_;
+    ++counters_.submitted;
+    const char* reason = nullptr;
+    if (stopping_) {
+      reason = "service is shut down";
+    } else if (n == 0) {
+      reason = "job needs a non-empty chain";
+    } else if (n > options_.solver.max_n) {
+      reason = "chain longer than the service's max_n";
+    } else {
+      const AdmissionVerdict verdict = admission_.assess(
+          record->work.algorithm, n, queue_.size(), inflight_units_);
+      record->cost_units = verdict.cost_units;
+      if (verdict.decision == AdmissionDecision::kReject) {
+        reason = verdict.reason;
+      }
+    }
+    if (reason != nullptr) {
+      record->state = JobState::kRejected;
+      record->error = reason;
+      ++counters_.rejected;
+      rejected = true;
+      rejected_status = snapshot_locked(*record);
+      callback = callback_;
+    } else {
+      if (request.deadline.count() > 0) {
+        record->token.set_deadline(core::CancelToken::Clock::now() +
+                                   request.deadline);
+      }
+      record->state = JobState::kQueued;
+      queue_.push_back(record);
+      queued_units_ += record->cost_units;
+    }
+  }
+  if (rejected) {
+    invoke_callback(callback, rejected_status);
+  } else {
+    work_ready_.notify_one();
+  }
+  return JobHandle(std::move(record));
+}
+
+JobStatus SolverService::poll(const JobHandle& handle) const {
+  if (handle.record_ == nullptr) return empty_handle_status();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_locked(*handle.record_);
+}
+
+JobStatus SolverService::wait(const JobHandle& handle) {
+  if (handle.record_ == nullptr) return empty_handle_status();
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock,
+                 [&] { return is_terminal(handle.record_->state); });
+  return snapshot_locked(*handle.record_);
+}
+
+bool SolverService::cancel(const JobHandle& handle) {
+  const std::shared_ptr<detail::JobRecord>& record = handle.record_;
+  if (record == nullptr) return false;
+
+  CompletionCallback callback;
+  JobStatus status;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (record->state == JobState::kRunning) {
+      // Honored at the solve's next cancellation checkpoint; the worker
+      // performs the terminal transition.
+      record->token.request_cancel();
+      return true;
+    }
+    if (record->state != JobState::kQueued) return false;
+    const auto it = std::find(queue_.begin(), queue_.end(), record);
+    if (it != queue_.end()) queue_.erase(it);
+    queued_units_ -= record->cost_units;
+    record->state = JobState::kCancelled;
+    record->error = "cancelled while queued";
+    ++counters_.cancelled;
+    status = snapshot_locked(*record);
+    callback = callback_;
+  }
+  job_done_.notify_all();
+  invoke_callback(callback, status);
+  return true;
+}
+
+void SolverService::on_completion(CompletionCallback callback) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  callback_ = std::move(callback);
+}
+
+void SolverService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock,
+                 [&] { return queue_.empty() && running_jobs_.empty(); });
+}
+
+void SolverService::shutdown() {
+  std::vector<JobStatus> dropped;
+  CompletionCallback callback;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    for (const auto& record : queue_) {
+      record->state = JobState::kCancelled;
+      record->error = "service shutdown";
+      ++counters_.cancelled;
+      dropped.push_back(snapshot_locked(*record));
+    }
+    queue_.clear();
+    queued_units_ = 0.0;
+    for (const auto& record : running_jobs_) {
+      record->token.request_cancel();
+    }
+    callback = callback_;
+  }
+  work_ready_.notify_all();
+  job_done_.notify_all();
+  for (const JobStatus& status : dropped) invoke_callback(callback, status);
+  if (pool_.joinable()) pool_.join();
+}
+
+ServiceStats SolverService::stats() const {
+  ServiceStats out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.submitted = counters_.submitted;
+    out.rejected = counters_.rejected;
+    out.succeeded = counters_.succeeded;
+    out.failed = counters_.failed;
+    out.cancelled = counters_.cancelled;
+    out.expired = counters_.expired;
+    out.queued = queue_.size();
+    out.running = running_jobs_.size();
+    out.inflight_units = inflight_units_;
+    out.queued_units = queued_units_;
+  }
+  out.solver = solver_.stats_snapshot();
+  return out;
+}
+
+AdmissionController::Estimate SolverService::estimate(
+    core::Algorithm algorithm, std::size_t n) const {
+  return admission_.estimate(algorithm, n);
+}
+
+std::size_t SolverService::resident_bytes() const {
+  return solver_.resident_bytes();
+}
+
+std::size_t SolverService::release_scratch() {
+  return solver_.release_scratch();
+}
+
+std::shared_ptr<detail::JobRecord> SolverService::pop_runnable_locked() {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (admission_.fits((*it)->cost_units, inflight_units_)) {
+      auto record = *it;
+      queue_.erase(it);
+      return record;
+    }
+  }
+  // Nothing fits.  An idle pool still takes the head: the budget bounds
+  // concurrent work, it must not deadlock a job priced above it.
+  if (!queue_.empty() && running_jobs_.empty()) {
+    auto record = queue_.front();
+    queue_.pop_front();
+    return record;
+  }
+  return nullptr;
+}
+
+void SolverService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<detail::JobRecord> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        if (stopping_) return;
+        job = pop_runnable_locked();
+        if (job != nullptr) break;
+        work_ready_.wait(lock);
+      }
+      queued_units_ -= job->cost_units;
+      inflight_units_ += job->cost_units;
+      job->state = JobState::kRunning;
+      running_jobs_.push_back(job);
+    }
+
+    // Pre-start screen: a deadline that passed (or a cancel that raced
+    // the dispatch) while the job sat queued skips the solve entirely.
+    if (job->token.cancel_requested()) {
+      complete(job, JobState::kCancelled, nullptr, "cancelled before start",
+               0.0);
+      continue;
+    }
+    if (job->token.deadline_passed()) {
+      complete(job, JobState::kExpired, nullptr, "deadline passed in queue",
+               0.0);
+      continue;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      core::OptimizationResult result =
+          solver_.solve_job(job->work, &job->token);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      complete(job, JobState::kSucceeded, &result, std::string(), seconds);
+    } catch (const core::SolveInterrupted& interrupted) {
+      complete(job,
+               interrupted.reason() == core::InterruptReason::kDeadline
+                   ? JobState::kExpired
+                   : JobState::kCancelled,
+               nullptr, interrupted.what(), 0.0);
+    } catch (const std::exception& error) {
+      complete(job, JobState::kFailed, nullptr, error.what(), 0.0);
+    }
+  }
+}
+
+void SolverService::complete(const std::shared_ptr<detail::JobRecord>& record,
+                             JobState state,
+                             core::OptimizationResult* result,
+                             std::string error, double seconds) {
+  CompletionCallback callback;
+  JobStatus status;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    record->state = state;
+    if (result != nullptr) record->result = std::move(*result);
+    record->error = std::move(error);
+    inflight_units_ -= record->cost_units;
+    running_jobs_.erase(std::find(running_jobs_.begin(), running_jobs_.end(),
+                                  record));
+    switch (state) {
+      case JobState::kSucceeded:
+        ++counters_.succeeded;
+        break;
+      case JobState::kFailed:
+        ++counters_.failed;
+        break;
+      case JobState::kCancelled:
+        ++counters_.cancelled;
+        break;
+      case JobState::kExpired:
+        ++counters_.expired;
+        break;
+      default:
+        break;
+    }
+    status = snapshot_locked(*record);
+    callback = callback_;
+  }
+  if (state == JobState::kSucceeded) {
+    admission_.observe(record->work.algorithm, record->cost_units,
+                       record->result.scan, seconds,
+                       solver_.cache_resident_bytes());
+  }
+  work_ready_.notify_all();  // freed budget may unblock queued jobs
+  job_done_.notify_all();
+  invoke_callback(callback, status);
+}
+
+JobStatus SolverService::snapshot_locked(
+    const detail::JobRecord& record) const {
+  JobStatus status;
+  status.id = record.id;
+  status.state = record.state;
+  status.cost_units = record.cost_units;
+  if (record.state == JobState::kSucceeded) status.result = record.result;
+  status.error = record.error;
+  return status;
+}
+
+}  // namespace chainckpt::service

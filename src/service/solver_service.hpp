@@ -1,0 +1,187 @@
+// Async service layer over core::BatchSolver.
+//
+// BatchSolver's solve() is synchronous and batch-shaped: the caller
+// blocks until every job finishes.  A long-lived serving process wants
+// the opposite contract -- requests arrive one at a time, the caller gets
+// a handle back immediately, and completion is observed by polling,
+// blocking, or callback.  SolverService provides that shape:
+//
+//   * submit() -> JobHandle: prices the job through the admission
+//     controller (service/admission.hpp), rejects over-cap or
+//     over-capacity work, and enqueues the rest;
+//   * a worker pool: one long-lived util::parallel_for region whose
+//     bodies loop on the queue -- the workers ARE the same OpenMP threads
+//     the solvers' thread-local arenas live on, so scratch reuse and
+//     release_scratch() behave exactly as in the batch path, and each
+//     job's own slab parallelism degrades to serial inside the pool just
+//     like a BatchSolver batch;
+//   * dispatch under budget: a worker takes the first queued job whose
+//     price fits the remaining admission budget (an idle pool always
+//     takes the head, so one oversized job cannot wedge the queue);
+//   * poll()/wait()/completion callback over JobStatus snapshots;
+//   * cancel() and per-job deadlines, threaded to the DPs' cooperative
+//     checkpoints as a core::CancelToken (core/cancellation.hpp);
+//   * bounded memory: the table cache inherits BatchSolver's LRU budget
+//     (BatchOptions::cache_budget_bytes), and release_scratch() remains
+//     available at quiescent points.
+//
+// Determinism: a job's result is bit-identical to a synchronous
+// core::BatchSolver::solve() (and standalone core::optimize()) run of the
+// same work -- scheduling order, worker count, queue pressure, eviction,
+// and cancellation of OTHER jobs change nothing about a job's plan or
+// objective (tests/service/solver_service_test.cpp pins this at n up to
+// 400).
+//
+// Thread-safety: every public method is safe from any thread.  The
+// operator's manual -- lifecycle, tuning, metrics export -- lives in
+// docs/SERVER.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/batch_solver.hpp"
+#include "service/admission.hpp"
+#include "service/job.hpp"
+
+namespace chainckpt::service {
+
+struct ServiceOptions {
+  /// Worker-pool width; 0 uses util::hardware_parallelism().  Effective
+  /// concurrency is min(workers, OpenMP threads) -- see the pool note in
+  /// the header comment.
+  std::size_t workers = 0;
+  /// Passed through to the embedded BatchSolver: table layout, scan mode,
+  /// max_n, and the LRU cache budget.
+  core::BatchOptions solver;
+  /// Admission pricing and budget (service/admission.hpp).
+  AdmissionConfig admission;
+};
+
+/// Counters + gauges, snapshotted by stats().  The embedded solver's
+/// BatchStats (table builds/reuses/evictions, scan counters) ride along
+/// so one call exports everything docs/SERVER.md lists as metrics.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  /// Instantaneous gauges.
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  double inflight_units = 0.0;
+  double queued_units = 0.0;
+  core::BatchStats solver;
+};
+
+class SolverService {
+ public:
+  /// Invoked exactly once per job on reaching a terminal state, with the
+  /// same snapshot poll() would return.  Runs on the worker that finished
+  /// the job (or the submitter's thread for rejections), outside the
+  /// service lock -- it may call back into the service, but must not
+  /// block for long (it delays that worker's next dispatch) and must not
+  /// throw (an escaping exception would corrupt the worker's accounting,
+  /// so the service swallows it).
+  using CompletionCallback = std::function<void(const JobStatus&)>;
+
+  explicit SolverService(ServiceOptions options = {});
+  /// Shuts down: cancels queued and running jobs, joins the pool.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Prices, admits, and enqueues.  Never blocks on solving; an
+  /// inadmissible request returns an already-terminal kRejected handle
+  /// (JobStatus::error says why) rather than throwing.
+  JobHandle submit(JobRequest request);
+
+  /// Non-blocking state snapshot.
+  JobStatus poll(const JobHandle& handle) const;
+
+  /// Blocks until the job reaches a terminal state; returns the final
+  /// snapshot.
+  JobStatus wait(const JobHandle& handle);
+
+  /// Cancels a queued job directly or requests cancellation of a running
+  /// one (honored at the DP's next checkpoint).  Returns false when the
+  /// job is already terminal or the handle is empty.
+  bool cancel(const JobHandle& handle);
+
+  /// Installs the completion callback.  Set it before the first submit;
+  /// jobs finishing before installation do not fire it retroactively.
+  void on_completion(CompletionCallback callback);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void drain();
+
+  /// Stops accepting work, cancels queued and running jobs, and joins
+  /// the worker pool.  Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceStats stats() const;
+
+  /// Calibrated cost preview for a prospective job (admission pricing +
+  /// expected seconds once the class has completed work).
+  AdmissionController::Estimate estimate(core::Algorithm algorithm,
+                                         std::size_t n) const;
+
+  /// Table-cache + arena residency of the embedded solver.
+  std::size_t resident_bytes() const;
+
+  /// Quiescent-point release of the embedded solver's cache and the
+  /// process-wide arenas; call only while drained (the arena pool
+  /// contract -- see core::BatchSolver::release_scratch).
+  std::size_t release_scratch();
+
+ private:
+  void worker_loop();
+  /// Pops the first queued job fitting the admission budget (or the head
+  /// when the pool is idle); nullptr when nothing is runnable.  Requires
+  /// mutex_.
+  std::shared_ptr<detail::JobRecord> pop_runnable_locked();
+  /// Terminal transition + bookkeeping + callback/calibration dispatch.
+  void complete(const std::shared_ptr<detail::JobRecord>& record,
+                JobState state, core::OptimizationResult* result,
+                std::string error, double seconds);
+  JobStatus snapshot_locked(const detail::JobRecord& record) const;
+
+  ServiceOptions options_;
+  core::BatchSolver solver_;
+  AdmissionController admission_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;  ///< workers: queue or stop flag
+  std::condition_variable job_done_;    ///< waiters: terminal transitions
+  std::deque<std::shared_ptr<detail::JobRecord>> queue_;
+  std::vector<std::shared_ptr<detail::JobRecord>> running_jobs_;
+  CompletionCallback callback_;
+  double inflight_units_ = 0.0;
+  double queued_units_ = 0.0;
+  JobId next_id_ = 0;
+  bool stopping_ = false;
+  /// Terminal counters only; the ServiceStats gauges and solver snapshot
+  /// are assembled fresh by stats().
+  struct Counters {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t succeeded = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t expired = 0;
+  } counters_;
+
+  std::size_t workers_ = 1;
+  std::thread pool_;
+};
+
+}  // namespace chainckpt::service

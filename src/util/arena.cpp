@@ -37,6 +37,12 @@ void ArenaBlock::unregister() noexcept {
                  r.blocks.end());
 }
 
+std::size_t arena_block_count() noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.blocks.size();
+}
+
 std::size_t arena_resident_bytes() noexcept {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);

@@ -13,7 +13,11 @@
 // backing memory of every block while leaving the blocks themselves
 // registered and reusable -- the next ensure() call on a released block
 // simply regrows it.  core::BatchSolver::release_scratch() is the public
-// entry point; this registry is the mechanism.
+// entry point (service::SolverService::release_scratch() forwards to it);
+// this registry is the mechanism.  An interrupted solve (cancellation or
+// deadline, core/cancellation.hpp) unwinds without touching its blocks'
+// registration, so the pool reclaims a cancelled job's scratch exactly
+// like a completed one's.
 //
 // Thread-safety contract: registration and unregistration (which happen at
 // thread creation/exit) and the release/measure walks are serialized by an
@@ -73,6 +77,11 @@ inline std::size_t free_vector(std::vector<T>& v) noexcept {
 
 /// Total bytes currently held across all registered arenas.
 std::size_t arena_resident_bytes() noexcept;
+
+/// Number of scratch blocks currently registered (one per live
+/// thread-local scratch per worker thread).  A gauge for leak checks and
+/// service metrics; blocks persist across release_all_arenas().
+std::size_t arena_block_count() noexcept;
 
 /// Releases the backing memory of every registered arena and returns the
 /// number of bytes freed.  Must not run concurrently with a solver.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <thread>
 #include <vector>
 
 #include "chain/patterns.hpp"
@@ -150,6 +151,107 @@ TEST(BatchSolver, EmptyBatchAndEmptyChainEdgeCases) {
   EXPECT_THROW(solver.solve({{Algorithm::kADVstar, chain::TaskChain{},
                               platform::CostModel{platform::hera()}}}),
                std::invalid_argument);
+}
+
+TEST(BatchSolver, EvictToDropsLeastRecentlyUsedFirst) {
+  // Three distinct keys, then a re-touch of the first: LRU order is now
+  // B < C < A, so shaving one byte off the budget must evict exactly B.
+  const platform::CostModel costs{platform::hera()};
+  const auto chain_a = chain::make_uniform(120, 25000.0);
+  const auto chain_b = chain::make_uniform(100, 25000.0);
+  const auto chain_c = chain::make_uniform(80, 25000.0);
+  BatchSolver solver;
+  solver.solve({{Algorithm::kADVstar, chain_a, costs}});
+  solver.solve({{Algorithm::kADVstar, chain_b, costs}});
+  solver.solve({{Algorithm::kADVstar, chain_c, costs}});
+  solver.solve({{Algorithm::kADVstar, chain_a, costs}});  // touch A
+  EXPECT_EQ(solver.stats().tables_built, 3u);
+
+  const std::size_t full = solver.cache_resident_bytes();
+  const std::size_t freed = solver.evict_to(full - 1);
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(solver.stats().tables_evicted, 1u);
+  EXPECT_EQ(solver.stats().evicted_bytes, freed);
+  EXPECT_EQ(solver.cache_resident_bytes(), full - freed);
+
+  // A and C survived (cache hits); B -- the least recently used -- must
+  // rebuild.
+  solver.solve({{Algorithm::kADVstar, chain_a, costs},
+                {Algorithm::kADVstar, chain_c, costs}});
+  EXPECT_EQ(solver.stats().tables_built, 3u);
+  solver.solve({{Algorithm::kADVstar, chain_b, costs}});
+  EXPECT_EQ(solver.stats().tables_built, 4u);
+}
+
+TEST(BatchSolver, CacheBudgetBoundsResidencyWithoutChangingResults) {
+  // A budget sized for roughly one table pair: every solve evicts down
+  // to it, results stay bit-identical to the unbounded solver.
+  const platform::CostModel costs{platform::hera()};
+  std::vector<BatchJob> jobs;
+  for (std::size_t n : {90, 110, 130}) {
+    jobs.push_back({Algorithm::kADVstar, chain::make_uniform(n, 25000.0),
+                    costs});
+  }
+  BatchSolver unbounded;
+  const auto reference = unbounded.solve(jobs);
+  const std::size_t one_pair =
+      unbounded.evict_to(0) / jobs.size() + 1;  // avg entry, rounded up
+
+  BatchSolver bounded{{.cache_budget_bytes = one_pair}};
+  const auto results = bounded.solve(jobs);
+  EXPECT_LE(bounded.cache_resident_bytes(), one_pair);
+  EXPECT_GT(bounded.stats().tables_evicted, 0u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].expected_makespan, reference[i].expected_makespan);
+    EXPECT_EQ(results[i].plan, reference[i].plan);
+  }
+  // Runtime re-budgeting: widening stops eviction, zero removes the cap.
+  bounded.set_cache_budget(0);
+  bounded.solve(jobs);
+  EXPECT_EQ(bounded.cache_resident_bytes(),
+            bounded.resident_bytes() - util::arena_resident_bytes());
+}
+
+TEST(BatchSolver, SolveJobMatchesBatchAndStandaloneBitwise) {
+  const auto jobs = mixed_batch();
+  BatchSolver batch_solver;
+  const auto batch = batch_solver.solve(jobs);
+  BatchSolver job_solver;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto result = job_solver.solve_job(jobs[i]);
+    EXPECT_EQ(result.expected_makespan, batch[i].expected_makespan) << i;
+    EXPECT_EQ(result.plan, batch[i].plan) << i;
+  }
+  EXPECT_EQ(job_solver.stats().jobs_solved, jobs.size());
+  // Same cache behaviour as the batch path: 4 distinct DP keys.
+  EXPECT_EQ(job_solver.stats().tables_built,
+            batch_solver.stats().tables_built);
+}
+
+TEST(BatchSolver, ConcurrentSolveJobsBuildSharedTablesOnce) {
+  // Many threads hammer the same key: the build must happen exactly once
+  // (the rest wait), and every result matches the standalone solve.
+  const auto chain = chain::make_uniform(60, 25000.0);
+  const platform::CostModel costs{platform::hera()};
+  const BatchJob job{Algorithm::kADMVstar, chain, costs};
+  const auto reference = optimize(job.algorithm, job.chain, job.costs);
+  BatchSolver solver;
+  constexpr std::size_t kThreads = 8;
+  std::vector<OptimizationResult> results(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = solver.solve_job(job); });
+  }
+  for (auto& thread : threads) thread.join();
+  const BatchStats stats = solver.stats_snapshot();
+  EXPECT_EQ(stats.tables_built, 1u);
+  EXPECT_EQ(stats.tables_reused, kThreads - 1);
+  EXPECT_EQ(stats.jobs_solved, kThreads);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.expected_makespan, reference.expected_makespan);
+    EXPECT_EQ(result.plan, reference.plan);
+  }
 }
 
 TEST(BatchSolver, ThreadCountDoesNotChangeResults) {

@@ -1,0 +1,164 @@
+#include "core/cancellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "chain/patterns.hpp"
+#include "core/batch_solver.hpp"
+#include "core/optimizer.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "util/arena.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(CancelToken, PollThrowsAfterCancelRequest) {
+  CancelToken token;
+  EXPECT_NO_THROW(token.poll());
+  EXPECT_NO_THROW(token.poll_now());
+  token.request_cancel();
+  EXPECT_TRUE(token.cancel_requested());
+  try {
+    token.poll();
+    FAIL() << "poll() must throw after request_cancel()";
+  } catch (const SolveInterrupted& interrupted) {
+    EXPECT_EQ(interrupted.reason(), InterruptReason::kCancelled);
+  }
+}
+
+TEST(CancelToken, PollNowFiresOnExpiredDeadline) {
+  CancelToken token;
+  token.set_deadline(CancelToken::Clock::now() - milliseconds(1));
+  EXPECT_TRUE(token.deadline_passed());
+  try {
+    token.poll_now();
+    FAIL() << "poll_now() must throw past the deadline";
+  } catch (const SolveInterrupted& interrupted) {
+    EXPECT_EQ(interrupted.reason(), InterruptReason::kDeadline);
+  }
+  // A future deadline does not fire.
+  CancelToken patient;
+  patient.set_deadline(CancelToken::Clock::now() + std::chrono::hours(1));
+  EXPECT_NO_THROW(patient.poll_now());
+}
+
+/// Every DP driver honors a token that fired before the solve started:
+/// the entry checkpoint aborts before any table work.
+TEST(Cancellation, PreCancelledTokenStopsEveryDp) {
+  const auto chain = chain::make_uniform(40, 25000.0);
+  const platform::CostModel costs{platform::hera()};
+  for (const Algorithm algorithm :
+       {Algorithm::kAD, Algorithm::kADVstar, Algorithm::kADMVstar,
+        Algorithm::kADMV}) {
+    DpContext ctx(chain, costs);
+    CancelToken token;
+    token.request_cancel();
+    ctx.set_cancel_token(&token);
+    EXPECT_THROW(optimize(algorithm, ctx), SolveInterrupted)
+        << to_string(algorithm);
+  }
+}
+
+/// A null token (the default) changes nothing: results stay bit-identical
+/// to a context that never heard of cancellation.
+TEST(Cancellation, UnfiredTokenLeavesResultsBitIdentical) {
+  const auto chain = chain::make_highlow(60, 50000.0);
+  const platform::CostModel costs{platform::atlas()};
+  const auto reference = optimize(Algorithm::kADMVstar, chain, costs);
+  DpContext ctx(chain, costs);
+  CancelToken token;
+  token.set_deadline(CancelToken::Clock::now() + std::chrono::hours(1));
+  ctx.set_cancel_token(&token);
+  const auto watched = optimize(Algorithm::kADMVstar, ctx);
+  EXPECT_EQ(watched.expected_makespan, reference.expected_makespan);
+  EXPECT_EQ(watched.plan, reference.plan);
+}
+
+/// Cancellation mid-solve: another thread fires the token while the
+/// two-level DP chews on n = 400 (hundreds of milliseconds at minimum,
+/// far longer under sanitizers), and the solve unwinds at a checkpoint.
+/// The thread-local scratch an interrupted solve grew stays registered
+/// with the arena pool -- release_all_arenas() reclaims every byte (the
+/// ASan CI job turns this into a leak check) -- and a fresh solve on the
+/// same inputs reproduces the reference bitwise.
+TEST(Cancellation, MidSolveCancelReleasesScratchAndStaysReproducible) {
+  const auto chain = chain::make_uniform(400, 25000.0);
+  const platform::CostModel costs{platform::hera()};
+  DpContext ctx(chain, costs, DpContext::kDefaultMaxN,
+                /*build_row_tables=*/false);
+  CancelToken token;
+  std::thread killer([&token] {
+    std::this_thread::sleep_for(milliseconds(30));
+    token.request_cancel();
+  });
+  ctx.set_cancel_token(&token);
+  try {
+    optimize(Algorithm::kADMVstar, ctx);
+    FAIL() << "an n = 400 two-level solve cannot finish in 30ms";
+  } catch (const SolveInterrupted& interrupted) {
+    EXPECT_EQ(interrupted.reason(), InterruptReason::kCancelled);
+  }
+  killer.join();
+
+  // Partial scratch is still pooled and fully reclaimable.
+  EXPECT_GT(util::arena_resident_bytes(), 0u);
+  EXPECT_GT(util::arena_block_count(), 0u);
+  EXPECT_GT(util::release_all_arenas(), 0u);
+  EXPECT_EQ(util::arena_resident_bytes(), 0u);
+
+  // The interruption poisoned nothing: re-solving reproduces a clean
+  // context's result bit for bit (smaller n keeps the re-check cheap).
+  const auto small = chain::make_uniform(80, 25000.0);
+  const auto reference = optimize(Algorithm::kADMVstar, small, costs);
+  DpContext clean(small, costs, DpContext::kDefaultMaxN,
+                  /*build_row_tables=*/false);
+  CancelToken reused;  // unfired
+  clean.set_cancel_token(&reused);
+  const auto again = optimize(Algorithm::kADMVstar, clean);
+  EXPECT_EQ(again.expected_makespan, reference.expected_makespan);
+  EXPECT_EQ(again.plan, reference.plan);
+}
+
+/// Deadline expiry mid-solve through the strided clock checks.
+TEST(Cancellation, MidSolveDeadlineExpires) {
+  const auto chain = chain::make_uniform(400, 25000.0);
+  const platform::CostModel costs{platform::hera()};
+  DpContext ctx(chain, costs, DpContext::kDefaultMaxN,
+                /*build_row_tables=*/false);
+  CancelToken token;
+  token.set_deadline(CancelToken::Clock::now() + milliseconds(20));
+  ctx.set_cancel_token(&token);
+  try {
+    optimize(Algorithm::kADMVstar, ctx);
+    FAIL() << "an n = 400 two-level solve cannot finish in 20ms";
+  } catch (const SolveInterrupted& interrupted) {
+    EXPECT_EQ(interrupted.reason(), InterruptReason::kDeadline);
+  }
+}
+
+/// BatchSolver::solve_job propagates the interruption and counts it.
+TEST(Cancellation, SolveJobCountsInterruptions) {
+  BatchSolver solver;
+  CancelToken token;
+  token.request_cancel();
+  const BatchJob job{Algorithm::kADVstar, chain::make_uniform(50, 25000.0),
+                     platform::CostModel{platform::hera()}};
+  EXPECT_THROW(solver.solve_job(job, &token), SolveInterrupted);
+  EXPECT_EQ(solver.stats().jobs_interrupted, 1u);
+  EXPECT_EQ(solver.stats().jobs_solved, 0u);
+  // The cached tables survive the interruption: the retry reuses them
+  // and matches a standalone solve exactly.
+  const auto result = solver.solve_job(job);
+  EXPECT_EQ(solver.stats().tables_reused, 1u);
+  const auto standalone = optimize(job.algorithm, job.chain, job.costs);
+  EXPECT_EQ(result.expected_makespan, standalone.expected_makespan);
+  EXPECT_EQ(result.plan, standalone.plan);
+}
+
+}  // namespace
+}  // namespace chainckpt::core

@@ -1,0 +1,95 @@
+#include "service/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chainckpt::service {
+namespace {
+
+TEST(Admission, ExponentsFollowTheAlgorithmsComplexity) {
+  EXPECT_EQ(complexity_exponent(core::Algorithm::kAD), 2.0);
+  EXPECT_EQ(complexity_exponent(core::Algorithm::kADVstar), 3.0);
+  EXPECT_EQ(complexity_exponent(core::Algorithm::kADMVstar), 4.0);
+  EXPECT_EQ(complexity_exponent(core::Algorithm::kADMV), 6.0);
+  EXPECT_EQ(complexity_exponent(core::Algorithm::kPeriodic), 2.0);
+  EXPECT_EQ(complexity_exponent(core::Algorithm::kDaly), 2.0);
+}
+
+TEST(Admission, PriceGrowsWithChainLengthAndClass) {
+  EXPECT_DOUBLE_EQ(price_units(core::Algorithm::kADVstar, 100), 1.0);
+  EXPECT_DOUBLE_EQ(price_units(core::Algorithm::kADVstar, 400), 64.0);
+  // At equal n, a heavier class always prices higher.
+  for (std::size_t n : {10, 50, 200}) {
+    EXPECT_LT(price_units(core::Algorithm::kAD, n),
+              price_units(core::Algorithm::kADVstar, n));
+    EXPECT_LT(price_units(core::Algorithm::kADVstar, n),
+              price_units(core::Algorithm::kADMVstar, n));
+    EXPECT_LT(price_units(core::Algorithm::kADMVstar, n),
+              price_units(core::Algorithm::kADMV, n));
+  }
+  // The O(n^6) blow-up the budget exists for: ADMV at n = 100 outprices
+  // ADV* at n = 400 by four orders of magnitude.
+  EXPECT_GT(price_units(core::Algorithm::kADMV, 100),
+            1e4 * price_units(core::Algorithm::kADVstar, 400));
+}
+
+TEST(Admission, AssessRejectsOverCapAndFullQueue) {
+  AdmissionConfig config;
+  config.max_job_units = price_units(core::Algorithm::kADMV, 50);
+  config.queue_capacity = 2;
+  const AdmissionController controller(config);
+
+  const auto over_cap =
+      controller.assess(core::Algorithm::kADMV, 120, 0, 0.0);
+  EXPECT_EQ(over_cap.decision, AdmissionDecision::kReject);
+  const auto under_cap =
+      controller.assess(core::Algorithm::kADMV, 50, 0, 0.0);
+  EXPECT_EQ(under_cap.decision, AdmissionDecision::kAdmit);
+  const auto full_queue =
+      controller.assess(core::Algorithm::kAD, 10, 2, 0.0);
+  EXPECT_EQ(full_queue.decision, AdmissionDecision::kReject);
+}
+
+TEST(Admission, BudgetSeparatesAdmitFromQueue) {
+  AdmissionConfig config;
+  config.budget_units = 10.0;
+  const AdmissionController controller(config);
+  const double cost = price_units(core::Algorithm::kADVstar, 150);
+  ASSERT_LT(cost, 10.0);
+  EXPECT_EQ(controller.assess(core::Algorithm::kADVstar, 150, 0, 0.0)
+                .decision,
+            AdmissionDecision::kAdmit);
+  EXPECT_EQ(controller.assess(core::Algorithm::kADVstar, 150, 0, 9.0)
+                .decision,
+            AdmissionDecision::kQueue);
+  EXPECT_TRUE(controller.fits(cost, 10.0 - cost));
+  EXPECT_FALSE(controller.fits(cost, 10.0));
+  // Unlimited budget admits anything.
+  const AdmissionController open{AdmissionConfig{}};
+  EXPECT_TRUE(open.fits(1e12, 1e12));
+}
+
+TEST(Admission, CalibrationTurnsUnitsIntoSeconds) {
+  AdmissionController controller;
+  const auto cold = controller.estimate(core::Algorithm::kADVstar, 200);
+  EXPECT_DOUBLE_EQ(cold.cost_units,
+                   price_units(core::Algorithm::kADVstar, 200));
+  EXPECT_LT(cold.seconds, 0.0);  // kUncalibrated before any observation
+
+  // One observed job: 8 units in 2 seconds -> 4 units/second.
+  core::ScanStats scan;
+  scan.dense_cells = 1000;
+  scan.cells_scanned = 250;  // 75% pruned
+  controller.observe(core::Algorithm::kADVstar, 8.0, scan, 2.0, 12345);
+  const auto warm = controller.estimate(core::Algorithm::kADVstar, 200);
+  EXPECT_DOUBLE_EQ(warm.seconds, warm.cost_units / 4.0);
+  EXPECT_DOUBLE_EQ(warm.prune_fraction, 0.75);
+  EXPECT_EQ(controller.observed_resident_bytes(), 12345u);
+
+  // Calibration is per class: ADMV stays uncalibrated.
+  EXPECT_LT(controller.estimate(core::Algorithm::kADMV, 50).seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace chainckpt::service
