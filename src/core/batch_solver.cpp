@@ -33,6 +33,13 @@ bool needs_row_tables(Algorithm algorithm) {
   return algorithm == Algorithm::kADMV;
 }
 
+/// The multi-level engines commit per-d1 slab progress into a
+/// core::SolveCheckpoint; the streamed single-level DPs and the
+/// heuristics are cheap enough to just restart.
+bool is_checkpointable(Algorithm algorithm) {
+  return algorithm == Algorithm::kADMVstar || algorithm == Algorithm::kADMV;
+}
+
 std::uint64_t to_bits(double value) noexcept {
   std::uint64_t bits;
   std::memcpy(&bits, &value, sizeof bits);
@@ -71,6 +78,19 @@ BatchSolver::TableKey BatchSolver::make_key(
     key.bits.push_back(to_bits(costs.v_guaranteed_after(i)));
     key.bits.push_back(to_bits(costs.v_partial_after(i)));
   }
+  return key;
+}
+
+BatchSolver::TableKey BatchSolver::make_checkpoint_key(
+    const TableKey& tables_key, Algorithm algorithm, TableLayout layout,
+    ScanMode scan_mode) {
+  TableKey key = tables_key;
+  // One metadata word: anything that changes the tables a resumed run
+  // writes (algorithm picks the engine and whether E_verif values are
+  // kept; layout changes idx3; scan mode changes the committed counters).
+  key.bits.push_back((static_cast<std::uint64_t>(algorithm) << 16) |
+                     (static_cast<std::uint64_t>(layout) << 8) |
+                     static_cast<std::uint64_t>(scan_mode));
   return key;
 }
 
@@ -251,24 +271,77 @@ OptimizationResult BatchSolver::solve_job(const BatchJob& job,
     }
   }
 
+  // Check out any retained checkpoint for this exact workload: an earlier
+  // interrupted solve_job() left its completed slabs here, and this run
+  // resumes them.  Checkout is exclusive -- a concurrent solve of the
+  // same workload simply starts fresh (last interrupt wins the store).
+  TableKey ckpt_key;
+  std::shared_ptr<SolveCheckpoint> ckpt;
+  bool resumed = false;
+  if (options_.keep_checkpoints && is_checkpointable(job.algorithm)) {
+    ckpt_key = make_checkpoint_key(key, job.algorithm, options_.layout,
+                                   options_.scan_mode);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = checkpoints_.find(ckpt_key);
+      if (it != checkpoints_.end()) {
+        ckpt = std::move(it->second.checkpoint);
+        checkpoints_.erase(it);
+        resumed = ckpt->has_progress();
+      }
+    }
+    if (ckpt == nullptr) ckpt = std::make_shared<SolveCheckpoint>();
+  }
+
   // The solve itself runs outside the lock -- the shared_ptrs keep the
   // tables alive even if the entry is evicted mid-solve.
   DpContext ctx(job.chain, job.costs, std::move(table), std::move(seg),
                 options_.max_n);
   ctx.set_scan_mode(options_.scan_mode);
   ctx.set_cancel_token(cancel);
+  ctx.set_checkpoint(ckpt.get());
   OptimizationResult result;
   try {
     result = optimize(job.algorithm, ctx, options_.layout);
   } catch (const SolveInterrupted&) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.jobs_interrupted;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.jobs_interrupted;
+      if (ckpt != nullptr && ckpt->has_progress()) {
+        // Retain the partial progress for the job's next submission; a
+        // checkpoint another interrupt stored for the same key while we
+        // ran is superseded (ours is at least as fresh).
+        CheckpointEntry& entry = checkpoints_[ckpt_key];
+        if (entry.checkpoint != nullptr) ++stats_.checkpoints_dropped;
+        entry.checkpoint = std::move(ckpt);
+        entry.last_used = ++use_tick_;
+        ++stats_.checkpoints_saved;
+        if (options_.checkpoint_budget_bytes != 0) {
+          evict_checkpoints_locked(options_.checkpoint_budget_bytes);
+        }
+      }
+    }
+    // The dead job's thread-local scratch on THIS thread is reusable but
+    // idle from here on; give it back now instead of parking it until
+    // the next global release_scratch() (ISSUE: eager release).  Inside
+    // a service worker the inner solve ran serially, so this frees the
+    // whole job's scratch.
+    const std::size_t freed = util::release_current_thread_arenas();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stats_.released_bytes += freed;
+      stats_.interrupted_released_bytes += freed;
+    }
     throw;
   }
 
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.jobs_solved;
   stats_.scan += result.scan;
+  if (resumed) {
+    ++stats_.checkpoints_resumed;
+    stats_.checkpoint_slabs_skipped += ckpt->last_run_slabs_skipped();
+  }
   if (options_.cache_budget_bytes != 0) {
     evict_locked(options_.cache_budget_bytes);
   }
@@ -279,13 +352,27 @@ std::size_t BatchSolver::release_scratch() {
   std::size_t freed = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    freed = cache_bytes_locked();
+    freed = cache_bytes_locked() + checkpoint_bytes_locked();
     cache_.clear();
+    checkpoints_.clear();
   }
   freed += util::release_all_arenas();
   const std::lock_guard<std::mutex> lock(mutex_);
   stats_.released_bytes += freed;
   return freed;
+}
+
+std::size_t BatchSolver::discard_checkpoints() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t freed = checkpoint_bytes_locked();
+  stats_.checkpoints_dropped += checkpoints_.size();
+  checkpoints_.clear();
+  return freed;
+}
+
+std::size_t BatchSolver::checkpoint_resident_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return checkpoint_bytes_locked();
 }
 
 std::size_t BatchSolver::evict_to(std::size_t budget_bytes) {
@@ -302,7 +389,7 @@ void BatchSolver::set_cache_budget(std::size_t budget_bytes) {
 std::size_t BatchSolver::resident_bytes() const {
   std::size_t total = util::arena_resident_bytes();
   const std::lock_guard<std::mutex> lock(mutex_);
-  return total + cache_bytes_locked();
+  return total + cache_bytes_locked() + checkpoint_bytes_locked();
 }
 
 std::size_t BatchSolver::cache_resident_bytes() const {
@@ -326,6 +413,31 @@ std::size_t BatchSolver::cache_bytes_locked() const noexcept {
   std::size_t total = 0;
   for (const auto& [key, entry] : cache_) total += entry_bytes(entry);
   return total;
+}
+
+std::size_t BatchSolver::checkpoint_bytes_locked() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, entry] : checkpoints_) {
+    if (entry.checkpoint != nullptr) total += entry.checkpoint->resident_bytes();
+  }
+  return total;
+}
+
+std::size_t BatchSolver::evict_checkpoints_locked(std::size_t budget_bytes) {
+  std::size_t freed = 0;
+  std::size_t resident = checkpoint_bytes_locked();
+  while (resident > budget_bytes && !checkpoints_.empty()) {
+    auto victim = checkpoints_.begin();
+    for (auto it = checkpoints_.begin(); it != checkpoints_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    const std::size_t bytes = victim->second.checkpoint->resident_bytes();
+    checkpoints_.erase(victim);
+    resident -= bytes;
+    freed += bytes;
+    ++stats_.checkpoints_dropped;
+  }
+  return freed;
 }
 
 std::size_t BatchSolver::evict_locked(std::size_t budget_bytes) {

@@ -55,6 +55,7 @@
 
 #include "core/cancellation.hpp"
 #include "core/optimizer.hpp"
+#include "core/solve_checkpoint.hpp"
 
 namespace chainckpt::core {
 
@@ -89,6 +90,19 @@ struct BatchOptions {
   /// their next use -- results are unaffected.  Runtime-adjustable via
   /// set_cache_budget().
   std::size_t cache_budget_bytes = 0;
+  /// Retain a resumable core::SolveCheckpoint when a solve_job() for a
+  /// multi-level DP (kADMVstar/kADMV) is interrupted: a later solve_job()
+  /// of the same workload (same tables key, algorithm, layout, and scan
+  /// mode) resumes it, re-executing only the slabs the interrupted run
+  /// did not finish, with bit-identical results.  The retained state is
+  /// the job's O(n^2)-O(n^3) argmin/value tables, so a service that
+  /// interrupts large solves should bound it with
+  /// checkpoint_budget_bytes; release_scratch() always drops it.
+  bool keep_checkpoints = true;
+  /// LRU byte budget over retained checkpoints; 0 keeps them unbounded.
+  /// Oldest-interrupted first; a dropped checkpoint just means the job
+  /// starts from scratch on its next submission.
+  std::size_t checkpoint_budget_bytes = 0;
 };
 
 /// Counters accumulated over the solver's lifetime.
@@ -101,11 +115,25 @@ struct BatchStats {
   /// Cache entries dropped by the LRU budget, and their bytes.
   std::size_t tables_evicted = 0;
   std::size_t evicted_bytes = 0;
-  /// Total bytes returned by release_scratch() calls so far.
+  /// Total bytes given back so far: release_scratch() calls plus the
+  /// eager per-thread releases of interrupted solves (the latter are
+  /// also broken out in interrupted_released_bytes).
   std::size_t released_bytes = 0;
-  /// solve_job() calls that ended in SolveInterrupted (cancellation or
-  /// deadline) instead of a result.
+  /// solve_job() calls that ended in SolveInterrupted (cancellation,
+  /// deadline, or preemption) instead of a result.
   std::size_t jobs_interrupted = 0;
+  /// Scratch bytes released eagerly on the interrupting thread the moment
+  /// those solves unwound (also folded into released_bytes).
+  std::size_t interrupted_released_bytes = 0;
+  /// Interrupted solves whose partial progress was retained for resume,
+  /// and retained checkpoints dropped by the checkpoint budget (or
+  /// superseded by a concurrent solve of the same workload).
+  std::size_t checkpoints_saved = 0;
+  std::size_t checkpoints_dropped = 0;
+  /// Solves that started from a retained checkpoint, and the slabs those
+  /// resumes skipped instead of re-executing.
+  std::size_t checkpoints_resumed = 0;
+  std::size_t checkpoint_slabs_skipped = 0;
   /// Aggregated prune/fallback counters of every DP job's inner scans
   /// (all-zero while scan_mode is kDense).
   ScanStats scan;
@@ -131,13 +159,22 @@ class BatchSolver {
   OptimizationResult solve_job(const BatchJob& job,
                                const CancelToken* cancel = nullptr);
 
-  /// Drops this solver's coefficient-table cache and the backing memory
-  /// of every thread-local solver arena IN THE PROCESS (the arena pool is
-  /// global -- see the header comment); returns the number of bytes
-  /// freed.  The solver stays fully usable -- the next solve() rebuilds
-  /// on demand and reproduces identical results.  Must not overlap a
-  /// running solve on any BatchSolver or standalone optimizer call.
+  /// Drops this solver's coefficient-table cache, its retained solve
+  /// checkpoints, and the backing memory of every thread-local solver
+  /// arena IN THE PROCESS (the arena pool is global -- see the header
+  /// comment); returns the number of bytes freed.  The solver stays
+  /// fully usable -- the next solve() rebuilds on demand and reproduces
+  /// identical results.  Must not overlap a running solve on any
+  /// BatchSolver or standalone optimizer call.
   std::size_t release_scratch();
+
+  /// Drops every retained interruption checkpoint (jobs restart from
+  /// scratch on their next submission); returns the bytes freed.  Safe
+  /// against concurrent solve_job() calls.
+  std::size_t discard_checkpoints();
+
+  /// Bytes held by the retained interruption checkpoints.
+  std::size_t checkpoint_resident_bytes() const;
 
   /// Evicts least-recently-used cache entries until the table cache holds
   /// at most `budget_bytes`; returns the bytes freed.  Entries mid-build
@@ -149,8 +186,8 @@ class BatchSolver {
   /// immediately; 0 removes the bound.
   void set_cache_budget(std::size_t budget_bytes);
 
-  /// Bytes currently held by this solver's table cache plus all solver
-  /// arenas in the process.
+  /// Bytes currently held by this solver's table cache, its retained
+  /// checkpoints, and all solver arenas in the process.
   std::size_t resident_bytes() const;
 
   /// Bytes held by the table cache alone (the pool the LRU budget
@@ -195,17 +232,34 @@ class BatchSolver {
     bool building = false;
   };
 
+  /// A retained interruption checkpoint: the partial progress of one
+  /// (workload, algorithm, layout, scan mode), checked OUT of the store
+  /// for the duration of a solve (exclusive ownership) and checked back
+  /// in only if the solve is interrupted again.  Keyed by the TableKey
+  /// bits extended with one metadata word, so a checkpoint can never be
+  /// resumed by a solve it would not be bit-identical for.
+  struct CheckpointEntry {
+    std::shared_ptr<SolveCheckpoint> checkpoint;
+    std::uint64_t last_used = 0;
+  };
+
   static TableKey make_key(const chain::TaskChain& chain,
                            const platform::CostModel& costs);
+  static TableKey make_checkpoint_key(const TableKey& tables_key,
+                                      Algorithm algorithm, TableLayout layout,
+                                      ScanMode scan_mode);
   static std::size_t entry_bytes(const TableEntry& entry) noexcept;
 
   /// The following helpers require mutex_ to be held.
   std::size_t cache_bytes_locked() const noexcept;
   std::size_t evict_locked(std::size_t budget_bytes);
+  std::size_t checkpoint_bytes_locked() const noexcept;
+  std::size_t evict_checkpoints_locked(std::size_t budget_bytes);
 
   BatchOptions options_;
   BatchStats stats_;
   std::unordered_map<TableKey, TableEntry, TableKeyHash> cache_;
+  std::unordered_map<TableKey, CheckpointEntry, TableKeyHash> checkpoints_;
   std::uint64_t use_tick_ = 0;
   /// Guards cache_, stats_, use_tick_, and the cache-budget option for
   /// the solve_job() path; solve() relies on its exclusive contract and

@@ -21,7 +21,11 @@
 // polls from any number of worker threads (relaxed atomics -- a poll may
 // observe the request one checkpoint late, which the latency contract
 // already allows).  set_deadline() should be called before the solve
-// starts; tokens are single-use per job (there is deliberately no reset).
+// starts.  The cancel flag and deadline are single-use per job (there is
+// deliberately no reset); the PREEMPT flag is the exception -- a
+// scheduler that cooperatively displaces a job intends to run it again,
+// so request_preempt() is paired with clear_preempt() and the same token
+// (with its original deadline) drives every attempt of the job.
 #pragma once
 
 #include <atomic>
@@ -35,6 +39,7 @@ namespace chainckpt::core {
 enum class InterruptReason {
   kCancelled,  ///< CancelToken::request_cancel() was called
   kDeadline,   ///< the token's deadline passed mid-solve
+  kPreempted,  ///< a scheduler displaced the job; it is expected to rerun
 };
 
 /// Thrown from a solver checkpoint when its CancelToken fires.  Escapes
@@ -45,7 +50,9 @@ class SolveInterrupted : public std::runtime_error {
   explicit SolveInterrupted(InterruptReason reason)
       : std::runtime_error(reason == InterruptReason::kDeadline
                                ? "solve interrupted: deadline expired"
-                               : "solve interrupted: cancelled"),
+                               : reason == InterruptReason::kPreempted
+                                     ? "solve interrupted: preempted"
+                                     : "solve interrupted: cancelled"),
         reason_(reason) {}
 
   InterruptReason reason() const noexcept { return reason_; }
@@ -65,13 +72,39 @@ class CancelToken {
     cancelled_.store(true, std::memory_order_relaxed);
   }
 
+  /// Cooperative displacement: the next checkpoint throws
+  /// SolveInterrupted(kPreempted).  Unlike cancel, the flag is clearable
+  /// (clear_preempt()) -- the scheduler reruns the job on the same token,
+  /// and a checkpoint-aware solver resumes from its completed slabs (see
+  /// core/solve_checkpoint.hpp).
+  void request_preempt() noexcept {
+    preempted_.store(true, std::memory_order_relaxed);
+  }
+
+  void clear_preempt() noexcept {
+    preempted_.store(false, std::memory_order_relaxed);
+  }
+
   void set_deadline(Clock::time_point deadline) noexcept {
     deadline_ns_.store(deadline.time_since_epoch().count(),
                        std::memory_order_relaxed);
   }
 
+  /// Test/chaos hook: fires the cancel flag from inside the poll after
+  /// `polls` further checkpoints (0 fires on the very next poll).  Gives
+  /// the interruption batteries a deterministic way to stop a solve at an
+  /// exact checkpoint without racing a second thread; negative disables
+  /// (the default).  Counts polls across all workers of the solve.
+  void trip_after_polls(std::int64_t polls) noexcept {
+    trip_remaining_.store(polls, std::memory_order_relaxed);
+  }
+
   bool cancel_requested() const noexcept {
     return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool preempt_requested() const noexcept {
+    return preempted_.load(std::memory_order_relaxed);
   }
 
   bool has_deadline() const noexcept {
@@ -84,12 +117,16 @@ class CancelToken {
   }
 
   /// Solver checkpoint: throws SolveInterrupted when the token fired.
-  /// The cancel flag is checked on every poll (one relaxed load); the
-  /// deadline clock read is strided (every 64th poll per thread) to keep
-  /// checkpoints cheap enough for per-step placement.
+  /// The cancel/preempt flags are checked on every poll (relaxed loads);
+  /// the deadline clock read is strided (every 64th poll per thread) to
+  /// keep checkpoints cheap enough for per-step placement.
   void poll() const {
+    maybe_trip();
     if (cancel_requested()) {
       throw SolveInterrupted(InterruptReason::kCancelled);
+    }
+    if (preempt_requested()) {
+      throw SolveInterrupted(InterruptReason::kPreempted);
     }
     if (!has_deadline()) return;
     static thread_local std::uint32_t ticker = 0;
@@ -102,8 +139,12 @@ class CancelToken {
   /// always reads the clock when a deadline is set, so an already-expired
   /// deadline fires before any DP work starts.
   void poll_now() const {
+    maybe_trip();
     if (cancel_requested()) {
       throw SolveInterrupted(InterruptReason::kCancelled);
+    }
+    if (preempt_requested()) {
+      throw SolveInterrupted(InterruptReason::kPreempted);
     }
     if (deadline_passed()) {
       throw SolveInterrupted(InterruptReason::kDeadline);
@@ -111,10 +152,25 @@ class CancelToken {
   }
 
  private:
-  std::atomic<bool> cancelled_{false};
+  /// Counts down the trip hook; sticks the cancel flag when it reaches
+  /// zero so every worker of the solve unwinds, not just the poller that
+  /// hit the boundary.  One relaxed load on the untripped fast path.
+  void maybe_trip() const noexcept {
+    if (trip_remaining_.load(std::memory_order_relaxed) < 0) return;
+    if (trip_remaining_.fetch_sub(1, std::memory_order_relaxed) == 0) {
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// `mutable`: poll() is const for the solvers, but the trip hook counts
+  /// down inside it and latches the cancel flag when it fires.
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<bool> preempted_{false};
   /// Deadline as steady-clock nanoseconds since the clock epoch; 0 means
   /// no deadline (the epoch itself is unreachable for a running process).
   std::atomic<std::int64_t> deadline_ns_{0};
+  /// Test/chaos poll-trip countdown; negative = disabled.
+  mutable std::atomic<std::int64_t> trip_remaining_{-1};
 };
 
 /// Null-tolerant checkpoint used by the DP drivers: a solve without a

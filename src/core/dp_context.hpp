@@ -15,6 +15,8 @@
 
 namespace chainckpt::core {
 
+class SolveCheckpoint;
+
 /// Result of any optimizer: the chosen plan and its expected makespan
 /// (the DP objective value; re-scoring the plan through the analytic
 /// evaluator reproduces it).  `scan` holds the prune/fallback counters of
@@ -82,6 +84,18 @@ class DpContext {
   }
   const CancelToken* cancel_token() const noexcept { return cancel_; }
 
+  /// Attaches a resumable checkpoint (core/solve_checkpoint.hpp) for the
+  /// multi-level DPs (kADMVstar/kADMV): completed d1 slabs are committed
+  /// into it, and a run that starts on a checkpoint holding progress for
+  /// the same workload skips them.  The checkpoint must outlive the solve
+  /// and belong to this solve exclusively while it runs.  nullptr (the
+  /// default) solves without checkpointing; the single-level DPs ignore
+  /// it.  Not owned.
+  void set_checkpoint(SolveCheckpoint* checkpoint) noexcept {
+    checkpoint_ = checkpoint;
+  }
+  SolveCheckpoint* checkpoint() const noexcept { return checkpoint_; }
+
   std::size_t n() const noexcept { return chain_.size(); }
   const chain::TaskChain& chain() const noexcept { return chain_; }
   const platform::CostModel& costs() const noexcept { return costs_; }
@@ -101,6 +115,7 @@ class DpContext {
   platform::CostModel costs_;
   ScanMode scan_mode_ = ScanMode::kDense;
   const CancelToken* cancel_ = nullptr;
+  SolveCheckpoint* checkpoint_ = nullptr;
   /// shared_ptr so a BatchSolver cache entry and every context borrowing
   /// it stay valid independently of each other's lifetime; the
   /// build-your-own constructors simply own the single reference.

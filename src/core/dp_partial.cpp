@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/cancellation.hpp"
@@ -200,7 +201,17 @@ OptimizationResult optimize_with_partial(const DpContext& ctx,
   // (whose call structure must not change -- see the scan note below).
   if (const CancelToken* token = ctx.cancel_token()) token->poll_now();
   const std::size_t n = ctx.n();
-  detail::LevelTables tables(ctx.n(), layout);
+  // ADMV keeps the E_verif value table (its partial reconstruction reads
+  // it), so a checkpoint holds everything a resumed run needs; without
+  // one the tables are plain solve-local state.
+  SolveCheckpoint* ckpt = ctx.checkpoint();
+  std::unique_ptr<detail::LevelTables> local;
+  if (ckpt != nullptr) {
+    ckpt->begin_run(n, layout, /*keep_verif_values=*/true, ctx.scan_mode());
+  } else {
+    local = std::make_unique<detail::LevelTables>(n, layout);
+  }
+  detail::LevelTables& tables = ckpt != nullptr ? ckpt->tables() : *local;
   const PartialSegmentSolver solver{ctx};
   const auto& cm = ctx.costs();
   const double g = cm.miss();

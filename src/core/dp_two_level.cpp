@@ -1,6 +1,7 @@
 #include "core/dp_two_level.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/level_dp.hpp"
@@ -22,8 +23,19 @@ OptimizationResult optimize_two_level(const DpContext& ctx,
   // checkpoints live in run_level_dp_impl.
   if (const CancelToken* token = ctx.cancel_token()) token->poll_now();
   // ADMV* never re-reads E_verif values (plan extraction needs only the
-  // argmin tables), so skip the O(n^3) value table entirely.
-  detail::LevelTables tables(ctx.n(), layout, /*keep_verif_values=*/false);
+  // argmin tables), so skip the O(n^3) value table entirely.  With a
+  // checkpoint attached the tables live inside it so committed slabs
+  // survive an interruption; otherwise they are plain solve-local state.
+  SolveCheckpoint* ckpt = ctx.checkpoint();
+  std::unique_ptr<detail::LevelTables> local;
+  if (ckpt != nullptr) {
+    ckpt->begin_run(ctx.n(), layout, /*keep_verif_values=*/false,
+                    ctx.scan_mode());
+  } else {
+    local = std::make_unique<detail::LevelTables>(
+        ctx.n(), layout, /*keep_verif_values=*/false);
+  }
+  detail::LevelTables& tables = ckpt != nullptr ? ckpt->tables() : *local;
 
   const auto& seg = ctx.seg_tables();
   const auto& cm = ctx.costs();

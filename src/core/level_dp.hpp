@@ -32,6 +32,7 @@
 #include "core/cancellation.hpp"
 #include "core/dp_context.hpp"
 #include "core/monotone_scanner.hpp"
+#include "core/solve_checkpoint.hpp"
 #include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
@@ -174,6 +175,14 @@ enum class LevelScanProfile { kFull, kMemChainOnly };
 /// `scan_stats`, when non-null, accumulates the pruning counters of every
 /// slab (plus zeros in dense mode).
 ///
+/// When ctx.checkpoint() is set, `t` must be the checkpoint's own tables
+/// (the drivers arrange this): every slab whose (d1, j)-frontier reaches
+/// j = n commits into the checkpoint at slab exit, slabs an earlier run
+/// already committed are skipped at slab entry, and a CancelToken firing
+/// mid-run leaves the committed slabs resumable.  Both branches sit
+/// OUTSIDE the per-(d1, j) step body, which stays byte-for-byte the
+/// uncheckpointed loop.
+///
 /// Both window modes are compile-time parameters of the implementation:
 /// the dense instantiation must stay token-identical to the
 /// scanner-free engine -- even a dead runtime branch or an out-of-line
@@ -186,6 +195,7 @@ void run_level_dp_impl(const DpContext& ctx, LevelTables& t,
   const std::size_t n = ctx.n();
   const auto& costs = ctx.costs();
   const CancelToken* cancel = ctx.cancel_token();
+  SolveCheckpoint* ckpt = ctx.checkpoint();
   const analysis::QiCertificate* cert =
       (kWindowV1 || kWindowMem) ? &ctx.seg_tables().verify_quadrangle()
                                 : nullptr;
@@ -194,6 +204,12 @@ void run_level_dp_impl(const DpContext& ctx, LevelTables& t,
   // Independent d1 slabs: E_verif(d1, *, *) and E_mem(d1, *).
   const bool keep_values = !t.everif.empty();
   util::parallel_for(0, n, [&](std::size_t d1) {
+    if (ckpt != nullptr && ckpt->slab_done(d1)) {
+      // An earlier (interrupted) run already committed this slab's rows
+      // of the tables; they are final -- skip the whole frontier.
+      ckpt->note_skipped_slab();
+      return;
+    }
     SlabScratch& scratch = slab_scratch();
     scratch.ensure(n);
     double* plane = scratch.plane.data();
@@ -271,14 +287,26 @@ void run_level_dp_impl(const DpContext& ctx, LevelTables& t,
       t.emem[t.idx2(d1, j)] = best + costs.c_mem_after(j);
       t.best_m1[t.idx2(d1, j)] = best_arg;
     }
-    if constexpr (kWindowV1 || kWindowMem) {
+    // Slab exit: fold this slab's scan counters out, and commit the slab
+    // to the checkpoint -- its table rows are final from here on.
+    ScanStats slab_stats;
+    if constexpr (kWindowV1) slab_stats += scanner.stats();
+    if constexpr (kWindowMem) slab_stats += mem_scanner.stats();
+    if (ckpt != nullptr) {
+      ckpt->commit_slab(d1, slab_stats);
+    } else if constexpr (kWindowV1 || kWindowMem) {
       if (scan_stats != nullptr) {
         const std::lock_guard<std::mutex> lock(stats_mutex);
-        if constexpr (kWindowV1) *scan_stats += scanner.stats();
-        if constexpr (kWindowMem) *scan_stats += mem_scanner.stats();
+        *scan_stats += slab_stats;
       }
     }
   });
+  if (ckpt != nullptr && scan_stats != nullptr) {
+    // Committed totals across every run of this solve, so an interrupted
+    // and resumed solve reports the same counters as an uninterrupted
+    // one.
+    *scan_stats += ckpt->scan();
+  }
 
   // E_disk: sequential over d2 (cheap O(n^2) pass).
   t.edisk[0] = 0.0;

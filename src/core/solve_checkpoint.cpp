@@ -1,0 +1,66 @@
+#include "core/solve_checkpoint.hpp"
+
+#include <numeric>
+
+#include "core/level_dp.hpp"
+
+namespace chainckpt::core {
+
+SolveCheckpoint::SolveCheckpoint()
+    : layout_(TableLayout::kRowMajor), scan_mode_(ScanMode::kDense) {}
+
+SolveCheckpoint::~SolveCheckpoint() = default;
+
+void SolveCheckpoint::begin_run(std::size_t n, TableLayout layout,
+                                bool keep_verif_values, ScanMode scan_mode) {
+  const bool matches = valid_ && n_ == n && layout_ == layout &&
+                       keep_verif_values_ == keep_verif_values &&
+                       scan_mode_ == scan_mode;
+  last_run_executed_ = 0;
+  last_run_skipped_ = 0;
+  last_run_resumed_ = matches;
+  if (matches) return;
+  // Shape change (or first run): any stored progress is for a different
+  // solve -- drop it.  Callers keying checkpoints by workload (see
+  // core::BatchSolver) never hit this reset on a resume.
+  tables_ = std::make_shared<detail::LevelTables>(n, layout,
+                                                  keep_verif_values);
+  slab_done_.assign(n, 0);
+  scan_ = ScanStats{};
+  n_ = n;
+  layout_ = layout;
+  keep_verif_values_ = keep_verif_values;
+  scan_mode_ = scan_mode;
+  valid_ = true;
+}
+
+void SolveCheckpoint::commit_slab(std::size_t d1,
+                                  const ScanStats& slab_scan) {
+  const std::lock_guard<std::mutex> lock(commit_mutex_);
+  slab_done_[d1] = 1;
+  scan_ += slab_scan;
+  ++last_run_executed_;
+}
+
+void SolveCheckpoint::note_skipped_slab() {
+  const std::lock_guard<std::mutex> lock(commit_mutex_);
+  ++last_run_skipped_;
+}
+
+std::size_t SolveCheckpoint::slabs_completed() const noexcept {
+  return static_cast<std::size_t>(
+      std::accumulate(slab_done_.begin(), slab_done_.end(), std::size_t{0}));
+}
+
+std::size_t SolveCheckpoint::resident_bytes() const noexcept {
+  std::size_t bytes = util::vector_bytes(slab_done_);
+  if (tables_ != nullptr) {
+    const detail::LevelTables& t = *tables_;
+    bytes += util::vector_bytes(t.everif) + util::vector_bytes(t.best_v1) +
+             util::vector_bytes(t.emem) + util::vector_bytes(t.best_m1) +
+             util::vector_bytes(t.edisk) + util::vector_bytes(t.best_d1);
+  }
+  return bytes;
+}
+
+}  // namespace chainckpt::core

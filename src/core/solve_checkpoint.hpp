@@ -1,0 +1,122 @@
+// Resumable partial progress for the multi-level DP solves.
+//
+// The paper's thesis -- two-level checkpointing lets a long computation
+// survive interruption at bounded re-execution cost -- applies to the
+// solver itself: an ADMV solve is O(n^6), and a service that cancels,
+// preempts, or deadline-expires one should not pay the whole solve again
+// when the job comes back.  SolveCheckpoint is the solver's own
+// checkpoint: the level-DP engine (detail::run_level_dp_impl) works in
+// independent d1 slabs, and every slab that completes its full
+// (d1, j)-frontier commits its rows of the E_verif/E_mem tables.  When a
+// CancelToken fires mid-run, the completed slabs stay committed here; a
+// later run on the same checkpoint skips them and re-executes only the
+// unfinished ones.  The cheap sequential tail (the O(n^2) E_disk pass and
+// plan extraction) always reruns.
+//
+// Determinism: slabs are fully independent (each writes only its own
+// rows), so a resumed solve's tables -- and therefore its plan and
+// objective -- are bit-identical to an uninterrupted solve's.  The
+// per-slab ScanStats of the pruned scan mode are committed with the slab,
+// so the final counters are identical too.  tests/core/
+// solve_checkpoint_test.cpp pins both by interrupting at every checkpoint
+// boundary.
+//
+// Ownership: a checkpoint belongs to exactly one solve at a time (the DP
+// mutates it without internal locking beyond the slab-commit mutex).
+// core::BatchSolver keeps interrupted checkpoints keyed alongside its
+// cached tables and checks one out per solve_job(); standalone callers
+// attach one through DpContext::set_checkpoint().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/monotone_scanner.hpp"
+
+namespace chainckpt::core {
+
+enum class TableLayout;
+
+namespace detail {
+struct LevelTables;
+}
+
+class SolveCheckpoint {
+ public:
+  SolveCheckpoint();
+  ~SolveCheckpoint();
+
+  SolveCheckpoint(const SolveCheckpoint&) = delete;
+  SolveCheckpoint& operator=(const SolveCheckpoint&) = delete;
+
+  /// Called by the DP driver at solve entry.  Reuses the stored tables
+  /// and slab flags when the run shape matches the stored progress;
+  /// otherwise discards the progress and allocates fresh tables.  Resets
+  /// the per-run counters either way.
+  void begin_run(std::size_t n, TableLayout layout, bool keep_verif_values,
+                 ScanMode scan_mode);
+
+  /// The level tables the run writes into; valid after begin_run().
+  detail::LevelTables& tables() noexcept { return *tables_; }
+
+  bool slab_done(std::size_t d1) const noexcept {
+    return slab_done_[d1] != 0;
+  }
+
+  /// Commits slab d1: its table rows are final and a future run may skip
+  /// it.  `slab_scan` carries the slab's pruning counters (zeros in dense
+  /// mode) so resumed totals match uninterrupted ones.  Thread-safe
+  /// against concurrent commits from other slabs.
+  void commit_slab(std::size_t d1, const ScanStats& slab_scan);
+
+  /// Counts a slab skipped because an earlier run already committed it.
+  /// Thread-safe.
+  void note_skipped_slab();
+
+  /// ScanStats accumulated over every committed slab (all runs).
+  const ScanStats& scan() const noexcept { return scan_; }
+
+  std::size_t slabs_total() const noexcept { return slab_done_.size(); }
+  std::size_t slabs_completed() const noexcept;
+  /// True once at least one slab is committed -- the threshold for a
+  /// checkpoint being worth storing.
+  bool has_progress() const noexcept { return slabs_completed() > 0; }
+
+  /// Slabs executed / skipped by the most recent run (begin_run resets).
+  std::size_t last_run_slabs_executed() const noexcept {
+    return last_run_executed_;
+  }
+  std::size_t last_run_slabs_skipped() const noexcept {
+    return last_run_skipped_;
+  }
+  /// True when the most recent begin_run() found matching stored
+  /// progress to resume from (even if zero slabs had completed).
+  bool last_run_resumed() const noexcept { return last_run_resumed_; }
+
+  /// Bytes held by the stored tables + flags (what a store budget
+  /// meters).
+  std::size_t resident_bytes() const noexcept;
+
+ private:
+  std::shared_ptr<detail::LevelTables> tables_;
+  std::vector<std::uint8_t> slab_done_;
+  ScanStats scan_;
+  /// Shape of the stored progress; a mismatch on begin_run() resets.
+  std::size_t n_ = 0;
+  TableLayout layout_;
+  bool keep_verif_values_ = false;
+  ScanMode scan_mode_;
+  bool valid_ = false;
+
+  std::size_t last_run_executed_ = 0;
+  std::size_t last_run_skipped_ = 0;
+  bool last_run_resumed_ = false;
+
+  /// Serializes commit_slab()/note_skipped_slab() across slab workers.
+  std::mutex commit_mutex_;
+};
+
+}  // namespace chainckpt::core

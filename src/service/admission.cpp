@@ -35,24 +35,72 @@ double price_units(core::Algorithm algorithm, std::size_t n) noexcept {
          1e-6;
 }
 
+const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kPerJobCap:
+      return "per-job-cap";
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kDeadlineInfeasible:
+      return "deadline-infeasible";
+    case RejectReason::kEmptyChain:
+      return "empty-chain";
+    case RejectReason::kChainTooLong:
+      return "chain-too-long";
+    case RejectReason::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
 AdmissionController::AdmissionController(AdmissionConfig config)
     : config_(config) {}
 
 AdmissionVerdict AdmissionController::assess(
     core::Algorithm algorithm, std::size_t n, std::size_t queued_now,
-    double inflight_units) const noexcept {
+    double inflight_units, std::chrono::milliseconds deadline) const {
   AdmissionVerdict verdict;
   verdict.cost_units = price_units(algorithm, n);
   if (config_.max_job_units > 0.0 &&
       verdict.cost_units > config_.max_job_units) {
     verdict.decision = AdmissionDecision::kReject;
+    verdict.reject = RejectReason::kPerJobCap;
     verdict.reason = "job priced above the per-job admission cap";
     return verdict;
   }
   if (queued_now >= config_.queue_capacity) {
     verdict.decision = AdmissionDecision::kReject;
+    verdict.reject = RejectReason::kQueueFull;
     verdict.reason = "admission queue is full";
     return verdict;
+  }
+  if (deadline.count() < 0) {
+    // The submit-time race the chaos battery probes: a deadline the
+    // client computed against an earlier clock can already be in the
+    // past when the submission lands.  Rejected regardless of the
+    // feasibility screen -- admitting it would run the job with no
+    // deadline at all (the service only arms positive ones).
+    verdict.decision = AdmissionDecision::kReject;
+    verdict.reject = RejectReason::kDeadlineInfeasible;
+    verdict.reason = "deadline already passed at submit";
+    return verdict;
+  }
+  if (deadline.count() > 0 && config_.reject_infeasible_deadlines) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Estimate est = estimate_locked(algorithm, n);
+    verdict.estimated_seconds = est.seconds;
+    const double deadline_seconds =
+        std::chrono::duration<double>(deadline).count();
+    if (est.seconds >= 0.0 &&
+        est.seconds * config_.deadline_headroom > deadline_seconds) {
+      verdict.decision = AdmissionDecision::kReject;
+      verdict.reject = RejectReason::kDeadlineInfeasible;
+      verdict.reason =
+          "calibrated estimate already exceeds the job's deadline";
+      return verdict;
+    }
   }
   if (!fits(verdict.cost_units, inflight_units)) {
     verdict.decision = AdmissionDecision::kQueue;
@@ -94,9 +142,14 @@ void AdmissionController::observe(core::Algorithm algorithm,
 
 AdmissionController::Estimate AdmissionController::estimate(
     core::Algorithm algorithm, std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return estimate_locked(algorithm, n);
+}
+
+AdmissionController::Estimate AdmissionController::estimate_locked(
+    core::Algorithm algorithm, std::size_t n) const {
   Estimate est;
   est.cost_units = price_units(algorithm, n);
-  const std::lock_guard<std::mutex> lock(mutex_);
   const ClassCalibration& cls = classes_[class_index(algorithm)];
   if (cls.units_per_second > 0.0) {
     est.seconds = est.cost_units / cls.units_per_second;

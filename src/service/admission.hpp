@@ -19,11 +19,18 @@
 // seconds once traffic has warmed it up -- the numbers an operator tunes
 // the budget against (see docs/SERVER.md).
 //
+// Calibration also closes the loop on deadlines: a submission that
+// carries one is checked against the class's calibrated estimate at
+// submit time, and a job whose estimate already exceeds its deadline is
+// rejected up front (RejectReason::kDeadlineInfeasible) instead of
+// burning a worker on a solve that is doomed to expire.
+//
 // Thread-safety: all methods are safe to call concurrently; calibration
 // state sits behind an internal mutex, and assess() reads only immutable
-// config plus caller-supplied load figures.
+// config, calibration state, and caller-supplied load figures.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <mutex>
 
@@ -51,6 +58,20 @@ struct AdmissionConfig {
   double max_job_units = 0.0;
   /// Submissions rejected once this many jobs are already queued.
   std::size_t queue_capacity = 1024;
+  /// Reject a submission whose per-class calibrated estimate already
+  /// exceeds its deadline (scaled by deadline_headroom).  Only fires once
+  /// the class has completed at least one job -- a cold class admits
+  /// everything (the deadline still expires the job cooperatively
+  /// mid-solve if the guess was wrong).  Deadlines that are negative at
+  /// submit are rejected regardless of calibration AND of this flag --
+  /// admitting one would run the job unbounded, since only positive
+  /// deadlines arm the token.
+  bool reject_infeasible_deadlines = true;
+  /// Estimate-vs-deadline slack: reject when
+  ///   estimated_seconds * deadline_headroom > deadline.
+  /// Values above 1 reject earlier (pessimistic); below 1 admit jobs the
+  /// estimate says will likely expire.
+  double deadline_headroom = 1.0;
 };
 
 /// Only kReject changes what happens to a submission; the kAdmit/kQueue
@@ -60,14 +81,38 @@ struct AdmissionConfig {
 enum class AdmissionDecision {
   kAdmit,   ///< fits the budget right now
   kQueue,   ///< admissible, but must wait for in-flight work to drain
-  kReject,  ///< over the per-job cap or the queue is full
+  kReject,  ///< over the per-job cap, full queue, or infeasible deadline
 };
+
+/// Machine-readable why of a rejection, surfaced on the job handle
+/// (JobStatus::reject_reason) so clients can react programmatically --
+/// back off on kQueueFull, shrink the request on kPerJobCap, extend or
+/// drop the deadline on kDeadlineInfeasible.  The submit-side screens of
+/// SolverService (empty chain, over-max_n chain, shutdown) use the same
+/// enum.
+enum class RejectReason {
+  kNone,                ///< not rejected
+  kPerJobCap,           ///< priced above AdmissionConfig::max_job_units
+  kQueueFull,           ///< AdmissionConfig::queue_capacity reached
+  kDeadlineInfeasible,  ///< calibrated estimate exceeds the deadline
+  kEmptyChain,          ///< the job carried no tasks
+  kChainTooLong,        ///< chain longer than the service's max_n
+  kShutdown,            ///< service no longer accepting work
+};
+
+const char* to_string(RejectReason reason) noexcept;
 
 struct AdmissionVerdict {
   AdmissionDecision decision = AdmissionDecision::kAdmit;
   double cost_units = 0.0;
   /// Static human-readable explanation (never null).
   const char* reason = "";
+  /// Machine-readable rejection cause; kNone unless decision == kReject.
+  RejectReason reject = RejectReason::kNone;
+  /// Calibrated expected seconds consulted by the deadline screen;
+  /// kUncalibrated when the class has no completed jobs (or the
+  /// submission carried no deadline).
+  double estimated_seconds = -1.0;
 };
 
 class AdmissionController {
@@ -77,11 +122,15 @@ class AdmissionController {
   const AdmissionConfig& config() const noexcept { return config_; }
 
   /// Prices (algorithm, n) and decides against the caller's current load
-  /// (queued job count, priced units in flight).  Pure function of its
-  /// arguments plus config -- the caller serializes load reads itself.
+  /// (queued job count, priced units in flight) and the submission's
+  /// deadline (zero = none; the calibrated feasibility screen is
+  /// described on AdmissionConfig::reject_infeasible_deadlines).  Reads
+  /// config, the calibration state, and its arguments -- the caller
+  /// serializes load reads itself.
   AdmissionVerdict assess(core::Algorithm algorithm, std::size_t n,
-                          std::size_t queued_now,
-                          double inflight_units) const noexcept;
+                          std::size_t queued_now, double inflight_units,
+                          std::chrono::milliseconds deadline =
+                              std::chrono::milliseconds{0}) const;
 
   /// Dispatcher-side budget test: may a job priced `cost_units` start
   /// while `inflight_units` are already running?
@@ -112,6 +161,8 @@ class AdmissionController {
 
  private:
   static std::size_t class_index(core::Algorithm algorithm) noexcept;
+  /// estimate() body; requires mutex_ (assess() shares it).
+  Estimate estimate_locked(core::Algorithm algorithm, std::size_t n) const;
 
   struct ClassCalibration {
     double units_per_second = 0.0;  ///< EWMA; 0 = no sample yet

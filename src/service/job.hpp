@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/batch_solver.hpp"
+#include "service/admission.hpp"
 
 namespace chainckpt::service {
 
@@ -18,7 +19,9 @@ using JobId = std::uint64_t;
 
 /// Lifecycle of a submitted job.  kQueued/kRunning are transient; the
 /// rest are terminal.  A job reaches exactly one terminal state, and the
-/// completion callback fires exactly once when it does.
+/// completion callback fires exactly once when it does.  A preempted job
+/// transitions kRunning -> kQueued (not terminal, no callback) and runs
+/// again later, resuming any solve checkpoint it committed.
 enum class JobState {
   kQueued,     ///< admitted, waiting for budget + a worker
   kRunning,    ///< a worker is solving it
@@ -26,20 +29,49 @@ enum class JobState {
   kFailed,     ///< the solve threw (JobStatus::error has the message)
   kCancelled,  ///< cancel() reached it (queued or mid-solve)
   kExpired,    ///< its deadline passed (queued or mid-solve)
-  kRejected,   ///< refused at submit (admission cap, full queue, bad job)
+  kRejected,   ///< refused at submit (JobStatus::reject_reason says why)
 };
 
 const char* to_string(JobState state) noexcept;
 bool is_terminal(JobState state) noexcept;
 
+/// Scheduling class of a submission.  The dispatcher always starts the
+/// highest class that fits the admission budget (FIFO within a class),
+/// and -- when preemption is enabled -- may cooperatively displace a
+/// strictly lower-class running job to keep a deadline-carrying higher
+/// class job from missing its deadline (see docs/SERVER.md).
+enum class Priority : std::uint8_t {
+  kBatch = 0,        ///< throughput work; first to be preempted
+  kNormal = 1,       ///< the default
+  kInteractive = 2,  ///< latency-sensitive
+  kUrgent = 3,       ///< jumps everything; never preempted
+};
+
+const char* to_string(Priority priority) noexcept;
+
+/// Scheduling options of one submission: its priority class and an
+/// optional wall-clock deadline measured from submit time.  A job whose
+/// deadline passes while queued never starts; one that expires mid-solve
+/// is interrupted at the DP's next cancellation checkpoint.  Zero means
+/// no deadline.  The converting constructor keeps the pre-priority
+/// submission shape `{work, deadline}` valid.
+struct SubmitOptions {
+  SubmitOptions() = default;
+  SubmitOptions(std::chrono::milliseconds deadline_in)  // NOLINT(runtime/explicit)
+      : deadline(deadline_in) {}
+  SubmitOptions(Priority priority_in, std::chrono::milliseconds deadline_in =
+                                          std::chrono::milliseconds{0})
+      : priority(priority_in), deadline(deadline_in) {}
+
+  Priority priority = Priority::kNormal;
+  std::chrono::milliseconds deadline{0};
+};
+
 /// One submission: the work itself (algorithm + chain + cost model, the
-/// same triple core::BatchSolver takes) plus an optional wall-clock
-/// deadline measured from submit time.  A job whose deadline passes while
-/// queued never starts; one that expires mid-solve is interrupted at the
-/// DP's next cancellation checkpoint.  Zero means no deadline.
+/// same triple core::BatchSolver takes) plus its scheduling options.
 struct JobRequest {
   core::BatchJob work;
-  std::chrono::milliseconds deadline{0};
+  SubmitOptions options;
 };
 
 /// Point-in-time snapshot of one job, returned by poll()/wait() and
@@ -48,8 +80,20 @@ struct JobRequest {
 struct JobStatus {
   JobId id = 0;
   JobState state = JobState::kQueued;
+  Priority priority = Priority::kNormal;
   /// Admission price of the job (see service/admission.hpp).
   double cost_units = 0.0;
+  /// Machine-readable cause when state == kRejected; kNone otherwise.
+  RejectReason reject_reason = RejectReason::kNone;
+  /// Scheduling trace, in one service-wide event order: submit_seq stamps
+  /// queue entry, start_seq the most recent dispatch (0 = never started).
+  /// The stress battery asserts priority-inversion bounds from these.
+  std::uint64_t submit_seq = 0;
+  std::uint64_t start_seq = 0;
+  /// Times a worker picked the job up, and how many of those ended in a
+  /// preemption (starts > 1 implies the job was preempted and resumed).
+  std::uint32_t starts = 0;
+  std::uint32_t preemptions = 0;
   core::OptimizationResult result;
   std::string error;
 };

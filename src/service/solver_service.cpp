@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "util/parallel.hpp"
@@ -10,18 +11,35 @@ namespace chainckpt::service {
 
 namespace detail {
 
-/// Shared record behind a JobHandle.  `work`, `cost_units`, and `id` are
-/// immutable after submit; `token` is internally synchronized; the
-/// mutable tail (state/result/error) is guarded by the service mutex.
+/// Shared record behind a JobHandle.  `work`, `options`, `cost_units`,
+/// and `id` are immutable after submit; `token` is internally
+/// synchronized; the mutable tail (state/result/error and the scheduling
+/// trace) is guarded by the service mutex.
 struct JobRecord {
   explicit JobRecord(core::BatchJob job) : work(std::move(job)) {}
 
   JobId id = 0;
   core::BatchJob work;
+  SubmitOptions options;
   double cost_units = 0.0;
   core::CancelToken token;
+  /// Absolute deadline (zero time_point = none), for the preemption
+  /// policy's remaining-time reads; the token holds the same instant for
+  /// the solver side.
+  core::CancelToken::Clock::time_point deadline_at{};
 
   JobState state = JobState::kQueued;
+  RejectReason reject_reason = RejectReason::kNone;
+  std::uint64_t submit_seq = 0;
+  std::uint64_t start_seq = 0;
+  /// Wall-clock instant of the most recent dispatch; the preemption
+  /// policy's estimate of a running job's remaining time reads it.
+  core::CancelToken::Clock::time_point started_at{};
+  std::uint32_t starts = 0;
+  std::uint32_t preemptions = 0;
+  /// A preempt was requested for the current run and has not yet
+  /// unwound; keeps the policy from stacking preempts on one victim.
+  bool preempt_pending = false;
   core::OptimizationResult result;
   std::string error;
 };
@@ -56,6 +74,20 @@ bool is_terminal(JobState state) noexcept {
   return state != JobState::kQueued && state != JobState::kRunning;
 }
 
+const char* to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kUrgent:
+      return "urgent";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// What poll()/wait() report for an empty handle: terminal, so the
@@ -64,8 +96,19 @@ namespace {
 JobStatus empty_handle_status() {
   JobStatus status;
   status.state = JobState::kRejected;
+  status.reject_reason = RejectReason::kEmptyChain;
   status.error = "empty job handle (no job was submitted)";
   return status;
+}
+
+/// Dispatch order within the queue: higher priority class first, FIFO
+/// (by service event order) within a class.
+bool ranks_before(const detail::JobRecord& a,
+                  const detail::JobRecord& b) noexcept {
+  if (a.options.priority != b.options.priority) {
+    return a.options.priority > b.options.priority;
+  }
+  return a.submit_seq < b.submit_seq;
 }
 
 /// Callbacks run outside the service lock on whichever thread finished
@@ -106,6 +149,7 @@ SolverService::~SolverService() { shutdown(); }
 
 JobHandle SolverService::submit(JobRequest request) {
   auto record = std::make_shared<detail::JobRecord>(std::move(request.work));
+  record->options = request.options;
   const std::size_t n = record->work.chain.size();
 
   CompletionCallback callback;
@@ -118,16 +162,21 @@ JobHandle SolverService::submit(JobRequest request) {
     const char* reason = nullptr;
     if (stopping_) {
       reason = "service is shut down";
+      record->reject_reason = RejectReason::kShutdown;
     } else if (n == 0) {
       reason = "job needs a non-empty chain";
+      record->reject_reason = RejectReason::kEmptyChain;
     } else if (n > options_.solver.max_n) {
       reason = "chain longer than the service's max_n";
+      record->reject_reason = RejectReason::kChainTooLong;
     } else {
-      const AdmissionVerdict verdict = admission_.assess(
-          record->work.algorithm, n, queue_.size(), inflight_units_);
+      const AdmissionVerdict verdict =
+          admission_.assess(record->work.algorithm, n, queue_.size(),
+                            inflight_units_, record->options.deadline);
       record->cost_units = verdict.cost_units;
       if (verdict.decision == AdmissionDecision::kReject) {
         reason = verdict.reason;
+        record->reject_reason = verdict.reject;
       }
     }
     if (reason != nullptr) {
@@ -138,13 +187,16 @@ JobHandle SolverService::submit(JobRequest request) {
       rejected_status = snapshot_locked(*record);
       callback = callback_;
     } else {
-      if (request.deadline.count() > 0) {
-        record->token.set_deadline(core::CancelToken::Clock::now() +
-                                   request.deadline);
+      if (record->options.deadline.count() > 0) {
+        record->deadline_at =
+            core::CancelToken::Clock::now() + record->options.deadline;
+        record->token.set_deadline(record->deadline_at);
       }
       record->state = JobState::kQueued;
+      record->submit_seq = ++event_seq_;
       queue_.push_back(record);
       queued_units_ += record->cost_units;
+      maybe_preempt_locked();
     }
   }
   if (rejected) {
@@ -187,6 +239,7 @@ bool SolverService::cancel(const JobHandle& handle) {
     const auto it = std::find(queue_.begin(), queue_.end(), record);
     if (it != queue_.end()) queue_.erase(it);
     queued_units_ -= record->cost_units;
+    settle_gauges_locked();
     record->state = JobState::kCancelled;
     record->error = "cancelled while queued";
     ++counters_.cancelled;
@@ -244,6 +297,7 @@ ServiceStats SolverService::stats() const {
     out.failed = counters_.failed;
     out.cancelled = counters_.cancelled;
     out.expired = counters_.expired;
+    out.preempted = counters_.preempted;
     out.queued = queue_.size();
     out.running = running_jobs_.size();
     out.inflight_units = inflight_units_;
@@ -266,22 +320,153 @@ std::size_t SolverService::release_scratch() {
   return solver_.release_scratch();
 }
 
+void SolverService::settle_gauges_locked() {
+  // The priced gauges accumulate +=/-= of doubles; snap them to exactly
+  // zero whenever their container empties so summation residue (the
+  // ~1e-12 the soak battery surfaced) cannot leak into metrics or
+  // admission fits() reads at idle.
+  if (queue_.empty()) queued_units_ = 0.0;
+  if (running_jobs_.empty()) inflight_units_ = 0.0;
+}
+
 std::shared_ptr<detail::JobRecord> SolverService::pop_runnable_locked() {
+  auto best = queue_.end();
+  auto best_any = queue_.end();
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (admission_.fits((*it)->cost_units, inflight_units_)) {
-      auto record = *it;
-      queue_.erase(it);
-      return record;
+    if (best_any == queue_.end() || ranks_before(**it, **best_any)) {
+      best_any = it;
     }
+    if (!admission_.fits((*it)->cost_units, inflight_units_)) continue;
+    if (best == queue_.end() || ranks_before(**it, **best)) best = it;
   }
-  // Nothing fits.  An idle pool still takes the head: the budget bounds
-  // concurrent work, it must not deadlock a job priced above it.
-  if (!queue_.empty() && running_jobs_.empty()) {
-    auto record = queue_.front();
-    queue_.pop_front();
+  if (best != queue_.end()) {
+    auto record = *best;
+    queue_.erase(best);
+    return record;
+  }
+  // Nothing fits.  An idle pool still takes the best-ranked job: the
+  // budget bounds concurrent work, it must not deadlock a job priced
+  // above it.
+  if (best_any != queue_.end() && running_jobs_.empty()) {
+    auto record = *best_any;
+    queue_.erase(best_any);
     return record;
   }
   return nullptr;
+}
+
+void SolverService::maybe_preempt_locked() {
+  if (!options_.enable_preemption || running_jobs_.empty() ||
+      queue_.empty() || stopping_) {
+    return;
+  }
+  // The contender: the best-ranked queued job that carries a deadline and
+  // outranks at least one running job.  Urgent-but-deadline-free work
+  // still jumps the queue by ordering; only a deadline justifies
+  // displacing work already paid for.
+  const auto now = core::CancelToken::Clock::now();
+  std::shared_ptr<detail::JobRecord> contender;
+  for (const auto& record : queue_) {
+    if (record->options.deadline.count() <= 0) continue;
+    if (contender == nullptr || ranks_before(*record, *contender)) {
+      contender = record;
+    }
+  }
+  if (contender == nullptr) return;
+  // If capacity frees up without displacement -- a free worker exists and
+  // the job fits the budget -- dispatch handles it; preemption would be
+  // pure waste.
+  const bool fits_now =
+      admission_.fits(contender->cost_units, inflight_units_);
+  const bool free_worker = running_jobs_.size() < workers_;
+  if (fits_now && free_worker) return;
+  // At risk?  The contender must both wait for a worker and then solve:
+  // its deadline is at risk when the remaining time is under
+  //   slack * (own calibrated estimate + expected wait),
+  // where the expected wait is the smallest calibrated remaining runtime
+  // across the running jobs.  Anything uncalibrated cannot be bounded,
+  // so it counts as at risk -- the scheduler protects the deadline when
+  // it cannot rule a miss out.
+  const double remaining =
+      std::chrono::duration<double>(contender->deadline_at - now).count();
+  const double estimate =
+      admission_
+          .estimate(contender->work.algorithm, contender->work.chain.size())
+          .seconds;
+  if (estimate >= 0.0) {
+    double wait = free_worker ? 0.0
+                              : std::numeric_limits<double>::infinity();
+    if (!free_worker) {
+      for (const auto& running : running_jobs_) {
+        const double running_estimate =
+            admission_
+                .estimate(running->work.algorithm,
+                          running->work.chain.size())
+                .seconds;
+        if (running_estimate < 0.0) continue;  // unknown: no bound
+        const double elapsed =
+            std::chrono::duration<double>(now - running->started_at)
+                .count();
+        wait = std::min(wait,
+                        std::max(0.0, running_estimate - elapsed));
+      }
+    }
+    if (remaining >= (estimate + wait) * options_.preemption_slack) {
+      return;
+    }
+  }
+  // Victim: the lowest-class running job strictly below the contender
+  // (never preempt within a class), latest-started first so the least
+  // progress is set aside; displacing it must actually let the contender
+  // start.
+  std::shared_ptr<detail::JobRecord> victim;
+  for (const auto& running : running_jobs_) {
+    if (running->preempt_pending) continue;
+    if (running->options.priority >= contender->options.priority) continue;
+    if (!fits_now &&
+        !admission_.fits(contender->cost_units,
+                         inflight_units_ - running->cost_units)) {
+      continue;
+    }
+    if (victim == nullptr ||
+        running->options.priority < victim->options.priority ||
+        (running->options.priority == victim->options.priority &&
+         running->start_seq > victim->start_seq)) {
+      victim = running;
+    }
+  }
+  if (victim == nullptr) return;
+  victim->preempt_pending = true;
+  victim->token.request_preempt();
+}
+
+bool SolverService::requeue_preempted(
+    const std::shared_ptr<detail::JobRecord>& record) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // A cancel, an expired deadline, or shutdown that raced the
+    // preemption wins: those are terminal intents, handled by the
+    // caller's completion path.
+    if (stopping_ || record->token.cancel_requested() ||
+        record->token.deadline_passed()) {
+      return false;
+    }
+    record->token.clear_preempt();
+    record->preempt_pending = false;
+    record->state = JobState::kQueued;
+    ++record->preemptions;
+    ++counters_.preempted;
+    inflight_units_ -= record->cost_units;
+    queued_units_ += record->cost_units;
+    running_jobs_.erase(
+        std::find(running_jobs_.begin(), running_jobs_.end(), record));
+    settle_gauges_locked();
+    // push_back is fine: dispatch ranks by (class, submit_seq), so the
+    // job resumes ahead of anything submitted after it in its class.
+    queue_.push_back(record);
+  }
+  work_ready_.notify_all();
+  return true;
 }
 
 void SolverService::worker_loop() {
@@ -296,9 +481,16 @@ void SolverService::worker_loop() {
         work_ready_.wait(lock);
       }
       queued_units_ -= job->cost_units;
+      settle_gauges_locked();
       inflight_units_ += job->cost_units;
       job->state = JobState::kRunning;
+      job->start_seq = ++event_seq_;
+      ++job->starts;
+      job->started_at = core::CancelToken::Clock::now();
       running_jobs_.push_back(job);
+      // A dispatch changes who is running: a queued deadline may now be
+      // blocked behind this very job.
+      maybe_preempt_locked();
     }
 
     // Pre-start screen: a deadline that passed (or a cancel that raced
@@ -324,11 +516,19 @@ void SolverService::worker_loop() {
               .count();
       complete(job, JobState::kSucceeded, &result, std::string(), seconds);
     } catch (const core::SolveInterrupted& interrupted) {
-      complete(job,
-               interrupted.reason() == core::InterruptReason::kDeadline
-                   ? JobState::kExpired
-                   : JobState::kCancelled,
-               nullptr, interrupted.what(), 0.0);
+      if (interrupted.reason() == core::InterruptReason::kPreempted &&
+          requeue_preempted(job)) {
+        continue;  // back in the queue; its next run resumes the solve
+      }
+      // A refused requeue means a terminal intent raced the preemption;
+      // classify by what the token actually says.
+      JobState state = JobState::kCancelled;
+      if (interrupted.reason() == core::InterruptReason::kDeadline ||
+          (interrupted.reason() == core::InterruptReason::kPreempted &&
+           !job->token.cancel_requested() && job->token.deadline_passed())) {
+        state = JobState::kExpired;
+      }
+      complete(job, state, nullptr, interrupted.what(), 0.0);
     } catch (const std::exception& error) {
       complete(job, JobState::kFailed, nullptr, error.what(), 0.0);
     }
@@ -344,11 +544,14 @@ void SolverService::complete(const std::shared_ptr<detail::JobRecord>& record,
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     record->state = state;
+    record->preempt_pending = false;
     if (result != nullptr) record->result = std::move(*result);
     record->error = std::move(error);
     inflight_units_ -= record->cost_units;
     running_jobs_.erase(std::find(running_jobs_.begin(), running_jobs_.end(),
                                   record));
+    settle_gauges_locked();
+    maybe_preempt_locked();  // freed capacity may re-rank a blocked deadline
     switch (state) {
       case JobState::kSucceeded:
         ++counters_.succeeded;
@@ -383,7 +586,13 @@ JobStatus SolverService::snapshot_locked(
   JobStatus status;
   status.id = record.id;
   status.state = record.state;
+  status.priority = record.options.priority;
   status.cost_units = record.cost_units;
+  status.reject_reason = record.reject_reason;
+  status.submit_seq = record.submit_seq;
+  status.start_seq = record.start_seq;
+  status.starts = record.starts;
+  status.preemptions = record.preemptions;
   if (record.state == JobState::kSucceeded) status.result = record.result;
   status.error = record.error;
   return status;

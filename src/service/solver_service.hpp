@@ -15,22 +15,33 @@
 //     release_scratch() behave exactly as in the batch path, and each
 //     job's own slab parallelism degrades to serial inside the pool just
 //     like a BatchSolver batch;
-//   * dispatch under budget: a worker takes the first queued job whose
-//     price fits the remaining admission budget (an idle pool always
-//     takes the head, so one oversized job cannot wedge the queue);
+//   * dispatch under budget and priority: a worker takes the
+//     highest-priority queued job that fits the remaining admission
+//     budget, FIFO within a class (an idle pool always takes the best
+//     queued job, so one oversized job cannot wedge the queue);
+//   * preemption: when a strictly higher class's deadline is at risk,
+//     the dispatcher cooperatively displaces a lower-class running job
+//     (via its CancelToken); the victim re-queues -- NOT a terminal
+//     state -- and its next run resumes the solve checkpoint its
+//     interrupted run committed (core/solve_checkpoint.hpp), so the
+//     preempted work re-executes only unfinished slabs;
 //   * poll()/wait()/completion callback over JobStatus snapshots;
 //   * cancel() and per-job deadlines, threaded to the DPs' cooperative
-//     checkpoints as a core::CancelToken (core/cancellation.hpp);
+//     checkpoints as a core::CancelToken (core/cancellation.hpp), with
+//     deadline-infeasible submissions rejected up front once the class
+//     is calibrated (service/admission.hpp);
 //   * bounded memory: the table cache inherits BatchSolver's LRU budget
-//     (BatchOptions::cache_budget_bytes), and release_scratch() remains
-//     available at quiescent points.
+//     (BatchOptions::cache_budget_bytes), interruption checkpoints are
+//     bounded by BatchOptions::checkpoint_budget_bytes, and
+//     release_scratch() remains available at quiescent points.
 //
 // Determinism: a job's result is bit-identical to a synchronous
 // core::BatchSolver::solve() (and standalone core::optimize()) run of the
 // same work -- scheduling order, worker count, queue pressure, eviction,
-// and cancellation of OTHER jobs change nothing about a job's plan or
-// objective (tests/service/solver_service_test.cpp pins this at n up to
-// 400).
+// preemption/resume, and cancellation of OTHER jobs change nothing about
+// a job's plan or objective (tests/service/solver_service_test.cpp pins
+// this at n up to 400; tests/service/scheduler_stress_test.cpp under
+// mixed-priority chaos).
 //
 // Thread-safety: every public method is safe from any thread.  The
 // operator's manual -- lifecycle, tuning, metrics export -- lives in
@@ -58,10 +69,28 @@ struct ServiceOptions {
   /// the header comment.
   std::size_t workers = 0;
   /// Passed through to the embedded BatchSolver: table layout, scan mode,
-  /// max_n, and the LRU cache budget.
+  /// max_n, the LRU cache budget, and the interruption-checkpoint policy
+  /// (keep_checkpoints/checkpoint_budget_bytes -- what makes preempted
+  /// jobs resume instead of restart).
   core::BatchOptions solver;
-  /// Admission pricing and budget (service/admission.hpp).
+  /// Admission pricing, budget, and the deadline-feasibility screen
+  /// (service/admission.hpp).
   AdmissionConfig admission;
+  /// Allow the dispatcher to preempt.  Preemption fires only when a
+  /// queued job of a STRICTLY higher priority class carries a deadline
+  /// the scheduler judges at risk (see preemption_slack) and no capacity
+  /// frees up by itself; the lowest-class running job is displaced,
+  /// re-queued, and resumed later.  Decisions are made at submit and
+  /// job-completion events.
+  bool enable_preemption = true;
+  /// Deadline-risk factor: a queued job's deadline is at risk when its
+  /// remaining time is below
+  ///   (calibrated_estimate + expected_worker_wait) * preemption_slack,
+  /// where the expected wait is the smallest calibrated remaining
+  /// runtime among the running jobs.  Anything uncalibrated (no
+  /// completed job in the class yet) is treated as at-risk -- the
+  /// scheduler cannot rule a miss out, so it protects the deadline.
+  double preemption_slack = 1.5;
 };
 
 /// Counters + gauges, snapshotted by stats().  The embedded solver's
@@ -74,6 +103,9 @@ struct ServiceStats {
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t expired = 0;
+  /// Runs displaced by the preemption policy (kRunning -> kQueued
+  /// transitions; not terminal, so disjoint from the counters above).
+  std::uint64_t preempted = 0;
   /// Instantaneous gauges.
   std::size_t queued = 0;
   std::size_t running = 0;
@@ -145,14 +177,27 @@ class SolverService {
 
  private:
   void worker_loop();
-  /// Pops the first queued job fitting the admission budget (or the head
+  /// Pops the highest-priority queued job fitting the admission budget,
+  /// FIFO within a class (or the best queued job regardless of price
   /// when the pool is idle); nullptr when nothing is runnable.  Requires
   /// mutex_.
   std::shared_ptr<detail::JobRecord> pop_runnable_locked();
+  /// Preemption policy: if a queued strictly-higher-class job's deadline
+  /// is at risk and displacing a running lower-class job would let it
+  /// start, fire the victim's preempt flag.  Requires mutex_.
+  void maybe_preempt_locked();
+  /// Returns a preempted job to the queue (kRunning -> kQueued) for a
+  /// later resumed run; returns false -- leaving the record untouched for
+  /// a terminal completion -- when a cancel, an expired deadline, or
+  /// shutdown raced the preemption.
+  bool requeue_preempted(const std::shared_ptr<detail::JobRecord>& record);
   /// Terminal transition + bookkeeping + callback/calibration dispatch.
   void complete(const std::shared_ptr<detail::JobRecord>& record,
                 JobState state, core::OptimizationResult* result,
                 std::string error, double seconds);
+  /// Snaps the priced gauges to exactly zero when their containers are
+  /// empty (floating-point summation residue).  Requires mutex_.
+  void settle_gauges_locked();
   JobStatus snapshot_locked(const detail::JobRecord& record) const;
 
   ServiceOptions options_;
@@ -168,6 +213,9 @@ class SolverService {
   double inflight_units_ = 0.0;
   double queued_units_ = 0.0;
   JobId next_id_ = 0;
+  /// One service-wide event order covering queue entries and dispatches;
+  /// the source of JobStatus::submit_seq/start_seq.
+  std::uint64_t event_seq_ = 0;
   bool stopping_ = false;
   /// Terminal counters only; the ServiceStats gauges and solver snapshot
   /// are assembled fresh by stats().
@@ -178,6 +226,7 @@ class SolverService {
     std::uint64_t failed = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t expired = 0;
+    std::uint64_t preempted = 0;
   } counters_;
 
   std::size_t workers_ = 1;

@@ -20,9 +20,18 @@ Registry& registry() {
   return *r;
 }
 
+/// Stable tag identifying the calling thread for the lifetime of every
+/// block it registers: thread_local storage is unique among live threads,
+/// and a thread's blocks unregister at its exit, so a recycled address can
+/// never alias a still-registered block of a dead thread.
+const void* current_thread_tag() noexcept {
+  static thread_local char tag;
+  return &tag;
+}
+
 }  // namespace
 
-ArenaBlock::ArenaBlock() {
+ArenaBlock::ArenaBlock() : owner_(current_thread_tag()) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   r.blocks.push_back(this);
@@ -56,6 +65,19 @@ std::size_t release_all_arenas() noexcept {
   std::lock_guard<std::mutex> lock(r.mutex);
   std::size_t freed = 0;
   for (ArenaBlock* block : r.blocks) {
+    freed += block->resident_bytes();
+    block->release();
+  }
+  return freed;
+}
+
+std::size_t release_current_thread_arenas() noexcept {
+  const void* owner = current_thread_tag();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::size_t freed = 0;
+  for (ArenaBlock* block : r.blocks) {
+    if (block->owner_ != owner) continue;
     freed += block->resident_bytes();
     block->release();
   }

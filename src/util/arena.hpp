@@ -59,6 +59,13 @@ class ArenaBlock {
   /// Removes this block from the pool; idempotent, blocks on any walk in
   /// progress.  Call first in every concrete destructor (see above).
   void unregister() noexcept;
+
+ private:
+  friend std::size_t release_current_thread_arenas() noexcept;
+  /// Set at construction; thread_local blocks are only ever constructed
+  /// (and used) on their owning thread, which is what makes the
+  /// per-thread release below safe against concurrent solves.
+  const void* owner_;
 };
 
 /// Capacity of a vector in bytes (what release() would give back).
@@ -86,5 +93,14 @@ std::size_t arena_block_count() noexcept;
 /// Releases the backing memory of every registered arena and returns the
 /// number of bytes freed.  Must not run concurrently with a solver.
 std::size_t release_all_arenas() noexcept;
+
+/// Releases only the arenas owned by the CALLING thread and returns the
+/// bytes freed.  Unlike release_all_arenas() this IS safe while solves
+/// run on other threads -- it touches no other thread's scratch -- which
+/// makes it the right tool for giving back a dead job's memory the moment
+/// its solve unwinds (an interrupted solve's scratch would otherwise stay
+/// resident until the next global release; see
+/// core::BatchSolver::solve_job).  The caller must not itself be mid-solve.
+std::size_t release_current_thread_arenas() noexcept;
 
 }  // namespace chainckpt::util

@@ -272,5 +272,38 @@ TEST(BatchSolver, ThreadCountDoesNotChangeResults) {
   }
 }
 
+TEST(BatchSolver, InterruptedSolveReleasesItsScratchEagerly) {
+  // Regression for the interrupted-solve scratch accounting: the arena
+  // pool used to park a dead job's thread-local scratch until the next
+  // global release_scratch(); solve_job now gives the interrupting
+  // thread's scratch back the moment the solve unwinds.  Serial
+  // execution keeps the whole solve's scratch on this thread, so the
+  // eager release is fully observable.
+  util::set_parallelism(1);
+  BatchSolver solver;
+  const BatchJob job{Algorithm::kADMVstar, chain::make_uniform(120, 25000.0),
+                     platform::CostModel{platform::hera()}};
+  ASSERT_NO_THROW(solver.solve_job(job));  // grow the scratch
+  const std::size_t resident_after_success = util::arena_resident_bytes();
+  EXPECT_GT(resident_after_success, 0u);
+
+  CancelToken token;
+  token.trip_after_polls(3000);  // mid-solve (n(n+1)/2 = 7260 steps)
+  EXPECT_THROW(solver.solve_job(job, &token), SolveInterrupted);
+  const BatchStats stats = solver.stats_snapshot();
+  EXPECT_EQ(stats.jobs_interrupted, 1u);
+  EXPECT_GT(stats.interrupted_released_bytes, 0u);
+  EXPECT_LT(util::arena_resident_bytes(), resident_after_success);
+
+  // The released blocks regrow on demand: the retry resumes the retained
+  // checkpoint and reproduces the undisturbed result bitwise.
+  const OptimizationResult expected = solver.solve_job(job);
+  BatchSolver fresh;
+  const OptimizationResult reference = fresh.solve_job(job);
+  EXPECT_EQ(expected.expected_makespan, reference.expected_makespan);
+  EXPECT_EQ(expected.plan, reference.plan);
+  util::set_parallelism(0);
+}
+
 }  // namespace
 }  // namespace chainckpt::core

@@ -160,5 +160,44 @@ TEST(Cancellation, SolveJobCountsInterruptions) {
   EXPECT_EQ(result.plan, standalone.plan);
 }
 
+TEST(CancelToken, PreemptFlagThrowsAndClears) {
+  CancelToken token;
+  token.request_preempt();
+  EXPECT_TRUE(token.preempt_requested());
+  try {
+    token.poll();
+    FAIL() << "poll() must throw on a preempt request";
+  } catch (const SolveInterrupted& interrupted) {
+    EXPECT_EQ(interrupted.reason(), InterruptReason::kPreempted);
+  }
+  EXPECT_THROW(token.poll_now(), SolveInterrupted);
+  // Unlike cancel, preemption is clearable: the scheduler reruns the job
+  // on the same token.
+  token.clear_preempt();
+  EXPECT_FALSE(token.preempt_requested());
+  EXPECT_NO_THROW(token.poll());
+  // Cancel outranks preempt when both are set.
+  token.request_preempt();
+  token.request_cancel();
+  try {
+    token.poll();
+    FAIL() << "poll() must throw";
+  } catch (const SolveInterrupted& interrupted) {
+    EXPECT_EQ(interrupted.reason(), InterruptReason::kCancelled);
+  }
+}
+
+TEST(CancelToken, TripFiresAtTheExactPoll) {
+  CancelToken token;
+  token.trip_after_polls(3);
+  EXPECT_NO_THROW(token.poll());  // 3 left
+  EXPECT_NO_THROW(token.poll());  // 2
+  EXPECT_NO_THROW(token.poll());  // 1
+  EXPECT_THROW(token.poll(), SolveInterrupted);
+  // The trip latches the cancel flag, so every later poll throws too.
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_THROW(token.poll(), SolveInterrupted);
+}
+
 }  // namespace
 }  // namespace chainckpt::core

@@ -1,0 +1,339 @@
+// Interrupt/resume battery for core::SolveCheckpoint: interrupt the
+// multi-level DPs at every cooperative checkpoint (a fabricated
+// CancelToken tripping at poll k, for all k), resume on the retained
+// checkpoint, and require the final plan, objective, and scan counters to
+// be bit-identical to an uninterrupted solve -- while re-executing only
+// the slabs the interrupted run did not finish (the paper's bounded
+// re-execution claim, applied to the solver itself).
+#include "core/solve_checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstddef>
+
+#include "../../bench/bench_common.hpp"
+#include "chain/patterns.hpp"
+#include "core/batch_solver.hpp"
+#include "core/cancellation.hpp"
+#include "core/optimizer.hpp"
+#include "platform/registry.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+OptimizationResult solve_plain(Algorithm algorithm,
+                               const chain::TaskChain& chain,
+                               const platform::CostModel& costs,
+                               ScanMode mode) {
+  DpContext ctx(chain, costs, DpContext::kDefaultMaxN,
+                algorithm == Algorithm::kADMV);
+  ctx.set_scan_mode(mode);
+  return optimize(algorithm, ctx, TableLayout::kRowMajor);
+}
+
+void expect_same_scan(const ScanStats& a, const ScanStats& b) {
+  EXPECT_EQ(a.dense_cells, b.dense_cells);
+  EXPECT_EQ(a.cells_scanned, b.cells_scanned);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.guard_checks, b.guard_checks);
+  EXPECT_EQ(a.guard_fallbacks, b.guard_fallbacks);
+  EXPECT_EQ(a.gated_rows, b.gated_rows);
+  EXPECT_EQ(a.order_fallback_rows, b.order_fallback_rows);
+  EXPECT_EQ(a.windowed_rows, b.windowed_rows);
+}
+
+/// Interrupts one solve at poll k, resumes it on the same checkpoint, and
+/// checks the resumed result against `baseline`.  Returns false when the
+/// run at k completed without interrupting (k is past the solve's last
+/// poll -- the sweep's termination signal).
+bool interrupt_and_resume(Algorithm algorithm, const chain::TaskChain& chain,
+                          const platform::CostModel& costs, ScanMode mode,
+                          std::int64_t k,
+                          const OptimizationResult& baseline) {
+  const std::size_t n = chain.size();
+  SolveCheckpoint ckpt;
+  bool interrupted = false;
+  {
+    DpContext ctx(chain, costs, DpContext::kDefaultMaxN,
+                  algorithm == Algorithm::kADMV);
+    ctx.set_scan_mode(mode);
+    CancelToken token;
+    token.trip_after_polls(k);
+    ctx.set_cancel_token(&token);
+    ctx.set_checkpoint(&ckpt);
+    try {
+      const OptimizationResult result =
+          optimize(algorithm, ctx, TableLayout::kRowMajor);
+      // Completed in one go; the checkpoint must not have perturbed it.
+      EXPECT_EQ(result.expected_makespan, baseline.expected_makespan);
+      EXPECT_EQ(result.plan, baseline.plan);
+    } catch (const SolveInterrupted&) {
+      interrupted = true;
+    }
+  }
+  if (!interrupted) return false;
+
+  // A trip at the entry poll fires before the driver initializes the
+  // checkpoint; the rerun then starts fresh rather than resuming.
+  const bool initialized = ckpt.slabs_total() > 0;
+  const std::size_t done_at_interrupt = ckpt.slabs_completed();
+  DpContext ctx(chain, costs, DpContext::kDefaultMaxN,
+                algorithm == Algorithm::kADMV);
+  ctx.set_scan_mode(mode);
+  ctx.set_checkpoint(&ckpt);
+  const OptimizationResult resumed =
+      optimize(algorithm, ctx, TableLayout::kRowMajor);
+
+  EXPECT_EQ(resumed.expected_makespan, baseline.expected_makespan)
+      << "k=" << k;
+  EXPECT_EQ(resumed.plan, baseline.plan) << "k=" << k;
+  expect_same_scan(resumed.scan, baseline.scan);
+  // Bounded re-execution: the resume skipped exactly the committed slabs
+  // and ran only the unfinished ones.
+  EXPECT_EQ(ckpt.last_run_resumed(), initialized);
+  EXPECT_EQ(ckpt.last_run_slabs_skipped(), done_at_interrupt) << "k=" << k;
+  EXPECT_EQ(ckpt.last_run_slabs_executed(), n - done_at_interrupt)
+      << "k=" << k;
+  EXPECT_EQ(ckpt.slabs_completed(), n);
+  return true;
+}
+
+/// Sweeps the trip point over the whole solve in `stride` steps.  Serial
+/// execution (set_parallelism(1)) makes poll k a deterministic (d1, j)
+/// slab-frontier boundary, so the sweep hits every boundary when
+/// stride == 1.
+void sweep_interrupts(Algorithm algorithm, const chain::TaskChain& chain,
+                      const platform::CostModel& costs, ScanMode mode,
+                      std::int64_t stride) {
+  const OptimizationResult baseline =
+      solve_plain(algorithm, chain, costs, mode);
+  std::size_t interrupted_runs = 0;
+  for (std::int64_t k = 0;; k += stride) {
+    if (!interrupt_and_resume(algorithm, chain, costs, mode, k, baseline)) {
+      break;
+    }
+    ++interrupted_runs;
+    if (::testing::Test::HasFailure()) return;
+  }
+  // The sweep must actually have exercised interruption, including at
+  // least one mid-DP point (k = 0 interrupts at the entry poll).
+  EXPECT_GE(interrupted_runs, 2u);
+}
+
+class SerialGuard {
+ public:
+  SerialGuard() { util::set_parallelism(1); }
+  ~SerialGuard() { util::set_parallelism(0); }
+};
+
+TEST(SolveCheckpoint, AdmvStarEveryBoundaryBitIdentical) {
+  const SerialGuard serial;
+  const platform::CostModel costs{platform::hera()};
+  sweep_interrupts(Algorithm::kADMVstar, chain::make_uniform(32, 25000.0),
+                   costs, ScanMode::kDense, 1);
+}
+
+TEST(SolveCheckpoint, AdmvStarPrunedModeCountersSurviveResume) {
+  const SerialGuard serial;
+  const platform::CostModel costs{platform::hera()};
+  sweep_interrupts(Algorithm::kADMVstar, chain::make_decrease(32, 25000.0),
+                   costs, ScanMode::kMonotonePruned, 3);
+}
+
+TEST(SolveCheckpoint, AdmvEveryBoundaryBitIdentical) {
+  const SerialGuard serial;
+  const platform::CostModel costs{platform::atlas()};
+  // ADMV at n = 32 is O(n^6) per resume, so the tier-1 sweep strides the
+  // boundaries; the slow battery below walks them densely at n = 100.
+  sweep_interrupts(Algorithm::kADMV, chain::make_highlow(32, 25000.0),
+                   costs, ScanMode::kDense, 17);
+}
+
+TEST(SolveCheckpoint, ParallelInterruptsResumeBitIdentical) {
+  // Same property with the worker pool live: the trip lands on an
+  // arbitrary worker mid-slab-wave, which is exactly the service's
+  // preemption shape.
+  const platform::CostModel costs{platform::hera()};
+  const auto chain = chain::make_uniform(48, 25000.0);
+  const OptimizationResult baseline =
+      solve_plain(Algorithm::kADMVstar, chain, costs, ScanMode::kDense);
+  for (std::int64_t k : {1, 97, 400, 900}) {
+    interrupt_and_resume(Algorithm::kADMVstar, chain, costs,
+                         ScanMode::kDense, k, baseline);
+  }
+}
+
+TEST(SolveCheckpoint, RandomPlatformPropertySweep) {
+  const SerialGuard serial;
+  util::Xoshiro256 rng(bench::kBenchSeed);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 32;
+    const platform::Platform p = bench::random_platform(rng);
+    const platform::CostModel costs =
+        bench::random_per_position_costs(p, n, rng);
+    const auto chain = chain::make_uniform(n, 20000.0 + 500.0 * trial);
+    const Algorithm algorithm =
+        trial % 2 == 0 ? Algorithm::kADMVstar : Algorithm::kADMV;
+    const ScanMode mode =
+        trial % 3 == 0 ? ScanMode::kMonotonePruned : ScanMode::kDense;
+    const OptimizationResult baseline =
+        solve_plain(algorithm, chain, costs, mode);
+    // Three interrupt points spread over the n(n+1)/2 slab steps.
+    const std::int64_t total =
+        static_cast<std::int64_t>(n * (n + 1) / 2);
+    for (const std::int64_t k : {total / 5, total / 2, (4 * total) / 5}) {
+      interrupt_and_resume(algorithm, chain, costs, mode, k, baseline);
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+TEST(SolveCheckpoint, RandomPlatformN100) {
+  const SerialGuard serial;
+  util::Xoshiro256 rng(bench::kBenchSeed ^ 0x100);
+  const std::size_t n = 100;
+  const platform::Platform p = bench::random_platform(rng);
+  const platform::CostModel costs{p};
+  const auto chain = chain::make_uniform(n, 25000.0);
+  const OptimizationResult baseline =
+      solve_plain(Algorithm::kADMVstar, chain, costs, ScanMode::kDense);
+  const std::int64_t total = static_cast<std::int64_t>(n * (n + 1) / 2);
+  for (const std::int64_t k :
+       {std::int64_t{1}, total / 3, (2 * total) / 3}) {
+    interrupt_and_resume(Algorithm::kADMVstar, chain, costs,
+                         ScanMode::kDense, k, baseline);
+  }
+}
+
+// ADMV at n = 100 is seconds per full solve; the dense boundary walk only
+// runs with the deep batteries (CHAINCKPT_SLOW_TESTS=1, ctest label
+// `slow`/`stress` lanes of CI).
+TEST(SolveCheckpoint, SlowAdmvN100RandomPlatform) {
+  if (std::getenv("CHAINCKPT_SLOW_TESTS") == nullptr) {
+    GTEST_SKIP() << "ADMV n=100 interrupt battery; set "
+                    "CHAINCKPT_SLOW_TESTS=1";
+  }
+  const SerialGuard serial;
+  util::Xoshiro256 rng(bench::kBenchSeed ^ 0x64);
+  const std::size_t n = 100;
+  const platform::Platform p = bench::random_platform(rng);
+  const platform::CostModel costs =
+      bench::random_per_position_costs(p, n, rng);
+  const auto chain = chain::make_uniform(n, 25000.0);
+  const OptimizationResult baseline =
+      solve_plain(Algorithm::kADMV, chain, costs, ScanMode::kDense);
+  const std::int64_t total = static_cast<std::int64_t>(n * (n + 1) / 2);
+  for (const std::int64_t k : {std::int64_t{1}, total / 4, total / 2,
+                               (3 * total) / 4, total - 1}) {
+    interrupt_and_resume(Algorithm::kADMV, chain, costs, ScanMode::kDense,
+                         k, baseline);
+  }
+}
+
+TEST(SolveCheckpoint, ShapeMismatchResetsInsteadOfCorrupting) {
+  const SerialGuard serial;
+  const platform::CostModel costs{platform::hera()};
+  const auto chain32 = chain::make_uniform(32, 25000.0);
+  SolveCheckpoint ckpt;
+  {
+    DpContext ctx(chain32, costs, DpContext::kDefaultMaxN, false);
+    CancelToken token;
+    token.trip_after_polls(200);
+    ctx.set_cancel_token(&token);
+    ctx.set_checkpoint(&ckpt);
+    EXPECT_THROW(optimize(Algorithm::kADMVstar, ctx, TableLayout::kRowMajor),
+                 SolveInterrupted);
+  }
+  ASSERT_TRUE(ckpt.has_progress());
+  // A different chain length must discard the stored progress, not
+  // resume into mismatched tables.
+  const auto chain20 = chain::make_uniform(20, 25000.0);
+  DpContext ctx(chain20, costs, DpContext::kDefaultMaxN, false);
+  ctx.set_checkpoint(&ckpt);
+  const OptimizationResult result =
+      optimize(Algorithm::kADMVstar, ctx, TableLayout::kRowMajor);
+  EXPECT_FALSE(ckpt.last_run_resumed());
+  EXPECT_EQ(ckpt.last_run_slabs_skipped(), 0u);
+  const OptimizationResult fresh =
+      solve_plain(Algorithm::kADMVstar, chain20, costs, ScanMode::kDense);
+  EXPECT_EQ(result.expected_makespan, fresh.expected_makespan);
+  EXPECT_EQ(result.plan, fresh.plan);
+}
+
+TEST(SolveCheckpoint, BatchSolverRetainsAndResumesInterruptedJob) {
+  const SerialGuard serial;  // deterministic slab progress at the trip
+  const std::size_t n = 80;
+  const BatchJob job{Algorithm::kADMVstar, chain::make_uniform(n, 25000.0),
+                     platform::CostModel{platform::hera()}};
+  BatchSolver fresh_solver;
+  const OptimizationResult expected = fresh_solver.solve_job(job);
+
+  BatchSolver solver;
+  CancelToken token;
+  // Deep into the n(n+1)/2 steps, so slabs have certainly committed.
+  token.trip_after_polls(static_cast<std::int64_t>(n * (n + 1) / 2) * 3 / 4);
+  EXPECT_THROW(solver.solve_job(job, &token), SolveInterrupted);
+  BatchStats stats = solver.stats_snapshot();
+  EXPECT_EQ(stats.jobs_interrupted, 1u);
+  EXPECT_EQ(stats.checkpoints_saved, 1u);
+  EXPECT_GT(solver.checkpoint_resident_bytes(), 0u);
+
+  // Resubmission of the identical workload resumes and matches bitwise.
+  const OptimizationResult resumed = solver.solve_job(job);
+  EXPECT_EQ(resumed.expected_makespan, expected.expected_makespan);
+  EXPECT_EQ(resumed.plan, expected.plan);
+  stats = solver.stats_snapshot();
+  EXPECT_EQ(stats.checkpoints_resumed, 1u);
+  EXPECT_GT(stats.checkpoint_slabs_skipped, 0u);
+  // Consumed on success: nothing left to resume (or meter).
+  EXPECT_EQ(solver.checkpoint_resident_bytes(), 0u);
+
+  // A third, identical solve starts from scratch and still matches.
+  const OptimizationResult again = solver.solve_job(job);
+  EXPECT_EQ(again.expected_makespan, expected.expected_makespan);
+  stats = solver.stats_snapshot();
+  EXPECT_EQ(stats.checkpoints_resumed, 1u);
+}
+
+TEST(SolveCheckpoint, CheckpointBudgetDropsOldestFirst) {
+  const SerialGuard serial;
+  BatchOptions options;
+  options.checkpoint_budget_bytes = 1;  // nothing survives the budget
+  BatchSolver solver(options);
+  const BatchJob job{Algorithm::kADMVstar, chain::make_uniform(48, 25000.0),
+                     platform::CostModel{platform::hera()}};
+  CancelToken token;
+  token.trip_after_polls(800);
+  EXPECT_THROW(solver.solve_job(job, &token), SolveInterrupted);
+  const BatchStats stats = solver.stats_snapshot();
+  EXPECT_EQ(stats.checkpoints_saved, 1u);
+  EXPECT_EQ(stats.checkpoints_dropped, 1u);
+  EXPECT_EQ(solver.checkpoint_resident_bytes(), 0u);
+}
+
+TEST(SolveCheckpoint, DisabledCheckpointsKeepNothing) {
+  const SerialGuard serial;
+  BatchOptions options;
+  options.keep_checkpoints = false;
+  BatchSolver solver(options);
+  const BatchJob job{Algorithm::kADMVstar, chain::make_uniform(48, 25000.0),
+                     platform::CostModel{platform::hera()}};
+  CancelToken token;
+  token.trip_after_polls(800);
+  EXPECT_THROW(solver.solve_job(job, &token), SolveInterrupted);
+  const BatchStats stats = solver.stats_snapshot();
+  EXPECT_EQ(stats.checkpoints_saved, 0u);
+  EXPECT_EQ(solver.checkpoint_resident_bytes(), 0u);
+  // The retry simply restarts -- and is still exact.
+  const OptimizationResult result = solver.solve_job(job);
+  BatchSolver fresh;
+  const OptimizationResult expected = fresh.solve_job(job);
+  EXPECT_EQ(result.expected_makespan, expected.expected_makespan);
+  EXPECT_EQ(result.plan, expected.plan);
+}
+
+}  // namespace
+}  // namespace chainckpt::core

@@ -1,0 +1,424 @@
+// Multi-threaded stress/chaos battery for the deadline-aware priority
+// scheduler: hundreds of mixed-priority jobs with randomized deadlines
+// and mid-flight cancellations, at worker-pool widths {1, 4, hardware}.
+// The invariants:
+//
+//   (a) no priority inversion past the preemption bound -- with an
+//       unlimited admission budget the dispatcher is exact: no job may
+//       START while a strictly higher-class job sits queued, so the
+//       soak asserts ZERO inversions from the (submit_seq, start_seq)
+//       event trace (budget-induced inversions are exercised separately
+//       without the ordering assertion, since first-fit deliberately
+//       lets a small low-class job run when the big high-class one does
+//       not fit);
+//   (b) every completed result is bitwise-equal to a synchronous
+//       BatchSolver solve of the same workload, preempted-and-resumed
+//       jobs included;
+//   (c) the terminal counters reconcile exactly with the observed
+//       outcomes, the load gauges return to zero, and the ASan+UBSan CI
+//       job holds the zero-leak bar over the whole battery.
+//
+// Minutes of chaos, not milliseconds, so the battery is env-gated like
+// the slow oracle suites and carries the `stress` ctest label:
+//
+//   CHAINCKPT_STRESS_TESTS=1 ctest --test-dir build -L stress
+#include "service/solver_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "chain/patterns.hpp"
+#include "core/batch_solver.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::service {
+namespace {
+
+using std::chrono::milliseconds;
+
+#define CHAINCKPT_REQUIRE_STRESS()                                        \
+  if (std::getenv("CHAINCKPT_STRESS_TESTS") == nullptr) {                 \
+    GTEST_SKIP() << "scheduler soak battery; set CHAINCKPT_STRESS_TESTS=1 " \
+                    "(ctest label: stress)";                              \
+  }
+
+/// The workload alphabet: every algorithm class, sizes small enough that
+/// hundreds of jobs finish in CI time but large enough that solves span
+/// many cancellation checkpoints.
+std::vector<core::BatchJob> make_shapes() {
+  const platform::CostModel hera{platform::hera()};
+  const platform::CostModel atlas{platform::atlas()};
+  std::vector<core::BatchJob> shapes;
+  shapes.push_back({core::Algorithm::kAD, chain::make_uniform(120, 25000.0),
+                    hera});
+  shapes.push_back({core::Algorithm::kADVstar,
+                    chain::make_uniform(90, 25000.0), hera});
+  shapes.push_back({core::Algorithm::kADVstar,
+                    chain::make_decrease(150, 25000.0), atlas});
+  shapes.push_back({core::Algorithm::kADMVstar,
+                    chain::make_uniform(40, 25000.0), hera});
+  shapes.push_back({core::Algorithm::kADMVstar,
+                    chain::make_highlow(64, 25000.0), atlas});
+  shapes.push_back({core::Algorithm::kADMV, chain::make_uniform(24, 25000.0),
+                    hera});
+  shapes.push_back({core::Algorithm::kADMV, chain::make_highlow(30, 25000.0),
+                    atlas});
+  shapes.push_back({core::Algorithm::kPeriodic,
+                    chain::make_uniform(60, 25000.0), hera});
+  shapes.push_back({core::Algorithm::kDaly, chain::make_uniform(60, 25000.0),
+                    atlas});
+  return shapes;
+}
+
+std::vector<core::OptimizationResult> solve_expected(
+    const std::vector<core::BatchJob>& shapes) {
+  core::BatchSolver solver;
+  std::vector<core::OptimizationResult> expected;
+  expected.reserve(shapes.size());
+  for (const auto& shape : shapes) expected.push_back(solver.solve_job(shape));
+  return expected;
+}
+
+struct SubmittedJob {
+  JobHandle handle;
+  std::size_t shape = 0;
+};
+
+/// One soak: `jobs` mixed-priority submissions from four submitter
+/// threads racing a canceller, on a pool of `workers`.
+void run_soak(std::size_t workers, std::size_t jobs) {
+  const auto shapes = make_shapes();
+  const auto expected = solve_expected(shapes);
+
+  ServiceOptions options;
+  options.workers = workers;
+  // Unlimited budget: every queued job always fits, which makes the
+  // priority dispatcher exact and invariant (a) assertable as zero
+  // inversions.
+  options.admission.budget_units = 0.0;
+  options.solver.cache_budget_bytes = 8u << 20;  // eviction chaos rides along
+  SolverService service(options);
+
+  std::mutex submitted_mutex;
+  std::vector<SubmittedJob> submitted;
+  submitted.reserve(jobs);
+  std::atomic<bool> done_submitting{false};
+
+  const std::size_t submitters = 4;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < submitters; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(0x57E55ull * (t + 1));
+      const std::size_t count = jobs / submitters;
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t shape = rng() % shapes.size();
+        SubmitOptions opts;
+        opts.priority = static_cast<Priority>(rng() % 4);
+        const std::uint64_t roll = rng() % 10;
+        if (roll < 2) {
+          opts.deadline = milliseconds(1 + rng() % 20);  // tight: may expire
+        } else if (roll < 4) {
+          opts.deadline = milliseconds(5000 + rng() % 5000);  // generous
+        }
+        JobHandle handle = service.submit({shapes[shape], opts});
+        {
+          const std::lock_guard<std::mutex> lock(submitted_mutex);
+          submitted.push_back({std::move(handle), shape});
+        }
+        // Pace the stream so submissions overlap the drain: higher-class
+        // deadline jobs must land while lower-class work is mid-solve,
+        // or the preemption path would never be exercised.
+        if (rng() % 2 == 0) std::this_thread::sleep_for(milliseconds(1));
+      }
+    });
+  }
+  // The canceller: aims at random in-flight handles until the service
+  // drains, hitting queued, running, and already-terminal jobs alike.
+  threads.emplace_back([&] {
+    util::Xoshiro256 rng(0xCA11ull);
+    for (;;) {
+      const bool submitting = !done_submitting.load(std::memory_order_relaxed);
+      JobHandle target;
+      {
+        const std::lock_guard<std::mutex> lock(submitted_mutex);
+        if (!submitted.empty()) {
+          target = submitted[rng() % submitted.size()].handle;
+        }
+      }
+      if (target.valid() && rng() % 4 == 0) service.cancel(target);
+      if (!submitting) {
+        const ServiceStats snapshot = service.stats();
+        if (snapshot.queued == 0 && snapshot.running == 0) break;
+      }
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+  });
+  for (std::size_t t = 0; t < submitters; ++t) threads[t].join();
+  done_submitting.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  // Every job must reach exactly one terminal state -- no hangs, no
+  // limbo.  wait() blocks, so the soak itself is the liveness assert.
+  std::vector<JobStatus> outcomes;
+  outcomes.reserve(submitted.size());
+  for (const auto& job : submitted) outcomes.push_back(service.wait(job.handle));
+  service.drain();
+
+  // (b) bitwise equality for every success, resumed-after-preemption
+  // jobs included.
+  std::uint64_t succeeded = 0, cancelled = 0, expired = 0, rejected = 0;
+  std::uint64_t preemptions_seen = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const JobStatus& status = outcomes[i];
+    const core::OptimizationResult& want = expected[submitted[i].shape];
+    switch (status.state) {
+      case JobState::kSucceeded:
+        ++succeeded;
+        EXPECT_EQ(status.result.expected_makespan, want.expected_makespan)
+            << "job " << status.id;
+        EXPECT_EQ(status.result.plan, want.plan) << "job " << status.id;
+        break;
+      case JobState::kCancelled:
+        ++cancelled;
+        break;
+      case JobState::kExpired:
+        ++expired;
+        break;
+      case JobState::kRejected:
+        ++rejected;
+        EXPECT_NE(status.reject_reason, RejectReason::kNone);
+        break;
+      default:
+        ADD_FAILURE() << "non-terminal state after wait(): "
+                      << to_string(status.state);
+    }
+    // Every start ends in exactly one of: a preemption (another start
+    // follows) or the terminal transition.  A job cancelled/expired while
+    // requeued after a preemption therefore shows starts == preemptions.
+    EXPECT_GE(status.starts, status.preemptions) << "job " << status.id;
+    EXPECT_LE(status.starts, status.preemptions + 1) << "job " << status.id;
+    preemptions_seen += status.preemptions;
+  }
+
+  // (a) zero priority inversions: no job may have STARTED while a
+  // strictly higher-class job sat queued.  start_seq/submit_seq share
+  // one event clock, so "L started inside H's queued window" is exactly
+  // H.submit_seq < L.start_seq < H.start_seq.  A preempted-and-rerun
+  // high job is excluded: its start_seq is the RESTART, so lower jobs
+  // that legally started during its first run would read as inversions.
+  std::uint64_t inversions = 0;
+  for (const auto& high : outcomes) {
+    if (high.start_seq == 0) continue;  // never dispatched (cancelled etc.)
+    if (high.preemptions > 0) continue;  // start_seq is a restart stamp
+    for (const auto& low : outcomes) {
+      if (low.start_seq == 0 || low.priority >= high.priority) continue;
+      if (high.submit_seq < low.start_seq && low.start_seq < high.start_seq) {
+        ++inversions;
+      }
+    }
+  }
+  EXPECT_EQ(inversions, 0u);
+
+  // (c) counters reconcile with the observed outcomes, gauges at zero.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, submitted.size());
+  EXPECT_EQ(stats.succeeded, succeeded);
+  EXPECT_EQ(stats.cancelled, cancelled);
+  EXPECT_EQ(stats.expired, expired);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.preempted, preemptions_seen);
+  EXPECT_EQ(stats.submitted,
+            stats.succeeded + stats.cancelled + stats.expired +
+                stats.rejected + stats.failed);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.inflight_units, 0.0);
+  EXPECT_EQ(stats.queued_units, 0.0);
+  // Interruption bookkeeping: every retained checkpoint was either
+  // resumed or is still parked; resumes never exceed saves.
+  EXPECT_LE(stats.solver.checkpoints_resumed, stats.solver.checkpoints_saved);
+
+  // One summary line per soak so the CI log shows the chaos actually
+  // exercised every path (preemptions, resumes, expiries, rejections).
+  std::cout << "[soak] workers=" << workers << " jobs=" << submitted.size()
+            << " ok=" << succeeded << " cancelled=" << cancelled
+            << " expired=" << expired << " rejected=" << rejected
+            << " preempted=" << stats.preempted
+            << " interrupted=" << stats.solver.jobs_interrupted
+            << " ckpt_saved=" << stats.solver.checkpoints_saved
+            << " ckpt_resumed=" << stats.solver.checkpoints_resumed
+            << " slabs_skipped=" << stats.solver.checkpoint_slabs_skipped
+            << std::endl;
+
+  service.shutdown();
+  EXPECT_GE(service.release_scratch(), 0u);
+}
+
+TEST(SchedulerStress, SoakSingleWorker) {
+  CHAINCKPT_REQUIRE_STRESS();
+  run_soak(1, 160);
+}
+
+TEST(SchedulerStress, SoakFourWorkers) {
+  CHAINCKPT_REQUIRE_STRESS();
+  run_soak(4, 240);
+}
+
+TEST(SchedulerStress, SoakHardwareWorkers) {
+  CHAINCKPT_REQUIRE_STRESS();
+  run_soak(0, 240);  // 0 = hardware_parallelism
+}
+
+/// Targeted preemption storm: the random soak rarely preempts (the
+/// priority dispatcher keeps the highest class running, which is the
+/// point), so this scenario manufactures the inversion-risk moment --
+/// every worker pinned by batch-class ADMV solves, then urgent jobs with
+/// deadlines tight enough that waiting out a batch solve would miss
+/// them.  Asserts the preemption fired AND that every displaced batch
+/// job still finishes with a bitwise-exact result.
+void run_preemption_storm(std::size_t workers) {
+  if (static_cast<std::size_t>(util::hardware_parallelism()) < workers) {
+    GTEST_SKIP() << "pool would run narrower than " << workers
+                 << " workers on this machine";
+  }
+  const platform::CostModel costs{platform::hera()};
+  // Long enough (tens of ms) that all `workers` batch solves are
+  // observably co-resident and the urgent wave lands mid-solve.
+  const core::BatchJob batch_work{core::Algorithm::kADMV,
+                                  chain::make_uniform(40, 25000.0), costs};
+  const core::BatchJob urgent_work{core::Algorithm::kADVstar,
+                                   chain::make_uniform(150, 25000.0), costs};
+  core::BatchSolver reference;
+  const auto batch_expected = reference.solve_job(batch_work);
+  const auto urgent_expected = reference.solve_job(urgent_work);
+
+  ServiceOptions options;
+  options.workers = workers;
+  SolverService service(options);
+  // Calibrate both classes so the at-risk math runs on real estimates.
+  ASSERT_EQ(service.wait(service.submit({batch_work})).state,
+            JobState::kSucceeded);
+  ASSERT_EQ(service.wait(service.submit({urgent_work})).state,
+            JobState::kSucceeded);
+
+  // Pin every worker with batch-class work (plus a queued reserve so a
+  // finishing worker immediately picks up batch again).
+  std::vector<JobHandle> batch_handles;
+  for (std::size_t i = 0; i < 3 * workers; ++i) {
+    batch_handles.push_back(
+        service.submit({batch_work, {Priority::kBatch}}));
+  }
+  for (int i = 0; i < 2000 && service.stats().running < workers; ++i) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().running, workers);
+
+  // Urgent jobs whose deadline roughly equals their own estimate: too
+  // tight to also absorb a batch solve's remaining time, so the policy
+  // must displace batch work.  (Some may still expire -- the assert is
+  // on the preemptions and on every job reaching a sane terminal state.)
+  const double estimate =
+      service.estimate(core::Algorithm::kADVstar, 150).seconds;
+  ASSERT_GE(estimate, 0.0);
+  const auto deadline = milliseconds(
+      std::max<std::int64_t>(
+          5, static_cast<std::int64_t>(estimate * 3000.0)));
+  std::vector<JobHandle> urgent_handles;
+  for (std::size_t i = 0; i < 2 * workers; ++i) {
+    urgent_handles.push_back(service.submit(
+        {urgent_work, {Priority::kUrgent, deadline}}));
+  }
+
+  for (const auto& handle : urgent_handles) {
+    const JobStatus status = service.wait(handle);
+    ASSERT_TRUE(status.state == JobState::kSucceeded ||
+                status.state == JobState::kExpired)
+        << to_string(status.state);
+    if (status.state == JobState::kSucceeded) {
+      EXPECT_EQ(status.result.expected_makespan,
+                urgent_expected.expected_makespan);
+      EXPECT_EQ(status.result.plan, urgent_expected.plan);
+    }
+  }
+  std::uint64_t victim_preemptions = 0;
+  for (const auto& handle : batch_handles) {
+    const JobStatus status = service.wait(handle);
+    ASSERT_EQ(status.state, JobState::kSucceeded);
+    EXPECT_EQ(status.result.expected_makespan,
+              batch_expected.expected_makespan);
+    EXPECT_EQ(status.result.plan, batch_expected.plan);
+    victim_preemptions += status.preemptions;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.preempted, 1u);
+  EXPECT_EQ(stats.preempted, victim_preemptions);
+  std::cout << "[storm] workers=" << workers
+            << " preempted=" << stats.preempted
+            << " ckpt_saved=" << stats.solver.checkpoints_saved
+            << " ckpt_resumed=" << stats.solver.checkpoints_resumed
+            << std::endl;
+}
+
+TEST(SchedulerStress, PreemptionStormSingleWorker) {
+  CHAINCKPT_REQUIRE_STRESS();
+  run_preemption_storm(1);
+}
+
+TEST(SchedulerStress, PreemptionStormFourWorkers) {
+  CHAINCKPT_REQUIRE_STRESS();
+  run_preemption_storm(4);
+}
+
+TEST(SchedulerStress, BudgetedChaosDrainsEverything) {
+  CHAINCKPT_REQUIRE_STRESS();
+  // A tight priced budget plus mixed priorities: inversions are now
+  // legitimate (first-fit may start a small low-class job when the big
+  // high-class one does not fit), so this scenario asserts only
+  // completion, bitwise results, and counter reconciliation.
+  const auto shapes = make_shapes();
+  const auto expected = solve_expected(shapes);
+  ServiceOptions options;
+  options.workers = 4;
+  options.admission.budget_units =
+      price_units(core::Algorithm::kADMVstar, 64) * 1.5;
+  SolverService service(options);
+  util::Xoshiro256 rng(0xB7D6ull);
+  std::vector<SubmittedJob> submitted;
+  for (std::size_t i = 0; i < 120; ++i) {
+    const std::size_t shape = rng() % shapes.size();
+    SubmitOptions opts;
+    opts.priority = static_cast<Priority>(rng() % 4);
+    if (rng() % 3 == 0) opts.deadline = milliseconds(4000 + rng() % 4000);
+    submitted.push_back({service.submit({shapes[shape], opts}), shape});
+  }
+  std::uint64_t succeeded = 0;
+  for (const auto& job : submitted) {
+    const JobStatus status = service.wait(job.handle);
+    ASSERT_TRUE(is_terminal(status.state));
+    if (status.state == JobState::kSucceeded) {
+      ++succeeded;
+      const core::OptimizationResult& want = expected[job.shape];
+      EXPECT_EQ(status.result.expected_makespan, want.expected_makespan);
+      EXPECT_EQ(status.result.plan, want.plan);
+    }
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.succeeded, succeeded);
+  EXPECT_GT(succeeded, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.inflight_units, 0.0);
+}
+
+}  // namespace
+}  // namespace chainckpt::service

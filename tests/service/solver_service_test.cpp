@@ -14,6 +14,7 @@
 #include "core/batch_solver.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/registry.hpp"
+#include "util/parallel.hpp"
 
 namespace chainckpt::service {
 namespace {
@@ -316,6 +317,149 @@ TEST(SolverService, CalibrationWarmsEstimatesAndScratchReleases) {
   service.drain();
   EXPECT_GT(service.resident_bytes(), 0u);
   EXPECT_GT(service.release_scratch(), 0u);
+}
+
+TEST(SolverService, PriorityOrderingDispatchesHigherClassFirst) {
+  ServiceOptions options;
+  options.workers = 1;
+  SolverService service(options);
+  const platform::CostModel costs{platform::hera()};
+  // Pin the single worker, then queue a batch job before an urgent one;
+  // dispatch rank (class first, FIFO within class) must start the urgent
+  // job first, observable through the service-wide event order.
+  const JobHandle blocker = service.submit(
+      {{core::Algorithm::kADMVstar, chain::make_uniform(250, 25000.0),
+        costs}});
+  const JobHandle batch = service.submit(
+      {{core::Algorithm::kADVstar, chain::make_uniform(60, 25000.0), costs},
+       {Priority::kBatch}});
+  const JobHandle urgent = service.submit(
+      {{core::Algorithm::kADVstar, chain::make_uniform(50, 25000.0), costs},
+       {Priority::kUrgent}});
+  EXPECT_EQ(service.wait(blocker).state, JobState::kSucceeded);
+  const JobStatus batch_status = service.wait(batch);
+  const JobStatus urgent_status = service.wait(urgent);
+  EXPECT_EQ(batch_status.state, JobState::kSucceeded);
+  EXPECT_EQ(urgent_status.state, JobState::kSucceeded);
+  EXPECT_LT(urgent_status.submit_seq, urgent_status.start_seq);
+  // Submitted later, dispatched earlier.
+  EXPECT_GT(urgent_status.submit_seq, batch_status.submit_seq);
+  EXPECT_LT(urgent_status.start_seq, batch_status.start_seq);
+}
+
+TEST(SolverService, PreemptionLetsUrgentDeadlineJumpAndVictimResumes) {
+  const platform::CostModel costs{platform::hera()};
+  const core::BatchJob victim_work{core::Algorithm::kADMVstar,
+                                   chain::make_uniform(250, 25000.0), costs};
+  // Time an identical serial solve first: the service worker runs the
+  // victim serially inside the pool, so this measures the victim's
+  // in-service runtime on THIS build (Release or sanitized).  Sleeping a
+  // quarter of it below lands the preemption mid-solve -- late enough
+  // that slabs have committed, early enough that the victim is still
+  // running.
+  core::BatchSolver reference;
+  util::set_parallelism(1);
+  const auto reference_start = std::chrono::steady_clock::now();
+  const auto expected = reference.solve_job(victim_work);
+  const auto serial_duration =
+      std::chrono::steady_clock::now() - reference_start;
+  util::set_parallelism(0);
+
+  ServiceOptions options;
+  options.workers = 1;
+  SolverService service(options);
+  const JobHandle victim = service.submit(
+      {victim_work, {Priority::kBatch}});
+  for (int i = 0; i < 2000 && service.poll(victim).state == JobState::kQueued;
+       ++i) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_EQ(service.poll(victim).state, JobState::kRunning);
+  std::this_thread::sleep_for(serial_duration / 4);
+  // The urgent class is uncalibrated, so its deadline counts as at-risk
+  // and the dispatcher displaces the running batch job.
+  const JobHandle urgent = service.submit(
+      {{core::Algorithm::kADVstar, chain::make_uniform(50, 25000.0), costs},
+       {Priority::kUrgent, std::chrono::seconds(60)}});
+  const JobStatus urgent_status = service.wait(urgent);
+  EXPECT_EQ(urgent_status.state, JobState::kSucceeded);
+  const JobStatus victim_status = service.wait(victim);
+  ASSERT_EQ(victim_status.state, JobState::kSucceeded);
+  EXPECT_GE(victim_status.preemptions, 1u);
+  EXPECT_EQ(victim_status.starts, victim_status.preemptions + 1);
+  // The urgent job ran while the preempted batch job was set aside.
+  EXPECT_LT(urgent_status.start_seq, victim_status.start_seq);
+
+  // The displaced solve resumed its checkpoint rather than restarting,
+  // and the result is bit-identical to an undisturbed solve.
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.preempted, 1u);
+  EXPECT_GE(stats.solver.checkpoints_saved, 1u);
+  EXPECT_GE(stats.solver.checkpoints_resumed, 1u);
+  EXPECT_GT(stats.solver.checkpoint_slabs_skipped, 0u);
+  EXPECT_EQ(victim_status.result.expected_makespan,
+            expected.expected_makespan);
+  EXPECT_EQ(victim_status.result.plan, expected.plan);
+}
+
+TEST(SolverService, DeadlineInfeasibleSubmissionRejectedOnceCalibrated) {
+  SolverService service;
+  const platform::CostModel costs{platform::hera()};
+  // Calibrate the ADMV* class with one completed job.
+  const JobHandle calibrate = service.submit(
+      {{core::Algorithm::kADMVstar, chain::make_uniform(120, 25000.0),
+        costs}});
+  ASSERT_EQ(service.wait(calibrate).state, JobState::kSucceeded);
+  ASSERT_GE(service.estimate(core::Algorithm::kADMVstar, 250).seconds, 0.0);
+  // A bigger job with a microscopic deadline is now provably infeasible.
+  const JobHandle doomed = service.submit(
+      {{core::Algorithm::kADMVstar, chain::make_uniform(250, 25000.0),
+        costs},
+       milliseconds(1)});
+  const JobStatus status = service.poll(doomed);
+  EXPECT_EQ(status.state, JobState::kRejected);
+  EXPECT_EQ(status.reject_reason, RejectReason::kDeadlineInfeasible);
+  // A negative deadline (expired before the submission landed) is
+  // rejected even for an uncalibrated class.
+  const JobHandle stale = service.submit(
+      {{core::Algorithm::kADVstar, chain::make_uniform(50, 25000.0), costs},
+       milliseconds(-5)});
+  EXPECT_EQ(service.poll(stale).reject_reason,
+            RejectReason::kDeadlineInfeasible);
+  EXPECT_EQ(service.stats().rejected, 2u);
+}
+
+TEST(SolverService, RejectReasonsSurfaceOnHandles) {
+  ServiceOptions options;
+  options.admission.max_job_units = price_units(core::Algorithm::kADMV, 40);
+  SolverService service(options);
+  const platform::CostModel costs{platform::hera()};
+  EXPECT_EQ(service
+                .poll(service.submit({{core::Algorithm::kADMV,
+                                       chain::make_uniform(120, 25000.0),
+                                       costs}}))
+                .reject_reason,
+            RejectReason::kPerJobCap);
+  EXPECT_EQ(service
+                .poll(service.submit(
+                    {{core::Algorithm::kADVstar, chain::TaskChain{}, costs}}))
+                .reject_reason,
+            RejectReason::kEmptyChain);
+  EXPECT_EQ(service
+                .poll(service.submit(
+                    {{core::Algorithm::kADVstar,
+                      chain::make_uniform(core::DpContext::kDefaultMaxN + 1,
+                                          25000.0),
+                      costs}}))
+                .reject_reason,
+            RejectReason::kChainTooLong);
+  service.shutdown();
+  EXPECT_EQ(service
+                .poll(service.submit({{core::Algorithm::kADVstar,
+                                       chain::make_uniform(20, 25000.0),
+                                       costs}}))
+                .reject_reason,
+            RejectReason::kShutdown);
 }
 
 TEST(SolverService, ShutdownCancelsQueuedWorkAndRejectsNewSubmissions) {
