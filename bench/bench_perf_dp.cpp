@@ -14,6 +14,7 @@
 #include "chain/patterns.hpp"
 #include "core/dp_two_level.hpp"
 #include "core/optimizer.hpp"
+#include "core/simd/simd_dispatch.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/registry.hpp"
 #include "util/parallel.hpp"
@@ -135,6 +136,94 @@ void BM_TwoLevelRandomPruned(benchmark::State& state) {
   run_random_platforms(state, core::ScanMode::kMonotonePruned);
 }
 
+// Forced SIMD tiers (core::simd): same inputs and bit-identical outputs
+// as the rows above, timed per kernel tier so the scalar/AVX2/AVX-512
+// speedup columns of PERFORMANCE.md come straight out of BENCH_dp.json.
+// A tier the CPU/build cannot run is clamped by DpContext::set_simd_tier,
+// so its row silently duplicates the best supported tier below it --
+// compare the `simd` counter (0 scalar / 1 avx2 / 2 avx512), which
+// reports the tier that actually ran.
+void run_algorithm_tier(benchmark::State& state, core::Algorithm algorithm,
+                        core::ScanMode mode, core::simd::SimdTier tier) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chain = chain::make_uniform(n, 25000.0);
+  const platform::CostModel costs(platform::hera());
+  core::DpContext probe(chain, costs, core::DpContext::kDefaultMaxN,
+                        /*build_row_tables=*/false);
+  probe.set_simd_tier(tier);
+  const core::simd::SimdTier ran = probe.simd_tier();
+  for (auto _ : state) {
+    core::DpContext ctx(chain, costs, core::DpContext::kDefaultMaxN,
+                        /*build_row_tables=*/false);
+    ctx.set_scan_mode(mode);
+    ctx.set_simd_tier(tier);
+    const auto result = core::optimize(algorithm, ctx);
+    benchmark::DoNotOptimize(result.expected_makespan);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["simd"] = static_cast<double>(ran);
+}
+
+void BM_TwoLevelScalar(benchmark::State& state) {
+  run_algorithm_tier(state, core::Algorithm::kADMVstar,
+                     core::ScanMode::kDense, core::simd::SimdTier::kScalar);
+}
+void BM_TwoLevelAvx2(benchmark::State& state) {
+  run_algorithm_tier(state, core::Algorithm::kADMVstar,
+                     core::ScanMode::kDense, core::simd::SimdTier::kAvx2);
+}
+void BM_TwoLevelAvx512(benchmark::State& state) {
+  run_algorithm_tier(state, core::Algorithm::kADMVstar,
+                     core::ScanMode::kDense, core::simd::SimdTier::kAvx512);
+}
+void BM_SingleLevelScalar(benchmark::State& state) {
+  run_algorithm_tier(state, core::Algorithm::kADVstar,
+                     core::ScanMode::kDense, core::simd::SimdTier::kScalar);
+}
+void BM_SingleLevelAvx2(benchmark::State& state) {
+  run_algorithm_tier(state, core::Algorithm::kADVstar,
+                     core::ScanMode::kDense, core::simd::SimdTier::kAvx2);
+}
+void BM_SingleLevelAvx512(benchmark::State& state) {
+  run_algorithm_tier(state, core::Algorithm::kADVstar,
+                     core::ScanMode::kDense, core::simd::SimdTier::kAvx512);
+}
+void BM_TwoLevelPrunedScalar(benchmark::State& state) {
+  run_algorithm_tier(state, core::Algorithm::kADMVstar,
+                     core::ScanMode::kMonotonePruned,
+                     core::simd::SimdTier::kScalar);
+}
+void BM_TwoLevelPrunedAvx512(benchmark::State& state) {
+  run_algorithm_tier(state, core::Algorithm::kADMVstar,
+                     core::ScanMode::kMonotonePruned,
+                     core::simd::SimdTier::kAvx512);
+}
+
+// Intra-slab parallelism: the same two-level solve with big slabs split
+// across the worker pool (threshold 64) vs the classic one-slab-per-worker
+// schedule (threshold 0 disables splitting).
+void run_two_level_split(benchmark::State& state, std::size_t threshold) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chain = chain::make_uniform(n, 25000.0);
+  const platform::CostModel costs(platform::hera());
+  for (auto _ : state) {
+    core::DpContext ctx(chain, costs, core::DpContext::kDefaultMaxN,
+                        /*build_row_tables=*/false);
+    ctx.set_intra_slab_threshold(threshold);
+    const auto result = core::optimize(core::Algorithm::kADMVstar, ctx);
+    benchmark::DoNotOptimize(result.expected_makespan);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["threshold"] = static_cast<double>(threshold);
+}
+
+void BM_TwoLevelNoSplit(benchmark::State& state) {
+  run_two_level_split(state, 0);
+}
+void BM_TwoLevelSplit(benchmark::State& state) {
+  run_two_level_split(state, 64);
+}
+
 }  // namespace
 
 BENCHMARK(BM_SingleLevel)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
@@ -155,5 +244,25 @@ BENCHMARK(BM_PartialPruned)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoLevelRandomDense)->Arg(100)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoLevelRandomPruned)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelScalar)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelAvx2)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelAvx512)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleLevelScalar)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleLevelAvx2)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleLevelAvx512)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelPrunedScalar)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelPrunedAvx512)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelNoSplit)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoLevelSplit)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -245,10 +245,15 @@ OptimizationResult optimize_with_partial(const DpContext& ctx,
   // ADMV windows only its E_mem m1 chain: measured on the partial
   // segment costs, the v1 argmin stays pinned to m1 (nothing to prune)
   // and the fused inner solver's codegen is sensitive to the v1-scan
-  // call structure (see LevelScanProfile).
+  // call structure (see LevelScanProfile).  K is pinned to ScalarKernels
+  // for the same reason: each of its "candidates" is a full O(len^2)
+  // inner DP, not a stream element, so there is nothing for the vector
+  // argmin tiers to vectorize -- and re-instantiating the engine around
+  // the fused solver for each tier would only risk its codegen.
   ScanStats scan_stats;
-  detail::run_level_dp(ctx, tables, scan, &scan_stats,
-                       detail::LevelScanProfile::kMemChainOnly);
+  detail::run_level_dp<simd::ScalarKernels>(
+      ctx, tables, scan, &scan_stats,
+      detail::LevelScanProfile::kMemChainOnly);
 
   // Partial positions of a winning segment are re-derived from the (now
   // final) E_verif / E_mem tables: same inputs, same deterministic inner

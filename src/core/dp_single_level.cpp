@@ -5,11 +5,10 @@
 #include <limits>
 #include <vector>
 
-#include <mutex>
-
 #include "analysis/segment_math.hpp"
 #include "core/cancellation.hpp"
 #include "core/monotone_scanner.hpp"
+#include "core/simd/argmin_kernels.hpp"
 #include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
@@ -106,11 +105,12 @@ std::size_t stream_block_rows(std::size_t n) {
 /// kWindowed prunes the v1 scans through the gate-and-guard window of
 /// core::MonotoneScanner; it requires a scanner + certificate and
 /// allow_extra_verifications (the AD single-cell scans gain nothing).
-/// The mode is a compile-time parameter so the dense instantiation keeps
-/// the original branch-free loop body (see run_level_dp_impl for the
-/// rationale).  Plan extraction re-streams rows with the same mode, so
-/// the recovered argmins match the folded values bit for bit either way.
-template <bool kWindowed>
+/// The mode -- and the SIMD kernel facade K -- are compile-time
+/// parameters so the scalar dense instantiation keeps the original
+/// branch-free loop body (see run_level_dp_impl for the rationale).
+/// Plan extraction re-streams rows with the same mode and tier, so the
+/// recovered argmins match the folded values bit for bit either way.
+template <bool kWindowed, typename K>
 void stream_everif_row(const DpContext& ctx, std::size_t d1,
                        std::size_t limit, bool allow_extra_verifications,
                        double* row, std::int32_t* args,
@@ -129,15 +129,7 @@ void stream_everif_row(const DpContext& ctx, std::size_t d1,
     const double* d = seg.d_col(j);
     const auto kernel = [&](std::size_t lo, std::size_t hi, double& best,
                             std::int32_t& best_arg) {
-      for (std::size_t v1 = lo; v1 < hi; ++v1) {
-        const double ev = row[v1];
-        const double candidate =
-            ev + (exvg[v1] + b[v1] * k1 + c[v1] * ev + d[v1] * k2);
-        if (candidate < best) {
-          best = candidate;
-          best_arg = static_cast<std::int32_t>(v1);
-        }
-      }
+      K::affine(row, exvg, b, c, d, k1, k2, lo, hi, best, best_arg);
     };
     double best = std::numeric_limits<double>::infinity();
     std::int32_t best_arg = -1;
@@ -152,14 +144,15 @@ void stream_everif_row(const DpContext& ctx, std::size_t d1,
   }
 }
 
-}  // namespace
-
-OptimizationResult optimize_single_level(const DpContext& ctx,
-                                         SingleLevelOptions options) {
+/// The solve body, instantiated per SIMD kernel tier K (dispatch happens
+/// once in optimize_single_level; K = ScalarKernels is the historic
+/// code path, the vector tiers are bitwise identical by contract).
+template <typename K>
+OptimizationResult optimize_single_level_impl(const DpContext& ctx,
+                                              SingleLevelOptions options) {
   const std::size_t n = ctx.n();
   const auto& cm = ctx.costs();
   const CancelToken* cancel = ctx.cancel_token();
-  if (cancel != nullptr) cancel->poll_now();
   const std::size_t stride = n + 1;
   const std::size_t block = stream_block_rows(n);
   const bool pruned = ctx.scan_mode() == ScanMode::kMonotonePruned &&
@@ -167,7 +160,15 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
   const analysis::QiCertificate* cert =
       pruned ? &ctx.seg_tables().verify_quadrangle() : nullptr;
   ScanStats scan_stats;
-  std::mutex stats_mutex;
+  // Per-worker scan accumulators, folded after each block region --
+  // replaces the old per-row mutex (same rationale as run_level_dp_impl).
+  struct alignas(64) WorkerStats {
+    ScanStats scan;
+  };
+  std::vector<WorkerStats> worker_stats(
+      pruned
+          ? static_cast<std::size_t>(std::max(1, util::hardware_parallelism()))
+          : 0);
   SingleLevelScratch& s = single_level_scratch();
   s.ensure(n, block);
   std::fill(s.run_best.begin(), s.run_best.begin() + stride,
@@ -185,17 +186,19 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
       poll_cancellation(cancel);
       if (pruned) {
         MonotoneScanner scanner(n);
-        stream_everif_row<true>(ctx, d1, n,
-                                options.allow_extra_verifications,
-                                rows + (d1 - b0) * stride, nullptr,
-                                &scanner, cert);
-        const std::lock_guard<std::mutex> lock(stats_mutex);
-        scan_stats += scanner.stats();
+        stream_everif_row<true, K>(ctx, d1, n,
+                                   options.allow_extra_verifications,
+                                   rows + (d1 - b0) * stride, nullptr,
+                                   &scanner, cert);
+        const std::size_t slot =
+            std::min(static_cast<std::size_t>(util::worker_index()),
+                     worker_stats.size() - 1);
+        worker_stats[slot].scan += scanner.stats();
       } else {
-        stream_everif_row<false>(ctx, d1, n,
-                                 options.allow_extra_verifications,
-                                 rows + (d1 - b0) * stride, nullptr,
-                                 nullptr, nullptr);
+        stream_everif_row<false, K>(ctx, d1, n,
+                                    options.allow_extra_verifications,
+                                    rows + (d1 - b0) * stride, nullptr,
+                                    nullptr, nullptr);
       }
     });
     // Fold the block into the running E_disk minima.  E_disk(d1) excludes
@@ -209,15 +212,11 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
       }
       const double base = s.edisk[d1];
       const double* row = rows + (d1 - b0) * stride;
-      for (std::size_t d2 = d1 + 1; d2 <= n; ++d2) {
-        const double candidate = base + row[d2];
-        if (candidate < s.run_best[d2]) {
-          s.run_best[d2] = candidate;
-          s.best_d1[d2] = static_cast<std::int32_t>(d1);
-        }
-      }
+      K::fold(row, base, static_cast<std::int32_t>(d1), s.run_best.data(),
+              s.best_d1.data(), d1 + 1, n + 1);
     }
   }
+  for (const WorkerStats& ws : worker_stats) scan_stats += ws.scan;
   CHAINCKPT_ASSERT(s.best_d1[n] >= 0, "broken E_disk argmin");
   s.edisk[n] = s.run_best[n] + cm.c_mem_after(n) + cm.c_disk_after(n);
   const double expected_makespan = s.edisk[n];
@@ -237,14 +236,14 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
       // Same mode as the fold, so the re-streamed values and argmins are
       // the ones the running minima consumed.
       MonotoneScanner scanner(n);
-      stream_everif_row<true>(ctx, d1, d2,
-                              options.allow_extra_verifications, row, args,
-                              &scanner, cert);
+      stream_everif_row<true, K>(ctx, d1, d2,
+                                 options.allow_extra_verifications, row,
+                                 args, &scanner, cert);
       scan_stats += scanner.stats();
     } else {
-      stream_everif_row<false>(ctx, d1, d2,
-                               options.allow_extra_verifications, row, args,
-                               nullptr, nullptr);
+      stream_everif_row<false, K>(ctx, d1, d2,
+                                  options.allow_extra_verifications, row,
+                                  args, nullptr, nullptr);
     }
     std::size_t v2 = d2;
     while (v2 > d1) {
@@ -257,6 +256,21 @@ OptimizationResult optimize_single_level(const DpContext& ctx,
   }
   plan.validate();
   return OptimizationResult{std::move(plan), expected_makespan, scan_stats};
+}
+
+}  // namespace
+
+OptimizationResult optimize_single_level(const DpContext& ctx,
+                                         SingleLevelOptions options) {
+  if (const CancelToken* cancel = ctx.cancel_token()) cancel->poll_now();
+  switch (ctx.simd_tier()) {
+    case simd::SimdTier::kAvx512:
+      return optimize_single_level_impl<simd::Avx512Kernels>(ctx, options);
+    case simd::SimdTier::kAvx2:
+      return optimize_single_level_impl<simd::Avx2Kernels>(ctx, options);
+    default:
+      return optimize_single_level_impl<simd::ScalarKernels>(ctx, options);
+  }
 }
 
 OptimizationResult optimize_single_level(const chain::TaskChain& chain,

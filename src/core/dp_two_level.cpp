@@ -16,12 +16,16 @@ OptimizationResult optimize_two_level(const chain::TaskChain& chain,
   return optimize_two_level(ctx, layout);
 }
 
-OptimizationResult optimize_two_level(const DpContext& ctx,
-                                      TableLayout layout) {
-  // Entry checkpoint: a token that fired while the job sat in a queue
-  // aborts before the O(n^3) tables are even allocated.  The per-step
-  // checkpoints live in run_level_dp_impl.
-  if (const CancelToken* token = ctx.cancel_token()) token->poll_now();
+namespace {
+
+/// The solve body, instantiated once per SIMD kernel tier K so the fused
+/// Eq. (4) scan compiles straight onto K::affine with no dispatch inside
+/// the step (see run_level_dp_impl's codegen note).  K = ScalarKernels
+/// reproduces the historic loop token for token; the vector tiers are
+/// bitwise identical to it by the kernel determinism contract.
+template <typename K>
+OptimizationResult optimize_two_level_impl(const DpContext& ctx,
+                                           TableLayout layout) {
   // ADMV* never re-reads E_verif values (plan extraction needs only the
   // argmin tables), so skip the O(n^3) value table entirely.  With a
   // checkpoint attached the tables live inside it so committed slabs
@@ -43,30 +47,19 @@ OptimizationResult optimize_two_level(const DpContext& ctx,
   // segment (v1, j] in context (d1, m1),
   //   E = es*(x + V*) + b*(R_D + E_mem) + c*E_verif + d*R_M
   // where exvg = es*(x + V*) and b/c/d depend only on (v1, j) and are read
-  // at unit stride.
+  // at unit stride -- exactly the argmin_affine kernel shape.
   const auto scan = [&](std::size_t d1, std::size_t m1, std::size_t lo,
                         std::size_t hi, std::size_t j, double emem_at_m1,
                         const double* everif_row, double& best,
                         std::int32_t& best_arg) {
-    const double* exvg = seg.exvg_col(j);
-    const double* b = seg.b_col(j);
-    const double* c = seg.c_col(j);
-    const double* d = seg.d_col(j);
     const double k1 = cm.r_disk_after(d1) + emem_at_m1;
     const double k2 = cm.r_mem_after(m1);
-    for (std::size_t v1 = lo; v1 < hi; ++v1) {
-      const double ev = everif_row[v1];
-      const double candidate =
-          ev + (exvg[v1] + b[v1] * k1 + c[v1] * ev + d[v1] * k2);
-      if (candidate < best) {
-        best = candidate;
-        best_arg = static_cast<std::int32_t>(v1);
-      }
-    }
+    K::affine(everif_row, seg.exvg_col(j), seg.b_col(j), seg.c_col(j),
+              seg.d_col(j), k1, k2, lo, hi, best, best_arg);
   };
 
   ScanStats scan_stats;
-  detail::run_level_dp(ctx, tables, scan, &scan_stats);
+  detail::run_level_dp<K>(ctx, tables, scan, &scan_stats);
 
   const auto no_partials = [](std::size_t, std::size_t, std::size_t,
                               std::size_t) {
@@ -74,6 +67,24 @@ OptimizationResult optimize_two_level(const DpContext& ctx,
   };
   return OptimizationResult{detail::extract_plan(ctx, tables, no_partials),
                             tables.edisk[ctx.n()], scan_stats};
+}
+
+}  // namespace
+
+OptimizationResult optimize_two_level(const DpContext& ctx,
+                                      TableLayout layout) {
+  // Entry checkpoint: a token that fired while the job sat in a queue
+  // aborts before the O(n^3) tables are even allocated.  The per-step
+  // checkpoints live in run_level_dp_impl.
+  if (const CancelToken* token = ctx.cancel_token()) token->poll_now();
+  switch (ctx.simd_tier()) {
+    case simd::SimdTier::kAvx512:
+      return optimize_two_level_impl<simd::Avx512Kernels>(ctx, layout);
+    case simd::SimdTier::kAvx2:
+      return optimize_two_level_impl<simd::Avx2Kernels>(ctx, layout);
+    default:
+      return optimize_two_level_impl<simd::ScalarKernels>(ctx, layout);
+  }
 }
 
 }  // namespace chainckpt::core

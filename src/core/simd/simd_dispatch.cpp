@@ -1,0 +1,127 @@
+#include "core/simd/simd_dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "core/simd/argmin_kernels.hpp"
+#include "util/log.hpp"
+
+namespace chainckpt::core::simd {
+
+const char* tier_name(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kAvx512:
+      return "avx512";
+    case SimdTier::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+bool tier_compiled(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kAvx512:
+      return detail::avx512_kernels_compiled();
+    case SimdTier::kAvx2:
+      return detail::avx2_kernels_compiled();
+    default:
+      return true;
+  }
+}
+
+bool tier_supported(SimdTier tier) noexcept {
+  if (!tier_compiled(tier)) return false;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  switch (tier) {
+    case SimdTier::kAvx512:
+      // The kernels use F (doubles, masks) and VL (256-bit int32 masked
+      // blends in the fold kernel).
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512vl");
+    case SimdTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    default:
+      return true;
+  }
+#else
+  return tier == SimdTier::kScalar;
+#endif
+}
+
+SimdTier detected_tier() noexcept {
+  if (tier_supported(SimdTier::kAvx512)) return SimdTier::kAvx512;
+  if (tier_supported(SimdTier::kAvx2)) return SimdTier::kAvx2;
+  return SimdTier::kScalar;
+}
+
+bool parse_tier(const char* text, SimdTier& out) noexcept {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "auto") == 0) {
+    out = detected_tier();
+    return true;
+  }
+  if (std::strcmp(text, "avx512") == 0) {
+    out = SimdTier::kAvx512;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    out = SimdTier::kAvx2;
+    return true;
+  }
+  if (std::strcmp(text, "scalar") == 0) {
+    out = SimdTier::kScalar;
+    return true;
+  }
+  return false;
+}
+
+SimdTier clamp_tier(SimdTier requested) noexcept {
+  for (int t = static_cast<int>(requested);
+       t > static_cast<int>(SimdTier::kScalar); --t) {
+    if (tier_supported(static_cast<SimdTier>(t))) {
+      return static_cast<SimdTier>(t);
+    }
+  }
+  return SimdTier::kScalar;
+}
+
+namespace {
+
+/// Resolves detected tier + CHAINCKPT_SIMD once, logging the outcome.
+SimdTier resolve_active_tier() {
+  const SimdTier detected = detected_tier();
+  SimdTier tier = detected;
+  const char* source = "detected";
+  if (const char* env = std::getenv("CHAINCKPT_SIMD")) {
+    SimdTier requested;
+    if (parse_tier(env, requested)) {
+      const SimdTier clamped = clamp_tier(requested);
+      if (clamped != requested) {
+        util::log_warn() << "simd: CHAINCKPT_SIMD=" << env
+                         << " not supported on this CPU/build; clamping to "
+                         << tier_name(clamped);
+      }
+      tier = clamped;
+      source = "CHAINCKPT_SIMD";
+    } else {
+      util::log_warn() << "simd: unrecognized CHAINCKPT_SIMD=\"" << env
+                       << "\" (want auto|avx512|avx2|scalar); using "
+                       << tier_name(detected);
+    }
+  }
+  util::log_info() << "simd: dispatching " << tier_name(tier)
+                   << " argmin kernels (" << source << "; cpu best "
+                   << tier_name(detected) << ")";
+  return tier;
+}
+
+}  // namespace
+
+SimdTier active_tier() noexcept {
+  static const SimdTier tier = resolve_active_tier();
+  return tier;
+}
+
+}  // namespace chainckpt::core::simd

@@ -34,6 +34,14 @@ bool in_parallel_region() noexcept {
 #endif
 }
 
+int worker_index() noexcept {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
   detail::parallel_for_impl(begin, end, body);

@@ -36,6 +36,13 @@ void set_parallelism(int threads) noexcept;
 /// an item of an outer loop (e.g. one chain of a BatchSolver batch).
 bool in_parallel_region() noexcept;
 
+/// Index of the calling worker inside the current parallel_for region, in
+/// [0, hardware_parallelism()); 0 outside any region.  Lets loop bodies
+/// accumulate into per-worker slots without a mutex -- callers must still
+/// clamp against their slot count, since a forced set_parallelism() can
+/// shrink hardware_parallelism() between sizing and use.
+int worker_index() noexcept;
+
 namespace detail {
 
 /// Shared loop skeleton for both overloads.  Exceptions thrown by the body

@@ -1,0 +1,261 @@
+// Intra-slab parallelism + sub-slab checkpoint battery.  The split
+// driver (detail::run_split_slab) chunks a big slab's m1 rows across the
+// worker pool and freezes row-range granules into the SolveCheckpoint
+// every few j-steps; this suite pins its two contracts:
+//
+//   1. Splitting is invisible: for any worker count and threshold the
+//      objective, plan, and scan counters are bitwise identical to the
+//      classic one-slab-per-worker schedule.
+//   2. Granules bound re-execution: interrupting a split slab at any
+//      cooperative poll and resuming restarts from the last committed
+//      granule (not the slab's beginning) and still reproduces the
+//      uninterrupted solve bit for bit -- including when the resumed run
+//      no longer splits that slab and must ignore the granule.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "../../bench/bench_common.hpp"
+#include "chain/patterns.hpp"
+#include "core/cancellation.hpp"
+#include "core/optimizer.hpp"
+#include "core/solve_checkpoint.hpp"
+#include "platform/registry.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+/// Forces the worker pool to `workers` for the test's scope.
+class ParallelismGuard {
+ public:
+  explicit ParallelismGuard(int workers) { util::set_parallelism(workers); }
+  ~ParallelismGuard() { util::set_parallelism(0); }
+};
+
+void expect_same_scan(const ScanStats& a, const ScanStats& b) {
+  EXPECT_EQ(a.dense_cells, b.dense_cells);
+  EXPECT_EQ(a.cells_scanned, b.cells_scanned);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.guard_checks, b.guard_checks);
+  EXPECT_EQ(a.guard_fallbacks, b.guard_fallbacks);
+  EXPECT_EQ(a.gated_rows, b.gated_rows);
+  EXPECT_EQ(a.order_fallback_rows, b.order_fallback_rows);
+  EXPECT_EQ(a.windowed_rows, b.windowed_rows);
+}
+
+OptimizationResult solve_with_threshold(Algorithm algorithm,
+                                        const chain::TaskChain& chain,
+                                        const platform::CostModel& costs,
+                                        ScanMode mode,
+                                        std::size_t threshold) {
+  DpContext ctx(chain, costs, DpContext::kDefaultMaxN,
+                algorithm == Algorithm::kADMV);
+  ctx.set_scan_mode(mode);
+  ctx.set_intra_slab_threshold(threshold);
+  return optimize(algorithm, ctx, TableLayout::kRowMajor);
+}
+
+void expect_split_invisible(Algorithm algorithm,
+                            const chain::TaskChain& chain,
+                            const platform::CostModel& costs,
+                            ScanMode mode) {
+  // threshold = 0 disables splitting entirely: the classic schedule is
+  // the oracle.
+  const OptimizationResult classic =
+      solve_with_threshold(algorithm, chain, costs, mode, 0);
+  for (const std::size_t threshold : {std::size_t{8}, std::size_t{24}}) {
+    const OptimizationResult split =
+        solve_with_threshold(algorithm, chain, costs, mode, threshold);
+    EXPECT_EQ(classic.expected_makespan, split.expected_makespan)
+        << "threshold=" << threshold;
+    EXPECT_EQ(classic.plan, split.plan) << "threshold=" << threshold;
+    expect_same_scan(classic.scan, split.scan);
+  }
+}
+
+TEST(SubSlab, SplitSolveBitIdenticalToClassic) {
+  const ParallelismGuard workers(4);
+  const platform::CostModel costs{platform::hera()};
+  const auto chain = chain::make_uniform(48, 25000.0);
+  expect_split_invisible(Algorithm::kADMVstar, chain, costs,
+                         ScanMode::kDense);
+  expect_split_invisible(Algorithm::kADMVstar, chain, costs,
+                         ScanMode::kMonotonePruned);
+  expect_split_invisible(Algorithm::kADMV, chain, costs, ScanMode::kDense);
+}
+
+TEST(SubSlab, RandomPlatformSplitInvariance) {
+  const ParallelismGuard workers(4);
+  util::Xoshiro256 rng(bench::kBenchSeed ^ 0x55B);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 40 + 8 * static_cast<std::size_t>(trial);
+    const platform::Platform p = bench::random_platform(rng);
+    const platform::CostModel costs =
+        bench::random_per_position_costs(p, n, rng);
+    const auto chain = chain::make_random(n, 25000.0 * n, rng);
+    const ScanMode mode =
+        trial % 2 == 0 ? ScanMode::kDense : ScanMode::kMonotonePruned;
+    expect_split_invisible(Algorithm::kADMVstar, chain, costs, mode);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(SubSlab, WorkerCountDoesNotPerturbSplitResults) {
+  const platform::CostModel costs{platform::hera()};
+  const auto chain = chain::make_uniform(48, 25000.0);
+  OptimizationResult baseline;
+  bool have_baseline = false;
+  for (const int workers : {1, 2, 3, 8}) {
+    const ParallelismGuard guard(workers);
+    const OptimizationResult result = solve_with_threshold(
+        Algorithm::kADMVstar, chain, costs, ScanMode::kMonotonePruned, 8);
+    if (!have_baseline) {
+      baseline = result;
+      have_baseline = true;
+      continue;
+    }
+    EXPECT_EQ(baseline.expected_makespan, result.expected_makespan)
+        << "workers=" << workers;
+    EXPECT_EQ(baseline.plan, result.plan) << "workers=" << workers;
+    expect_same_scan(baseline.scan, result.scan);
+  }
+}
+
+/// Interrupts a split solve at poll k, resumes on the same checkpoint
+/// (with `resume_threshold` -- possibly disabling the split, so the
+/// stored granule must be ignored gracefully), and checks bitwise
+/// identity.  Returns false when the run completed without tripping.
+bool interrupt_and_resume_split(const chain::TaskChain& chain,
+                                const platform::CostModel& costs,
+                                ScanMode mode, std::int64_t k,
+                                std::size_t resume_threshold,
+                                const OptimizationResult& baseline,
+                                bool* resumed_from_granule = nullptr) {
+  SolveCheckpoint ckpt;
+  bool interrupted = false;
+  {
+    DpContext ctx(chain, costs, DpContext::kDefaultMaxN, false);
+    ctx.set_scan_mode(mode);
+    ctx.set_intra_slab_threshold(8);
+    ctx.set_checkpoint_granule(1);  // a granule after every j-step
+    CancelToken token;
+    token.trip_after_polls(k);
+    ctx.set_cancel_token(&token);
+    ctx.set_checkpoint(&ckpt);
+    try {
+      const OptimizationResult result =
+          optimize(Algorithm::kADMVstar, ctx, TableLayout::kRowMajor);
+      EXPECT_EQ(result.expected_makespan, baseline.expected_makespan);
+      EXPECT_EQ(result.plan, baseline.plan);
+    } catch (const SolveInterrupted&) {
+      interrupted = true;
+    }
+  }
+  if (!interrupted) return false;
+
+  DpContext ctx(chain, costs, DpContext::kDefaultMaxN, false);
+  ctx.set_scan_mode(mode);
+  ctx.set_intra_slab_threshold(resume_threshold);
+  ctx.set_checkpoint_granule(1);
+  ctx.set_checkpoint(&ckpt);
+  const OptimizationResult resumed =
+      optimize(Algorithm::kADMVstar, ctx, TableLayout::kRowMajor);
+  EXPECT_EQ(resumed.expected_makespan, baseline.expected_makespan)
+      << "k=" << k;
+  EXPECT_EQ(resumed.plan, baseline.plan) << "k=" << k;
+  expect_same_scan(resumed.scan, baseline.scan);
+  EXPECT_EQ(ckpt.slabs_completed(), chain.size());
+  if (resumed_from_granule != nullptr) {
+    *resumed_from_granule = ckpt.last_run_resumed_from_granule();
+  }
+  return true;
+}
+
+TEST(SubSlab, InterruptAtEveryGranuleResumesBitIdentical) {
+  const ParallelismGuard workers(2);
+  const platform::CostModel costs{platform::hera()};
+  const auto chain = chain::make_uniform(40, 25000.0);
+  const OptimizationResult baseline = solve_with_threshold(
+      Algorithm::kADMVstar, chain, costs, ScanMode::kDense, 8);
+  // With granule_every = 1 every j-step of a split slab commits, so the
+  // k-sweep lands on every granule boundary of the split slabs (and on
+  // every classic slab boundary after them).
+  std::size_t granule_resumes = 0;
+  for (std::int64_t k = 0;; ++k) {
+    bool from_granule = false;
+    if (!interrupt_and_resume_split(chain, costs, ScanMode::kDense, k, 8,
+                                    baseline, &from_granule)) {
+      break;
+    }
+    if (from_granule) ++granule_resumes;
+    if (::testing::Test::HasFailure()) return;
+  }
+  // The sweep must actually have exercised mid-slab resumption.
+  EXPECT_GT(granule_resumes, 0u);
+}
+
+TEST(SubSlab, PrunedModeGranuleResumePreservesCounters) {
+  const ParallelismGuard workers(2);
+  const platform::CostModel costs{platform::hera()};
+  const auto chain = chain::make_decrease(40, 25000.0);
+  const OptimizationResult baseline = solve_with_threshold(
+      Algorithm::kADMVstar, chain, costs, ScanMode::kMonotonePruned, 8);
+  std::size_t granule_resumes = 0;
+  for (std::int64_t k = 1;; k += 3) {
+    bool from_granule = false;
+    if (!interrupt_and_resume_split(chain, costs, ScanMode::kMonotonePruned,
+                                    k, 8, baseline, &from_granule)) {
+      break;
+    }
+    if (from_granule) ++granule_resumes;
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_GT(granule_resumes, 0u);
+}
+
+TEST(SubSlab, GranuleIgnoredWhenResumeDisablesSplitting) {
+  const ParallelismGuard workers(2);
+  const platform::CostModel costs{platform::hera()};
+  const auto chain = chain::make_uniform(40, 25000.0);
+  const OptimizationResult baseline = solve_with_threshold(
+      Algorithm::kADMVstar, chain, costs, ScanMode::kDense, 0);
+  // Trip deep inside the split prologue so a granule is certainly
+  // stored, then resume with threshold 0: the classic driver never looks
+  // at the granule, recomputes the slab from scratch, and must still be
+  // exact.
+  std::size_t interrupted = 0;
+  for (const std::int64_t k : {std::int64_t{5}, std::int64_t{23},
+                               std::int64_t{61}, std::int64_t{200}}) {
+    if (interrupt_and_resume_split(chain, costs, ScanMode::kDense, k,
+                                   /*resume_threshold=*/0, baseline)) {
+      ++interrupted;
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_GT(interrupted, 0u);
+}
+
+TEST(SubSlab, GranulesActuallyCommitAndMeter) {
+  const ParallelismGuard workers(2);
+  const platform::CostModel costs{platform::hera()};
+  const auto chain = chain::make_uniform(40, 25000.0);
+  SolveCheckpoint ckpt;
+  DpContext ctx(chain, costs, DpContext::kDefaultMaxN, false);
+  ctx.set_intra_slab_threshold(8);
+  ctx.set_checkpoint_granule(1);
+  CancelToken token;
+  token.trip_after_polls(30);  // inside the first split slab
+  ctx.set_cancel_token(&token);
+  ctx.set_checkpoint(&ckpt);
+  EXPECT_THROW(optimize(Algorithm::kADMVstar, ctx, TableLayout::kRowMajor),
+               SolveInterrupted);
+  EXPECT_GT(ckpt.granules_committed(), 0u);
+  // The frozen scratch plane is metered alongside the tables.
+  EXPECT_GT(ckpt.resident_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace chainckpt::core
