@@ -1,12 +1,28 @@
 #include "error/injector.hpp"
 
+#include <cmath>
+
 #include "util/math.hpp"
 
 namespace chainckpt::error {
 
+namespace {
+/// Splits one draw off `rng` to seed an independent generator.  Both
+/// resulting streams are decorrelated (SplitMix64 expansion of a
+/// xoshiro256** output); the split consumes exactly one draw regardless
+/// of any model parameter, so the fault stream's phase never depends on
+/// recall (or anything else).
+util::Xoshiro256 split_stream(util::Xoshiro256& rng) noexcept {
+  return util::Xoshiro256(rng());
+}
+}  // namespace
+
 PoissonInjector::PoissonInjector(double lambda_f, double lambda_s,
                                  util::Xoshiro256 rng) noexcept
-    : lambda_f_(lambda_f), lambda_s_(lambda_s), rng_(rng) {}
+    : lambda_f_(lambda_f),
+      lambda_s_(lambda_s),
+      rng_(rng),
+      recall_rng_(split_stream(rng_)) {}
 
 TaskAttemptOutcome PoissonInjector::attempt(double duration) {
   TaskAttemptOutcome out;
@@ -25,7 +41,41 @@ TaskAttemptOutcome PoissonInjector::attempt(double duration) {
 }
 
 bool PoissonInjector::partial_verification_detects(double recall) {
-  return rng_.bernoulli(recall);
+  return recall_rng_.bernoulli(recall);
+}
+
+WeibullInjector::WeibullInjector(double lambda_f, double shape,
+                                 double lambda_s,
+                                 util::Xoshiro256 rng) noexcept
+    : lambda_f_(lambda_f),
+      shape_(shape),
+      scale_(lambda_f > 0.0
+                 ? 1.0 / (lambda_f * std::tgamma(1.0 + 1.0 / shape))
+                 : 0.0),
+      lambda_s_(lambda_s),
+      rng_(rng),
+      recall_rng_(split_stream(rng_)) {}
+
+TaskAttemptOutcome WeibullInjector::attempt(double duration) {
+  TaskAttemptOutcome out;
+  if (lambda_f_ > 0.0) {
+    // Inverse-CDF sample: T = scale * (-log U)^{1/shape}.  One uniform
+    // draw per attempt, exactly like the exponential path, so swapping
+    // laws never changes the draw count per attempt.
+    const double u = rng_.uniform01_open_low();
+    const double t_fail = scale_ * std::pow(-std::log(u), 1.0 / shape_);
+    if (t_fail < duration) {
+      out.fail_stop_after = t_fail;
+      return out;
+    }
+  }
+  out.silent_corruption =
+      rng_.bernoulli(util::error_probability(lambda_s_, duration));
+  return out;
+}
+
+bool WeibullInjector::partial_verification_detects(double recall) {
+  return recall_rng_.bernoulli(recall);
 }
 
 }  // namespace chainckpt::error

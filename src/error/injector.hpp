@@ -7,7 +7,17 @@
 //
 // An abstract interface allows tests to substitute scripted injectors that
 // force specific error sequences (failure-injection testing of the
-// simulator itself).
+// simulator itself), and lets the scenario matrix (src/scenario/) swap the
+// exponential law of the paper for heavy-tailed alternatives that break
+// the DP's memorylessness assumption on purpose.
+//
+// RNG stream discipline: recall draws (partial_verification_detects) come
+// from a DEDICATED sub-stream, split off the injector's seed stream at
+// construction.  Interleaving recall draws with attempt() draws therefore
+// never perturbs the fault-arrival sequence -- two scenarios differing
+// only in recall see the identical fault variate stream, which is what
+// makes recall sweeps comparable (tests/error/injector_test.cpp pins
+// this).
 #pragma once
 
 #include <optional>
@@ -38,10 +48,12 @@ class Injector {
   virtual bool partial_verification_detects(double recall) = 0;
 };
 
-/// The real stochastic injector: exponential fail-stop arrival, Bernoulli
-/// silent corruption, Bernoulli partial-verification recall.
+/// The paper's stochastic injector: exponential fail-stop arrival,
+/// Bernoulli silent corruption, Bernoulli partial-verification recall.
 class PoissonInjector final : public Injector {
  public:
+  /// Splits `rng` into the fault-arrival stream and the recall sub-stream
+  /// (one draw is consumed for the split, independent of any parameter).
   PoissonInjector(double lambda_f, double lambda_s,
                   util::Xoshiro256 rng) noexcept;
 
@@ -51,7 +63,39 @@ class PoissonInjector final : public Injector {
  private:
   double lambda_f_;
   double lambda_s_;
+  util::Xoshiro256 rng_;         ///< fault arrivals + silent corruption
+  util::Xoshiro256 recall_rng_;  ///< partial-verification recall only
+};
+
+/// Heavy-tailed extension: fail-stop inter-arrival times follow a Weibull
+/// law with the given shape, scaled so the MEAN time between failures
+/// still equals 1/lambda_f (shape == 1 recovers the exponential law;
+/// shape < 1 is heavy-tailed, with failures bursting early).  Each
+/// attempt() renews the clock -- the "restart" semantics of Sodre's
+/// restart-vs-checkpoint analysis -- so for shape < 1 short windows see
+/// MORE failures than the Poisson model with the same mean rate, which is
+/// exactly the regime where the DP's exponential assumption breaks.
+/// Silent errors and recall draws keep the paper's Bernoulli model (with
+/// the same dedicated recall sub-stream as PoissonInjector).
+class WeibullInjector final : public Injector {
+ public:
+  WeibullInjector(double lambda_f, double shape, double lambda_s,
+                  util::Xoshiro256 rng) noexcept;
+
+  TaskAttemptOutcome attempt(double duration) override;
+  bool partial_verification_detects(double recall) override;
+
+  double shape() const noexcept { return shape_; }
+  /// Weibull scale matching mean 1/lambda_f: 1 / (lambda_f * Gamma(1+1/k)).
+  double scale() const noexcept { return scale_; }
+
+ private:
+  double lambda_f_;
+  double shape_;
+  double scale_;
+  double lambda_s_;
   util::Xoshiro256 rng_;
+  util::Xoshiro256 recall_rng_;
 };
 
 }  // namespace chainckpt::error

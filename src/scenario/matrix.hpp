@@ -1,0 +1,60 @@
+// The scenario matrix: a deterministic cross-product of chain shapes,
+// platform grids, failure regimes, and traffic shapes.
+//
+// build_matrix() expands MatrixOptions into the full cell list --
+// the default options produce 200+ cells (test-pinned) covering:
+//   * chain shapes: the paper's three patterns plus Pareto heavy-tailed
+//     weights, correlated ramps, and traced-workflow replays, at two
+//     sizes (the larger size drops ADMV, whose inner DP dominates cell
+//     cost), with a per-position-cost variant riding the uniform shape;
+//   * platforms: a Table I subset plus seeded random perturbations;
+//   * failure regimes: exponential with matched recall in {1.0, 0.8,
+//     0.5}, an exponential recall MISMATCH (modeled 0.95 / actual 0.5),
+//     and Weibull heavy tails (shape 0.7 honest, shape 0.5 + recall
+//     mismatch) -- the last three are divergence-lane regimes where the
+//     DP's assumptions break by construction;
+//   * traffic: a Poisson and a bursty arrival lane through
+//     service::SolverService on a platform/shape subset.
+//
+// Every cell's seed derives from (master_seed, cell name) so inserting
+// or removing an axis value never reshuffles other cells' randomness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace chainckpt::scenario {
+
+struct MatrixOptions {
+  std::uint64_t master_seed = 0x5CE7A210ULL;
+  /// Chain sizes; ADMV rides only on sizes <= admv_max_n.
+  std::vector<std::size_t> sizes = {24, 40};
+  std::size_t admv_max_n = 24;
+  /// Table I platform names included exactly.
+  std::vector<std::string> platforms = {"Hera", "Atlas", "Coastal"};
+  /// Seeded perturbed variants added per base platform.
+  std::size_t perturbed_per_platform = 1;
+  double perturb_magnitude = 0.35;
+  /// Monte-Carlo replicas per (cell, algorithm).
+  std::size_t replicas = 1200;
+  /// Error-rate amplification so Table I rates produce actual rollbacks
+  /// at matrix replica counts (Table I MTBFs are days; the chains are
+  /// hours).
+  double rate_scale = 25.0;
+  /// Include the Poisson/bursty service-traffic cells.
+  bool traffic_cells = true;
+  /// Reduced axes for smoke runs (CI matrix lane on every push).
+  bool smoke = false;
+};
+
+/// Expands the options into the deterministic cell list.  Pure function.
+std::vector<ScenarioSpec> build_matrix(const MatrixOptions& options = {});
+
+/// Per-cell seed derivation (exposed for tests): FNV-1a of the cell name
+/// mixed into the master seed.
+std::uint64_t derive_cell_seed(std::uint64_t master_seed,
+                               const std::string& cell_name);
+
+}  // namespace chainckpt::scenario

@@ -1,0 +1,347 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/optimizer.hpp"
+#include "error/injector.hpp"
+#include "scenario/traffic.hpp"
+#include "service/solver_service.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::scenario {
+
+namespace {
+
+/// One DP-lane configuration.  The first entry is the reference solve
+/// (dense scan, scalar kernels, row-major tables) whose plan feeds the
+/// sim and service lanes; the rest must reproduce it bit for bit.
+struct SolveConfig {
+  core::ScanMode scan;
+  core::simd::SimdTier tier;
+  core::TableLayout layout;
+};
+
+const SolveConfig kConfigs[] = {
+    {core::ScanMode::kDense, core::simd::SimdTier::kScalar,
+     core::TableLayout::kRowMajor},
+    {core::ScanMode::kMonotonePruned, core::simd::SimdTier::kScalar,
+     core::TableLayout::kRowMajor},
+    // kAvx512 clamps to the best tier this CPU/build supports -- on a
+    // scalar-only host these repeat the scalar kernels, keeping the
+    // config COUNT (and hence the report bytes) machine-independent.
+    {core::ScanMode::kDense, core::simd::SimdTier::kAvx512,
+     core::TableLayout::kTiled},
+    {core::ScanMode::kMonotonePruned, core::simd::SimdTier::kAvx512,
+     core::TableLayout::kRowMajor},
+};
+
+std::string double_bits_hex(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+/// Seed for the sim lane's replica streams, decorrelated from the
+/// materialization streams (which use stream(spec.seed, 1..4) -- replica
+/// indices would collide with them).
+std::uint64_t sim_lane_seed(const ScenarioSpec& spec) {
+  static const char kTag[] = "sim-lane";
+  return fnv1a(kTag, sizeof(kTag) - 1, spec.seed);
+}
+
+sim::InjectorFactory make_injector_factory(const ScenarioSpec& spec,
+                                           const MaterializedCell& cell) {
+  const double lambda_f = cell.actual_platform.lambda_f;
+  const double lambda_s = cell.actual_platform.lambda_s;
+  const std::uint64_t seed = sim_lane_seed(spec);
+  if (spec.failure.law == FailureLaw::kWeibull) {
+    const double shape = spec.failure.weibull_shape;
+    return [lambda_f, lambda_s, shape, seed](std::uint64_t replica) {
+      return std::unique_ptr<error::Injector>(new error::WeibullInjector(
+          lambda_f, shape, lambda_s, util::Xoshiro256::stream(seed, replica)));
+    };
+  }
+  return [lambda_f, lambda_s, seed](std::uint64_t replica) {
+    return std::unique_ptr<error::Injector>(new error::PoissonInjector(
+        lambda_f, lambda_s, util::Xoshiro256::stream(seed, replica)));
+  };
+}
+
+/// Reference solves + cross-configuration equivalence for one cell.
+/// Returns the reference OptimizationResults (spec.algorithms order) for
+/// the other lanes.
+std::vector<core::OptimizationResult> run_dp_lane(const ScenarioSpec& spec,
+                                                  const MaterializedCell& cell,
+                                                  CellReport& out) {
+  std::vector<core::OptimizationResult> references;
+  references.reserve(spec.algorithms.size());
+  for (core::Algorithm algorithm : spec.algorithms) {
+    DpLaneResult lane;
+    lane.algorithm = core::to_string(algorithm);
+    lane.configs_identical = true;
+    std::uint64_t reference_digest = 0;
+    for (const SolveConfig& config : kConfigs) {
+      core::DpContext ctx(cell.chain, cell.modeled_costs);
+      ctx.set_scan_mode(config.scan);
+      ctx.set_simd_tier(config.tier);
+      core::OptimizationResult result =
+          core::optimize(algorithm, ctx, config.layout);
+      const std::uint64_t digest =
+          result_digest(result.plan, result.expected_makespan);
+      ++lane.configs;
+      if (lane.configs == 1) {
+        reference_digest = digest;
+        lane.digest = hex64(digest);
+        lane.expected_makespan = result.expected_makespan;
+        lane.makespan_bits = double_bits_hex(result.expected_makespan);
+        lane.plan_compact = result.plan.compact_string();
+        references.push_back(std::move(result));
+      } else if (digest != reference_digest) {
+        lane.configs_identical = false;
+      }
+    }
+    out.dp.push_back(std::move(lane));
+  }
+  return references;
+}
+
+void run_sim_lane(const ScenarioSpec& spec, const MaterializedCell& cell,
+                  const std::vector<core::OptimizationResult>& references,
+                  const RunnerOptions& options, CellReport& out) {
+  const sim::Simulator simulator(cell.chain, cell.actual_costs);
+  const sim::InjectorFactory factory = make_injector_factory(spec, cell);
+  sim::ExperimentOptions eopts;
+  eopts.replicas = spec.replicas;
+  eopts.seed = sim_lane_seed(spec);
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    const sim::ExperimentResult experiment =
+        sim::run_experiment(simulator, references[a].plan, factory, eopts);
+    SimLaneResult lane;
+    lane.algorithm = core::to_string(spec.algorithms[a]);
+    lane.dp_prediction = references[a].expected_makespan;
+    lane.sim_mean = experiment.makespan.mean();
+    lane.sim_stderr = experiment.makespan.stderr_mean();
+    lane.replicas = experiment.replicas;
+    const double gap = lane.sim_mean - lane.dp_prediction;
+    lane.gap_sigmas =
+        lane.sim_stderr > 0.0 ? std::abs(gap) / lane.sim_stderr : 0.0;
+    lane.relative_gap =
+        lane.dp_prediction != 0.0 ? gap / lane.dp_prediction : 0.0;
+    const double interval = options.z_flag * lane.sim_stderr +
+                            options.rel_floor * std::abs(lane.dp_prediction);
+    lane.within_ci = std::abs(gap) <= interval;
+    out.sim.push_back(std::move(lane));
+  }
+}
+
+void run_service_lane(const ScenarioSpec& spec, const MaterializedCell& cell,
+                      const std::vector<core::OptimizationResult>& references,
+                      const RunnerOptions& options, CellReport& out) {
+  const ArrivalTrace trace = make_trace(spec);
+
+  std::vector<std::uint64_t> reference_digests;
+  reference_digests.reserve(references.size());
+  for (const core::OptimizationResult& reference : references) {
+    reference_digests.push_back(
+        result_digest(reference.plan, reference.expected_makespan));
+  }
+
+  service::ServiceOptions sopts;
+  sopts.workers = options.service_workers;
+  sopts.admission.budget_units = 0.0;  // unlimited: inversion-free dispatch
+  sopts.admission.max_job_units = 0.0;
+  sopts.admission.queue_capacity = trace.arrivals.size() + 8;
+
+  ServiceLaneResult lane;
+  lane.jobs = trace.arrivals.size();
+  lane.trace_digest = hex64(trace.digest());
+
+  using Clock = std::chrono::steady_clock;
+  struct Completion {
+    service::JobId id;
+    double latency_ms;
+  };
+  std::vector<Completion> completions;
+  std::mutex completions_mutex;
+  std::vector<Clock::time_point> submit_times(trace.arrivals.size());
+
+  std::vector<service::JobHandle> handles;
+  handles.reserve(trace.arrivals.size());
+  std::uint64_t preempted = 0;
+  {
+    service::SolverService svc(sopts);
+    if (options.include_timing) {
+      svc.on_completion([&](const service::JobStatus& status) {
+        std::lock_guard<std::mutex> lock(completions_mutex);
+        completions.push_back({status.id, 0.0});
+      });
+    }
+    const Clock::time_point start = Clock::now();
+    for (std::size_t i = 0; i < trace.arrivals.size(); ++i) {
+      const Arrival& arrival = trace.arrivals[i];
+      const Clock::time_point due =
+          start + std::chrono::microseconds(arrival.offset_us);
+      std::this_thread::sleep_until(due);
+      service::JobRequest request{
+          core::BatchJob{spec.algorithms[arrival.algorithm_index], cell.chain,
+                         cell.modeled_costs},
+          service::SubmitOptions(
+              arrival.priority,
+              std::chrono::milliseconds(arrival.deadline_ms))};
+      submit_times[i] = Clock::now();
+      handles.push_back(svc.submit(std::move(request)));
+    }
+
+    lane.all_succeeded = true;
+    lane.bitwise_ok = true;
+    std::vector<service::JobStatus> statuses;
+    statuses.reserve(handles.size());
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      service::JobStatus status = svc.wait(handles[i]);
+      if (status.state != service::JobState::kSucceeded) {
+        lane.all_succeeded = false;
+      } else {
+        const std::uint64_t digest = result_digest(
+            status.result.plan, status.result.expected_makespan);
+        if (digest != reference_digests[trace.arrivals[i].algorithm_index]) {
+          lane.bitwise_ok = false;
+        }
+      }
+      statuses.push_back(std::move(status));
+    }
+
+    // Priority inversions, by the stress battery's rule: a higher-class
+    // job queued before a lower-class job started, yet dispatched after
+    // it.  Jobs that never started or were preempted (their start_seq is
+    // the LAST dispatch) are excluded.
+    for (const service::JobStatus& high : statuses) {
+      if (high.start_seq == 0 || high.preemptions > 0) continue;
+      for (const service::JobStatus& low : statuses) {
+        if (low.start_seq == 0 || low.preemptions > 0) continue;
+        if (static_cast<int>(high.priority) <= static_cast<int>(low.priority)) {
+          continue;
+        }
+        if (high.submit_seq < low.start_seq &&
+            low.start_seq < high.start_seq) {
+          ++lane.priority_inversions;
+        }
+      }
+    }
+
+    // Exact counter reconciliation: every arrival must be accounted for
+    // as a success (folded into all_succeeded so the deterministic
+    // report carries it).
+    const service::ServiceStats stats = svc.stats();
+    if (stats.submitted != trace.arrivals.size() ||
+        stats.succeeded != trace.arrivals.size() || stats.rejected != 0) {
+      lane.all_succeeded = false;
+    }
+    preempted = stats.preempted;
+
+    if (options.include_timing) {
+      svc.drain();
+      const double replay_seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      std::vector<double> latencies;
+      {
+        std::lock_guard<std::mutex> lock(completions_mutex);
+        for (Completion& c : completions) {
+          // Job ids are issued in submit order starting at the service's
+          // first id; map back through the handles.
+          for (std::size_t i = 0; i < handles.size(); ++i) {
+            if (handles[i].id() == c.id) {
+              c.latency_ms = std::chrono::duration<double, std::milli>(
+                                 Clock::now() - submit_times[i])
+                                 .count();
+              break;
+            }
+          }
+          latencies.push_back(c.latency_ms);
+        }
+      }
+      std::sort(latencies.begin(), latencies.end());
+      const auto pct = [&latencies](double q) {
+        if (latencies.empty()) return 0.0;
+        const std::size_t idx = static_cast<std::size_t>(
+            q * static_cast<double>(latencies.size() - 1));
+        return latencies[idx];
+      };
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"replay_seconds\": %.3f, \"latency_ms_p50\": %.3f, "
+                    "\"latency_ms_p95\": %.3f, \"preempted\": %llu}",
+                    replay_seconds, pct(0.5), pct(0.95),
+                    static_cast<unsigned long long>(preempted));
+      lane.timing_json = buf;
+    }
+  }
+
+  out.service.push_back(std::move(lane));
+}
+
+}  // namespace
+
+CellReport run_cell(const ScenarioSpec& spec, const RunnerOptions& options) {
+  const MaterializedCell cell = materialize(spec);
+
+  CellReport report;
+  report.name = spec.name;
+  report.seed = spec.seed;
+  report.assumptions_hold = spec.failure.assumptions_hold();
+  report.flagged = !report.assumptions_hold;
+
+  const std::vector<core::OptimizationResult> references =
+      run_dp_lane(spec, cell, report);
+  run_sim_lane(spec, cell, references, options, report);
+  if (spec.traffic.kind != TrafficKind::kNone) {
+    run_service_lane(spec, cell, references, options, report);
+  }
+
+  bool configs_ok = true;
+  for (const DpLaneResult& dp : report.dp) {
+    configs_ok = configs_ok && dp.configs_identical;
+  }
+  for (const SimLaneResult& sim : report.sim) {
+    if (!sim.within_ci) report.diverged = true;
+  }
+  bool service_ok = true;
+  for (const ServiceLaneResult& svc : report.service) {
+    service_ok = service_ok && svc.all_succeeded && svc.bitwise_ok &&
+                 svc.priority_inversions == 0;
+  }
+  report.ok = configs_ok && service_ok &&
+              (report.assumptions_hold ? !report.diverged : true);
+  return report;
+}
+
+ScenarioReport run_matrix(const std::vector<ScenarioSpec>& specs,
+                          const RunnerOptions& options) {
+  ScenarioReport report;
+  report.master_seed = options.master_seed;
+  report.cells.resize(specs.size());
+  const auto body = [&](std::size_t i) {
+    report.cells[i] = run_cell(specs[i], options);
+  };
+  if (options.parallel) {
+    util::parallel_for(0, specs.size(), body);
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) body(i);
+  }
+  report.finalize();
+  return report;
+}
+
+}  // namespace chainckpt::scenario

@@ -1,0 +1,315 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "chain/patterns.hpp"
+#include "platform/registry.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::scenario {
+
+namespace {
+
+/// Fixed sub-stream indices off ScenarioSpec::seed.  Each consumer owns
+/// one index so adding a consumer never shifts another's stream.
+constexpr std::uint64_t kChainStream = 1;
+constexpr std::uint64_t kCostStream = 2;
+constexpr std::uint64_t kPlatformStream = 3;
+
+/// Embedded stage traces: relative per-stage weights of real workflow
+/// classes, tiled cyclically to the requested chain length and rescaled
+/// to the requested total weight.  Shapes, not absolute times, matter --
+/// they exercise the DPs on irregular, positively correlated weights that
+/// none of the paper's three patterns produce.
+struct NamedTrace {
+  const char* name;
+  std::vector<double> stages;
+};
+
+const std::vector<NamedTrace>& traces() {
+  static const std::vector<NamedTrace> kTraces = {
+      // Alignment-heavy genomics pipeline: long align/call stages
+      // separated by cheap bookkeeping.
+      {"genomics", {5200, 800, 9400, 2400, 1200, 6800, 350, 4100}},
+      // Seismic imaging sweep: repeated migrate/stack pairs with a heavy
+      // final inversion.
+      {"seismic", {1800, 1800, 2600, 900, 2600, 900, 3400, 7200}},
+      // Climate ensemble step: balanced dynamics with periodic heavy I/O
+      // analysis stages.
+      {"climate", {1100, 1100, 1100, 1100, 5200, 1100, 1100, 2600}},
+  };
+  return kTraces;
+}
+
+chain::TaskChain scaled_chain(std::vector<double> raw, double total_weight) {
+  double sum = 0.0;
+  for (double w : raw) sum += w;
+  CHAINCKPT_REQUIRE(sum > 0.0, "chain weights must have positive mass");
+  for (double& w : raw) w *= total_weight / sum;
+  return chain::TaskChain(raw);
+}
+
+chain::TaskChain make_pareto(std::size_t n, double total_weight,
+                             double alpha, util::Xoshiro256& rng) {
+  std::vector<double> raw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Inverse-CDF Pareto sample with x_m = 1; heavy right tail for small
+    // alpha.  uniform01_open_low keeps the pow argument positive.
+    raw[i] = std::pow(rng.uniform01_open_low(), -1.0 / alpha);
+  }
+  return scaled_chain(std::move(raw), total_weight);
+}
+
+chain::TaskChain make_ramp(std::size_t n, double total_weight,
+                           double ramp_factor) {
+  std::vector<double> raw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Triangular profile peaking mid-chain: neighbouring tasks have
+    // strongly correlated weights (the anti-i.i.d. case).
+    const double x = n > 1 ? static_cast<double>(i) / (n - 1) : 0.5;
+    const double tri = 1.0 - std::abs(2.0 * x - 1.0);
+    raw[i] = 1.0 + (ramp_factor - 1.0) * tri;
+  }
+  return scaled_chain(std::move(raw), total_weight);
+}
+
+chain::TaskChain make_traced(std::size_t n, double total_weight,
+                             const std::string& trace) {
+  for (const NamedTrace& t : traces()) {
+    if (trace == t.name) {
+      std::vector<double> raw(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        raw[i] = t.stages[i % t.stages.size()];
+      }
+      return scaled_chain(std::move(raw), total_weight);
+    }
+  }
+  throw std::invalid_argument("unknown workflow trace: " + trace);
+}
+
+platform::Platform perturbed(platform::Platform p, double perturb,
+                             util::Xoshiro256& rng) {
+  if (perturb <= 0.0) return p;
+  const auto jitter = [&rng, perturb] {
+    // Multiplicative factor in [1/(1+perturb), 1+perturb], log-symmetric
+    // around 1 so perturbation never drifts the regime on average.
+    const double hi = 1.0 + perturb;
+    return std::exp((2.0 * rng.uniform01() - 1.0) * std::log(hi));
+  };
+  p.lambda_f *= jitter();
+  p.lambda_s *= jitter();
+  p.c_disk *= jitter();
+  p.c_mem *= jitter();
+  p.r_disk *= jitter();
+  p.r_mem *= jitter();
+  p.v_guaranteed *= jitter();
+  p.v_partial *= jitter();
+  p.name += "~";
+  return p;
+}
+
+platform::CostModel build_costs(const platform::Platform& p,
+                                const ChainSpec& chain_spec,
+                                std::uint64_t seed) {
+  if (!chain_spec.per_position_costs) return platform::CostModel(p);
+  util::Xoshiro256 rng = util::Xoshiro256::stream(seed, kCostStream);
+  const std::size_t n = chain_spec.n;
+  std::vector<double> c_disk(n), c_mem(n), v_g(n), v_p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto jitter = [&rng] { return 0.25 + 1.5 * rng.uniform01(); };
+    c_disk[i] = p.c_disk * jitter();
+    c_mem[i] = p.c_mem * jitter();
+    v_g[i] = p.v_guaranteed * jitter();
+    v_p[i] = p.v_partial * jitter();
+  }
+  return platform::CostModel(p, std::move(c_disk), std::move(c_mem),
+                             std::move(v_g), std::move(v_p));
+}
+
+}  // namespace
+
+std::string to_string(ChainShape shape) {
+  switch (shape) {
+    case ChainShape::kUniform:  return "uniform";
+    case ChainShape::kDecrease: return "decrease";
+    case ChainShape::kHighLow:  return "highlow";
+    case ChainShape::kPareto:   return "pareto";
+    case ChainShape::kRamp:     return "ramp";
+    case ChainShape::kTraced:   return "traced";
+  }
+  throw std::invalid_argument("bad ChainShape");
+}
+
+ChainShape chain_shape_from_string(const std::string& name) {
+  if (name == "uniform") return ChainShape::kUniform;
+  if (name == "decrease") return ChainShape::kDecrease;
+  if (name == "highlow") return ChainShape::kHighLow;
+  if (name == "pareto") return ChainShape::kPareto;
+  if (name == "ramp") return ChainShape::kRamp;
+  if (name == "traced") return ChainShape::kTraced;
+  throw std::invalid_argument("unknown chain shape: " + name);
+}
+
+std::vector<std::string> trace_names() {
+  std::vector<std::string> names;
+  for (const NamedTrace& t : traces()) names.emplace_back(t.name);
+  return names;
+}
+
+std::string to_string(FailureLaw law) {
+  switch (law) {
+    case FailureLaw::kExponential: return "exponential";
+    case FailureLaw::kWeibull:     return "weibull";
+  }
+  throw std::invalid_argument("bad FailureLaw");
+}
+
+FailureLaw failure_law_from_string(const std::string& name) {
+  if (name == "exponential") return FailureLaw::kExponential;
+  if (name == "weibull") return FailureLaw::kWeibull;
+  throw std::invalid_argument("unknown failure law: " + name);
+}
+
+std::string to_string(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::kNone:    return "none";
+    case TrafficKind::kPoisson: return "poisson";
+    case TrafficKind::kBursty:  return "bursty";
+  }
+  throw std::invalid_argument("bad TrafficKind");
+}
+
+TrafficKind traffic_kind_from_string(const std::string& name) {
+  if (name == "none") return TrafficKind::kNone;
+  if (name == "poisson") return TrafficKind::kPoisson;
+  if (name == "bursty") return TrafficKind::kBursty;
+  throw std::invalid_argument("unknown traffic kind: " + name);
+}
+
+bool FailureSpec::assumptions_hold() const noexcept {
+  if (law != FailureLaw::kExponential) return false;
+  // actual < 0 mirrors modeled: always honest.  An explicit actual
+  // against an implicit (platform-default) modeled recall is treated as
+  // a mismatch -- conservative: the cell goes to the divergence lane.
+  if (actual_recall < 0.0) return true;
+  return modeled_recall >= 0.0 && actual_recall == modeled_recall;
+}
+
+void ScenarioSpec::validate() const {
+  if (name.empty()) throw std::invalid_argument("spec needs a name");
+  if (chain.n < 2) throw std::invalid_argument("chain.n must be >= 2");
+  if (!(chain.total_weight > 0.0)) {
+    throw std::invalid_argument("chain.total_weight must be positive");
+  }
+  if (chain.shape == ChainShape::kPareto && !(chain.pareto_alpha > 1.0)) {
+    throw std::invalid_argument("pareto_alpha must be > 1");
+  }
+  if (chain.shape == ChainShape::kRamp && !(chain.ramp_factor >= 1.0)) {
+    throw std::invalid_argument("ramp_factor must be >= 1");
+  }
+  if (chain.shape == ChainShape::kTraced) {
+    const auto names = trace_names();
+    if (std::find(names.begin(), names.end(), chain.trace) == names.end()) {
+      throw std::invalid_argument("unknown workflow trace: " + chain.trace);
+    }
+  }
+  platform::by_name(platform.base);  // throws on unknown base
+  if (platform.perturb < 0.0) {
+    throw std::invalid_argument("platform.perturb must be >= 0");
+  }
+  if (failure.law == FailureLaw::kWeibull &&
+      !(failure.weibull_shape > 0.0)) {
+    throw std::invalid_argument("weibull_shape must be positive");
+  }
+  if (!(failure.rate_scale > 0.0)) {
+    throw std::invalid_argument("rate_scale must be positive");
+  }
+  for (double r : {failure.modeled_recall, failure.actual_recall}) {
+    if (r > 1.0) {
+      throw std::invalid_argument(
+          "recall must be in [0,1] (or negative for the platform default)");
+    }
+  }
+  if (algorithms.empty()) {
+    throw std::invalid_argument("spec needs at least one algorithm");
+  }
+  if (replicas < 1) throw std::invalid_argument("replicas must be >= 1");
+  if (traffic.kind != TrafficKind::kNone) {
+    if (traffic.jobs < 1 || !(traffic.rate > 0.0) ||
+        traffic.burst_size < 1) {
+      throw std::invalid_argument("bad traffic parameters");
+    }
+    double mix = 0.0;
+    for (double p : traffic.priority_mix) {
+      if (p < 0.0) throw std::invalid_argument("negative priority mix");
+      mix += p;
+    }
+    if (!(mix > 0.0)) throw std::invalid_argument("empty priority mix");
+  }
+}
+
+MaterializedCell materialize(const ScenarioSpec& spec) {
+  spec.validate();
+
+  // Chain.
+  chain::TaskChain chain;
+  switch (spec.chain.shape) {
+    case ChainShape::kUniform:
+      chain = chain::make_uniform(spec.chain.n, spec.chain.total_weight);
+      break;
+    case ChainShape::kDecrease:
+      chain = chain::make_decrease(spec.chain.n, spec.chain.total_weight);
+      break;
+    case ChainShape::kHighLow:
+      chain = chain::make_highlow(spec.chain.n, spec.chain.total_weight);
+      break;
+    case ChainShape::kPareto: {
+      util::Xoshiro256 rng = util::Xoshiro256::stream(spec.seed, kChainStream);
+      chain = make_pareto(spec.chain.n, spec.chain.total_weight,
+                          spec.chain.pareto_alpha, rng);
+      break;
+    }
+    case ChainShape::kRamp:
+      chain = make_ramp(spec.chain.n, spec.chain.total_weight,
+                        spec.chain.ramp_factor);
+      break;
+    case ChainShape::kTraced:
+      chain = make_traced(spec.chain.n, spec.chain.total_weight,
+                          spec.chain.trace);
+      break;
+  }
+
+  // Platform: base -> seeded perturbation -> rate scaling -> recalls.
+  util::Xoshiro256 prng = util::Xoshiro256::stream(spec.seed, kPlatformStream);
+  platform::Platform base =
+      perturbed(platform::by_name(spec.platform.base), spec.platform.perturb,
+                prng);
+  base.lambda_f *= spec.failure.rate_scale;
+  base.lambda_s *= spec.failure.rate_scale;
+
+  platform::Platform modeled = base;
+  if (spec.failure.modeled_recall >= 0.0) {
+    modeled.recall = spec.failure.modeled_recall;
+  }
+  platform::Platform actual = modeled;
+  if (spec.failure.actual_recall >= 0.0) {
+    actual.recall = spec.failure.actual_recall;
+  }
+  modeled.validate();
+  actual.validate();
+
+  platform::CostModel modeled_costs =
+      build_costs(modeled, spec.chain, spec.seed);
+  // Identical cost vectors (same kCostStream draw), different recall.
+  platform::CostModel actual_costs =
+      build_costs(actual, spec.chain, spec.seed);
+
+  return MaterializedCell{std::move(chain), std::move(modeled),
+                          std::move(actual), std::move(modeled_costs),
+                          std::move(actual_costs)};
+}
+
+}  // namespace chainckpt::scenario

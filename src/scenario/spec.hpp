@@ -1,0 +1,176 @@
+// ScenarioSpec: one cell of the scenario matrix, fully described by data.
+//
+// The paper evaluates on four Table I platforms with perfect
+// verifications and exponential failures; production traffic is none of
+// those things.  A spec names everything one adversarial cell needs --
+// the chain shape, the platform (exact or perturbed), the failure regime
+// (law + recall, modeled vs actual), the service traffic shape -- plus a
+// single seed from which every random choice in the cell is derived.
+// Specs are value types, serializable to JSON (scenario/spec_io.hpp) so
+// golden corpora can be checked in, and materializable into the concrete
+// chain/cost-model objects the solvers, the simulator, and the service
+// consume (materialize() below).
+//
+// Determinism contract: materialization is a pure function of the spec --
+// same spec bytes, same chain weights, same platform parameters, same
+// arrival trace -- independent of thread count, cell order, or process
+// history.  All sub-streams are derived from `seed` via
+// util::Xoshiro256::stream with fixed stream indices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "core/optimizer.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/platform.hpp"
+
+namespace chainckpt::scenario {
+
+/// How the cell's chain distributes weight over its tasks.  The first
+/// three are the paper's patterns (chain::patterns); the rest are the
+/// production-shaped extensions the matrix exists for.
+enum class ChainShape {
+  kUniform,   ///< equal weights (stencils, matrix products)
+  kDecrease,  ///< quadratic decrease (dense LU/QR solvers)
+  kHighLow,   ///< few heavy tasks up front (paper's HighLow)
+  kPareto,    ///< i.i.d. heavy-tailed (Pareto) weights, seeded
+  kRamp,      ///< correlated ramp up then down (bursty pipelines)
+  kTraced,    ///< named real-workflow replay (see trace_names())
+};
+
+std::string to_string(ChainShape shape);
+ChainShape chain_shape_from_string(const std::string& name);
+
+/// Names accepted by ChainShape::kTraced (small embedded stage traces of
+/// real workflow classes: "genomics", "seismic", "climate").
+std::vector<std::string> trace_names();
+
+struct ChainSpec {
+  ChainShape shape = ChainShape::kUniform;
+  std::size_t n = 24;
+  double total_weight = 25000.0;
+  /// Pareto tail index for kPareto (smaller = heavier tail; > 1).
+  double pareto_alpha = 1.5;
+  /// Peak-to-edge weight ratio for kRamp (>= 1).
+  double ramp_factor = 4.0;
+  /// Trace name for kTraced.
+  std::string trace = "genomics";
+  /// Jitter every per-position verification/checkpoint cost by a seeded
+  /// uniform factor in [0.25, 1.75] (the per-position cost extension).
+  bool per_position_costs = false;
+};
+
+struct PlatformSpec {
+  /// Table I base platform name ("Hera", "Atlas", "Coastal", "CoastalSSD").
+  std::string base = "Hera";
+  /// Relative perturbation magnitude: every rate/cost is multiplied by a
+  /// seeded uniform factor in [1/(1+perturb), 1+perturb].  0 = exact.
+  double perturb = 0.0;
+};
+
+/// The failure law driving the Monte-Carlo lane.
+enum class FailureLaw {
+  kExponential,  ///< the paper's Poisson model (the DP's assumption)
+  kWeibull,      ///< heavy-tailed inter-arrivals (breaks memorylessness)
+};
+
+std::string to_string(FailureLaw law);
+FailureLaw failure_law_from_string(const std::string& name);
+
+struct FailureSpec {
+  FailureLaw law = FailureLaw::kExponential;
+  /// Weibull shape for kWeibull; < 1 is heavy-tailed, 1 reduces to the
+  /// exponential law.
+  double weibull_shape = 0.7;
+  /// Multiplies both platform error rates (lambda_f, lambda_s) before
+  /// anything runs -- seen by the DP and the simulator alike.  The
+  /// matrix amplifies the Table I rates so rollbacks actually happen
+  /// within cheap replica counts.
+  double rate_scale = 1.0;
+  /// Partial-verification recall the OPTIMIZER plans with; < 0 keeps the
+  /// platform default (Table I convention: 0.8).
+  double modeled_recall = -1.0;
+  /// Recall the SIMULATED system actually delivers; < 0 mirrors
+  /// modeled_recall.  A mismatch is a deliberate model-assumption break:
+  /// the DP prices detection at one recall while reality pays another.
+  double actual_recall = -1.0;
+
+  /// True when the DP's assumptions hold in this regime: exponential law
+  /// and actual recall == modeled recall.  Cells where this is false are
+  /// DIVERGENCE-LANE cells -- the runner measures the sim-vs-DP gap and
+  /// flags it instead of asserting agreement.
+  bool assumptions_hold() const noexcept;
+};
+
+/// Service-lane traffic shape (arrival process replayed through
+/// service::SolverService).  kNone skips the lane for the cell.
+enum class TrafficKind { kNone, kPoisson, kBursty };
+
+std::string to_string(TrafficKind kind);
+TrafficKind traffic_kind_from_string(const std::string& name);
+
+struct TrafficSpec {
+  TrafficKind kind = TrafficKind::kNone;
+  std::size_t jobs = 48;
+  /// Mean arrival rate in jobs per second of trace time (kPoisson), or
+  /// the burst cadence (kBursty: bursts of `burst_size` every
+  /// 1/rate seconds).
+  double rate = 200.0;
+  std::size_t burst_size = 8;
+  /// Fraction of jobs carrying a deadline (generous by construction in
+  /// the matrix lane; the stress battery tightens them separately).
+  double deadline_fraction = 0.25;
+  /// Fraction of jobs per priority class {batch, normal, interactive,
+  /// urgent}; normalized at materialization.
+  double priority_mix[4] = {0.25, 0.5, 0.15, 0.1};
+};
+
+/// Expected result pin for golden fixtures: one algorithm's plan/objective
+/// digest (scenario/report.hpp defines the digest).
+struct ExpectedDigest {
+  std::string algorithm;       ///< display name, e.g. "ADMV*"
+  std::string digest;          ///< 16-hex-digit FNV-1a over plan+objective
+  std::string makespan_bits;   ///< "0x" + 16 hex digits of the double bits
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::uint64_t seed = 1;
+  ChainSpec chain;
+  PlatformSpec platform;
+  FailureSpec failure;
+  TrafficSpec traffic;
+  /// Algorithms solved (and simulated) in the cell, paper display names.
+  std::vector<core::Algorithm> algorithms = {core::Algorithm::kADVstar,
+                                             core::Algorithm::kADMVstar};
+  /// Monte-Carlo replicas per algorithm in the sim lane.
+  std::size_t replicas = 1500;
+  /// Golden-corpus pins; empty for ordinary matrix cells.
+  std::vector<ExpectedDigest> expected;
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+/// Everything a cell's three lanes consume, materialized from a spec.
+struct MaterializedCell {
+  chain::TaskChain chain;
+  /// Platform after perturbation + rate scaling + modeled recall: what
+  /// the OPTIMIZER and the analytic evaluator see.
+  platform::Platform modeled_platform;
+  /// Same platform with the ACTUAL recall: what the simulator's
+  /// verification draws obey.  Identical to modeled_platform when the
+  /// regime is honest.
+  platform::Platform actual_platform;
+  platform::CostModel modeled_costs;
+  platform::CostModel actual_costs;
+};
+
+/// Pure function of the spec (see the determinism contract above).
+MaterializedCell materialize(const ScenarioSpec& spec);
+
+}  // namespace chainckpt::scenario

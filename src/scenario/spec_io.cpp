@@ -1,0 +1,419 @@
+#include "scenario/spec_io.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace chainckpt::scenario {
+
+namespace {
+
+// ------------------------------------------------------------- JSON value
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+};
+
+// ------------------------------------------------------------ JSON parser
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t len = 0;
+    while (lit[len] != '\0') ++len;
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        if (consume_literal("true")) {
+          v.boolean = true;
+        } else if (consume_literal("false")) {
+          v.boolean = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    v.object = std::make_shared<JsonObject>();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = string();
+      expect(':');
+      (*v.object)[std::move(key)] = value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    v.array = std::make_shared<JsonArray>();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array->push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':  out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/':  out += '/'; break;
+          case 'n':  out += '\n'; break;
+          case 't':  out += '\t'; break;
+          case 'r':  out += '\r'; break;
+          default:   fail("unsupported escape sequence");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.' || c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------- field accessors
+const JsonValue* find(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+double get_number(const JsonObject& obj, const std::string& key,
+                  double fallback) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::kNumber) {
+    throw std::invalid_argument("field '" + key + "' must be a number");
+  }
+  return v->number;
+}
+
+std::string get_string(const JsonObject& obj, const std::string& key,
+                       const std::string& fallback) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::kString) {
+    throw std::invalid_argument("field '" + key + "' must be a string");
+  }
+  return v->string;
+}
+
+bool get_bool(const JsonObject& obj, const std::string& key, bool fallback) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::kBool) {
+    throw std::invalid_argument("field '" + key + "' must be a boolean");
+  }
+  return v->boolean;
+}
+
+const JsonObject& get_object(const JsonValue& v, const std::string& what) {
+  if (v.kind != JsonValue::Kind::kObject || !v.object) {
+    throw std::invalid_argument(what + " must be a JSON object");
+  }
+  return *v.object;
+}
+
+// ---------------------------------------------------------------- writer
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string spec_to_json(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"name\": \"" << escape(spec.name) << "\",\n";
+  os << "  \"seed\": " << spec.seed << ",\n";
+  os << "  \"chain\": {\"shape\": \"" << to_string(spec.chain.shape)
+     << "\", \"n\": " << spec.chain.n
+     << ", \"total_weight\": " << fmt_double(spec.chain.total_weight)
+     << ", \"pareto_alpha\": " << fmt_double(spec.chain.pareto_alpha)
+     << ", \"ramp_factor\": " << fmt_double(spec.chain.ramp_factor)
+     << ", \"trace\": \"" << escape(spec.chain.trace) << "\""
+     << ", \"per_position_costs\": "
+     << (spec.chain.per_position_costs ? "true" : "false") << "},\n";
+  os << "  \"platform\": {\"base\": \"" << escape(spec.platform.base)
+     << "\", \"perturb\": " << fmt_double(spec.platform.perturb) << "},\n";
+  os << "  \"failure\": {\"law\": \"" << to_string(spec.failure.law)
+     << "\", \"weibull_shape\": " << fmt_double(spec.failure.weibull_shape)
+     << ", \"rate_scale\": " << fmt_double(spec.failure.rate_scale)
+     << ", \"modeled_recall\": " << fmt_double(spec.failure.modeled_recall)
+     << ", \"actual_recall\": " << fmt_double(spec.failure.actual_recall)
+     << "},\n";
+  os << "  \"traffic\": {\"kind\": \"" << to_string(spec.traffic.kind)
+     << "\", \"jobs\": " << spec.traffic.jobs
+     << ", \"rate\": " << fmt_double(spec.traffic.rate)
+     << ", \"burst_size\": " << spec.traffic.burst_size
+     << ", \"deadline_fraction\": "
+     << fmt_double(spec.traffic.deadline_fraction)
+     << ", \"priority_mix\": [" << fmt_double(spec.traffic.priority_mix[0])
+     << ", " << fmt_double(spec.traffic.priority_mix[1]) << ", "
+     << fmt_double(spec.traffic.priority_mix[2]) << ", "
+     << fmt_double(spec.traffic.priority_mix[3]) << "]},\n";
+  os << "  \"algorithms\": [";
+  for (std::size_t i = 0; i < spec.algorithms.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << core::to_string(spec.algorithms[i]) << "\"";
+  }
+  os << "],\n";
+  os << "  \"replicas\": " << spec.replicas;
+  if (!spec.expected.empty()) {
+    os << ",\n  \"expected\": [";
+    for (std::size_t i = 0; i < spec.expected.size(); ++i) {
+      const ExpectedDigest& e = spec.expected[i];
+      if (i) os << ", ";
+      os << "{\"algorithm\": \"" << escape(e.algorithm) << "\", \"digest\": \""
+         << e.digest << "\", \"makespan_bits\": \"" << e.makespan_bits
+         << "\"}";
+    }
+    os << "]";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+ScenarioSpec spec_from_json(const std::string& json) {
+  const JsonValue root = Parser(json).parse();
+  const JsonObject& obj = get_object(root, "spec");
+
+  ScenarioSpec spec;
+  spec.name = get_string(obj, "name", "");
+  spec.seed = static_cast<std::uint64_t>(get_number(obj, "seed", 1));
+
+  if (const JsonValue* v = find(obj, "chain")) {
+    const JsonObject& c = get_object(*v, "chain");
+    spec.chain.shape =
+        chain_shape_from_string(get_string(c, "shape", "uniform"));
+    spec.chain.n = static_cast<std::size_t>(get_number(c, "n", 24));
+    spec.chain.total_weight = get_number(c, "total_weight", 25000.0);
+    spec.chain.pareto_alpha = get_number(c, "pareto_alpha", 1.5);
+    spec.chain.ramp_factor = get_number(c, "ramp_factor", 4.0);
+    spec.chain.trace = get_string(c, "trace", "genomics");
+    spec.chain.per_position_costs =
+        get_bool(c, "per_position_costs", false);
+  }
+  if (const JsonValue* v = find(obj, "platform")) {
+    const JsonObject& p = get_object(*v, "platform");
+    spec.platform.base = get_string(p, "base", "Hera");
+    spec.platform.perturb = get_number(p, "perturb", 0.0);
+  }
+  if (const JsonValue* v = find(obj, "failure")) {
+    const JsonObject& f = get_object(*v, "failure");
+    spec.failure.law =
+        failure_law_from_string(get_string(f, "law", "exponential"));
+    spec.failure.weibull_shape = get_number(f, "weibull_shape", 0.7);
+    spec.failure.rate_scale = get_number(f, "rate_scale", 1.0);
+    spec.failure.modeled_recall = get_number(f, "modeled_recall", -1.0);
+    spec.failure.actual_recall = get_number(f, "actual_recall", -1.0);
+  }
+  if (const JsonValue* v = find(obj, "traffic")) {
+    const JsonObject& t = get_object(*v, "traffic");
+    spec.traffic.kind = traffic_kind_from_string(get_string(t, "kind", "none"));
+    spec.traffic.jobs = static_cast<std::size_t>(get_number(t, "jobs", 48));
+    spec.traffic.rate = get_number(t, "rate", 200.0);
+    spec.traffic.burst_size =
+        static_cast<std::size_t>(get_number(t, "burst_size", 8));
+    spec.traffic.deadline_fraction = get_number(t, "deadline_fraction", 0.25);
+    if (const JsonValue* mix = find(t, "priority_mix")) {
+      if (mix->kind != JsonValue::Kind::kArray || mix->array->size() != 4) {
+        throw std::invalid_argument("priority_mix must be an array of 4");
+      }
+      for (std::size_t i = 0; i < 4; ++i) {
+        const JsonValue& m = (*mix->array)[i];
+        if (m.kind != JsonValue::Kind::kNumber) {
+          throw std::invalid_argument("priority_mix entries must be numbers");
+        }
+        spec.traffic.priority_mix[i] = m.number;
+      }
+    }
+  }
+  if (const JsonValue* v = find(obj, "algorithms")) {
+    if (v->kind != JsonValue::Kind::kArray) {
+      throw std::invalid_argument("algorithms must be an array");
+    }
+    spec.algorithms.clear();
+    for (const JsonValue& a : *v->array) {
+      if (a.kind != JsonValue::Kind::kString) {
+        throw std::invalid_argument("algorithm entries must be strings");
+      }
+      spec.algorithms.push_back(core::algorithm_from_string(a.string));
+    }
+  }
+  spec.replicas =
+      static_cast<std::size_t>(get_number(obj, "replicas", 1500));
+  if (const JsonValue* v = find(obj, "expected")) {
+    if (v->kind != JsonValue::Kind::kArray) {
+      throw std::invalid_argument("expected must be an array");
+    }
+    for (const JsonValue& e : *v->array) {
+      const JsonObject& eo = get_object(e, "expected entry");
+      ExpectedDigest pin;
+      pin.algorithm = get_string(eo, "algorithm", "");
+      pin.digest = get_string(eo, "digest", "");
+      pin.makespan_bits = get_string(eo, "makespan_bits", "");
+      spec.expected.push_back(std::move(pin));
+    }
+  }
+
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec load_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read scenario spec: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return spec_from_json(buffer.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+void save_spec(const std::string& path, const ScenarioSpec& spec) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write scenario spec: " + path);
+  out << spec_to_json(spec);
+}
+
+}  // namespace chainckpt::scenario

@@ -1,0 +1,30 @@
+// ScenarioSpec JSON (de)serialization.
+//
+// The golden corpus (tests/scenario/golden/) checks specs in as JSON, so
+// unlike the plan writer (plan/plan_io.hpp, write-only JSON) this module
+// carries a real -- deliberately minimal -- JSON parser: objects, arrays,
+// strings (with the escapes the writer emits), numbers, booleans, null.
+// It exists for scenario fixtures, not as a general-purpose JSON library.
+//
+// Round-trip contract: spec_from_json(spec_to_json(s)) reproduces `s`
+// field-for-field (doubles via %.17g, hence bit-exact).
+#pragma once
+
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace chainckpt::scenario {
+
+/// Serializes a spec (including any golden `expected` pins).
+std::string spec_to_json(const ScenarioSpec& spec);
+
+/// Parses and validates a spec; throws std::invalid_argument on malformed
+/// JSON, unknown fields' types, or out-of-range parameters.
+ScenarioSpec spec_from_json(const std::string& json);
+
+/// File helpers; throw std::runtime_error when the path is unreadable.
+ScenarioSpec load_spec(const std::string& path);
+void save_spec(const std::string& path, const ScenarioSpec& spec);
+
+}  // namespace chainckpt::scenario

@@ -1,0 +1,48 @@
+// Arrival-trace generation for the service lane.
+//
+// A TrafficSpec (scenario/spec.hpp) describes the SHAPE of the traffic --
+// Poisson or bursty arrivals, priority mix, deadline fraction; this
+// module turns it into a concrete, replayable trace: a deterministic,
+// seeded sequence of (arrival offset, priority, deadline, job kind)
+// records.  The same trace drives both the matrix lane (generous
+// deadlines, byte-deterministic outcome counts) and the stress battery
+// (tightened deadlines, chaos assertions), so behaviour differences are
+// attributable to the service, never to the workload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "service/job.hpp"
+
+namespace chainckpt::scenario {
+
+struct Arrival {
+  /// Offset from trace start, in microseconds of replay time.
+  std::uint64_t offset_us = 0;
+  service::Priority priority = service::Priority::kNormal;
+  /// 0 = no deadline, else milliseconds from submission.
+  std::uint64_t deadline_ms = 0;
+  /// Index into the cell's algorithm list (round-robin over job kinds).
+  std::size_t algorithm_index = 0;
+};
+
+struct ArrivalTrace {
+  std::vector<Arrival> arrivals;  ///< sorted by offset_us
+  std::uint64_t span_us = 0;      ///< offset of the last arrival
+
+  /// FNV-1a digest over the full record sequence; pins trace determinism
+  /// in the scenario report.
+  std::uint64_t digest() const noexcept;
+};
+
+/// Deterministic materialization of the spec's traffic shape; pure
+/// function of (spec.traffic, spec.seed, algorithm count).
+/// `deadline_scale_ms` sets the generous baseline deadline the matrix
+/// lane uses (the stress battery passes its own, tighter value).
+ArrivalTrace make_trace(const ScenarioSpec& spec,
+                        std::uint64_t deadline_scale_ms = 30000);
+
+}  // namespace chainckpt::scenario

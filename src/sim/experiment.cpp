@@ -23,8 +23,28 @@ struct BlockAccumulator {
 ExperimentResult run_experiment(const Simulator& simulator,
                                 const plan::ResiliencePlan& plan,
                                 const ExperimentOptions& options) {
+  // Identical to the historical in-line PoissonInjector path: run_seeded
+  // constructs exactly this injector per replica.
+  const double lambda_f = simulator.costs().lambda_f();
+  const double lambda_s = simulator.costs().lambda_s();
+  const std::uint64_t seed = options.seed;
+  return run_experiment(
+      simulator, plan,
+      [lambda_f, lambda_s, seed](std::uint64_t replica) {
+        return std::make_unique<error::PoissonInjector>(
+            lambda_f, lambda_s, util::Xoshiro256::stream(seed, replica));
+      },
+      options);
+}
+
+ExperimentResult run_experiment(const Simulator& simulator,
+                                const plan::ResiliencePlan& plan,
+                                const InjectorFactory& factory,
+                                const ExperimentOptions& options) {
   CHAINCKPT_REQUIRE(options.replicas >= 1, "need at least one replica");
   CHAINCKPT_REQUIRE(options.block_size >= 1, "block size must be >= 1");
+  CHAINCKPT_REQUIRE(static_cast<bool>(factory),
+                    "injector factory must be callable");
 
   const std::size_t blocks =
       (options.replicas + options.block_size - 1) / options.block_size;
@@ -36,8 +56,8 @@ ExperimentResult run_experiment(const Simulator& simulator,
         std::min(options.replicas, lo + options.block_size);
     BlockAccumulator& acc = partial[b];
     for (std::size_t r = lo; r < hi; ++r) {
-      const SimulationStats s =
-          simulator.run_seeded(plan, options.seed, r);
+      const auto injector = factory(r);
+      const SimulationStats s = simulator.run(plan, *injector);
       acc.makespan.add(s.makespan);
       acc.fail_stops += static_cast<double>(s.fail_stop_errors);
       acc.silent_corruptions += static_cast<double>(s.silent_corruptions);

@@ -8,6 +8,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
@@ -37,6 +39,24 @@ struct ExperimentOptions {
 
 ExperimentResult run_experiment(const Simulator& simulator,
                                 const plan::ResiliencePlan& plan,
+                                const ExperimentOptions& options = {});
+
+/// Builds the injector for one replica.  Must be a pure function of the
+/// replica index (thread-safe, deterministic) so results stay identical
+/// for every thread count; derive per-replica streams with
+/// util::Xoshiro256::stream(seed, replica).
+using InjectorFactory =
+    std::function<std::unique_ptr<error::Injector>(std::uint64_t replica)>;
+
+/// Generalized experiment: replicas draw their errors from
+/// `factory(replica)` instead of the built-in PoissonInjector.  This is
+/// how the scenario matrix (src/scenario/) runs heavy-tailed failure
+/// laws through the unchanged simulator; the default overload above is
+/// equivalent to a factory returning PoissonInjector(lambda_f, lambda_s,
+/// stream(options.seed, replica)).
+ExperimentResult run_experiment(const Simulator& simulator,
+                                const plan::ResiliencePlan& plan,
+                                const InjectorFactory& factory,
                                 const ExperimentOptions& options = {});
 
 }  // namespace chainckpt::sim

@@ -91,5 +91,100 @@ TEST(PoissonInjector, DeterministicForSameStream) {
   }
 }
 
+TEST(PoissonInjector, RecallDrawsDoNotPerturbFaultArrivals) {
+  // The recall sub-stream regression (the bug this pins: recall draws
+  // used to consume from the fault-arrival stream, so two runs differing
+  // only in HOW OFTEN verification happened saw different fault
+  // sequences).  Interleaving recall draws must leave attempt() outcomes
+  // identical, draw for draw.
+  PoissonInjector plain(1e-3, 2e-3, util::Xoshiro256::stream(11, 0));
+  PoissonInjector interleaved(1e-3, 2e-3, util::Xoshiro256::stream(11, 0));
+  util::Xoshiro256 cadence(99);
+  for (int i = 0; i < 2000; ++i) {
+    // A random number of recall draws between attempts -- the exact
+    // pattern a simulated plan with partial verifications produces.
+    const int draws = static_cast<int>(cadence() % 4);
+    for (int d = 0; d < draws; ++d) {
+      interleaved.partial_verification_detects(0.8);
+    }
+    const auto a = plain.attempt(250.0);
+    const auto b = interleaved.attempt(250.0);
+    ASSERT_EQ(a.fail_stop_after.has_value(), b.fail_stop_after.has_value());
+    if (a.fail_stop_after.has_value()) {
+      ASSERT_DOUBLE_EQ(*a.fail_stop_after, *b.fail_stop_after);
+    }
+    ASSERT_EQ(a.silent_corruption, b.silent_corruption);
+  }
+}
+
+TEST(PoissonInjector, AttemptDrawsDoNotPerturbRecallStream) {
+  // The converse direction: the recall stream is a fixed sequence
+  // regardless of how many fault draws happen in between.
+  PoissonInjector plain(1e-3, 2e-3, util::Xoshiro256::stream(13, 0));
+  PoissonInjector interleaved(1e-3, 2e-3, util::Xoshiro256::stream(13, 0));
+  util::Xoshiro256 cadence(77);
+  for (int i = 0; i < 2000; ++i) {
+    const int draws = static_cast<int>(cadence() % 4);
+    for (int d = 0; d < draws; ++d) interleaved.attempt(250.0);
+    ASSERT_EQ(plain.partial_verification_detects(0.8),
+              interleaved.partial_verification_detects(0.8));
+  }
+}
+
+TEST(WeibullInjector, ShapeOneMatchesExponentialStatistics) {
+  // shape == 1 reduces the Weibull law to the exponential one; the
+  // failure frequency over a window must match the Poisson model.
+  const double lambda = 1e-3, w = 500.0;
+  WeibullInjector inj(lambda, 1.0, 0.0, util::Xoshiro256(21));
+  EXPECT_NEAR(inj.scale(), 1.0 / lambda, 1e-9);
+  const int n = 100000;
+  int fails = 0;
+  for (int i = 0; i < n; ++i) {
+    if (inj.attempt(w).fail_stop_after.has_value()) ++fails;
+  }
+  EXPECT_NEAR(static_cast<double>(fails) / n,
+              util::error_probability(lambda, w), 0.006);
+}
+
+TEST(WeibullInjector, HeavyTailMatchesWeibullCdf) {
+  // shape < 1 with the mean pinned to 1/lambda_f: the per-attempt failure
+  // probability is the Weibull CDF 1 - exp(-(w/scale)^k), which for short
+  // windows is much LARGER than the exponential probability -- the
+  // assumption break the divergence lane exists to catch.
+  const double lambda = 1e-3, shape = 0.5, w = 100.0;
+  WeibullInjector inj(lambda, shape, 0.0, util::Xoshiro256(22));
+  const double expected_cdf =
+      1.0 - std::exp(-std::pow(w / inj.scale(), shape));
+  const int n = 100000;
+  int fails = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto out = inj.attempt(w);
+    if (out.fail_stop_after.has_value()) {
+      ++fails;
+      EXPECT_GE(*out.fail_stop_after, 0.0);
+      EXPECT_LT(*out.fail_stop_after, w);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fails) / n, expected_cdf, 0.006);
+  EXPECT_GT(expected_cdf, 2.0 * util::error_probability(lambda, w));
+}
+
+TEST(WeibullInjector, DeterministicAndRecallSubStreamIsolated) {
+  WeibullInjector a(1e-3, 0.7, 2e-3, util::Xoshiro256::stream(23, 0));
+  WeibullInjector b(1e-3, 0.7, 2e-3, util::Xoshiro256::stream(23, 0));
+  util::Xoshiro256 cadence(55);
+  for (int i = 0; i < 2000; ++i) {
+    const int draws = static_cast<int>(cadence() % 4);
+    for (int d = 0; d < draws; ++d) b.partial_verification_detects(0.8);
+    const auto oa = a.attempt(250.0);
+    const auto ob = b.attempt(250.0);
+    ASSERT_EQ(oa.fail_stop_after.has_value(), ob.fail_stop_after.has_value());
+    if (oa.fail_stop_after.has_value()) {
+      ASSERT_DOUBLE_EQ(*oa.fail_stop_after, *ob.fail_stop_after);
+    }
+    ASSERT_EQ(oa.silent_corruption, ob.silent_corruption);
+  }
+}
+
 }  // namespace
 }  // namespace chainckpt::error

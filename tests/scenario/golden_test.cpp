@@ -1,0 +1,87 @@
+// Golden scenario corpus: every checked-in spec fixture re-solves to its
+// pinned plan/objective digest (tier-1 -- this is the fast regression net
+// over solver behaviour across shapes, platforms, and regimes; the pins
+// are rewritten only deliberately, via bench_scenarios --write-golden).
+#include "scenario/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+
+namespace chainckpt::scenario {
+namespace {
+
+std::string golden_dir() {
+  return std::string(CHAINCKPT_SOURCE_DIR) + "/tests/scenario/golden";
+}
+
+std::vector<std::string> golden_paths() {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(golden_dir())) {
+    if (entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(GoldenCorpus, HasTheExpectedBreadth) {
+  const std::vector<std::string> paths = golden_paths();
+  ASSERT_GE(paths.size(), 12u) << "golden corpus shrank: " << golden_dir();
+  // The corpus must keep covering the adversarial axes, not just the
+  // paper's uniform/exponential baseline.
+  bool pareto = false, traced = false, weibull = false, mismatch = false,
+       perturbed = false, per_position = false;
+  for (const std::string& path : paths) {
+    const ScenarioSpec spec = load_spec(path);
+    EXPECT_FALSE(spec.expected.empty())
+        << path << ": unpinned fixture (run bench_scenarios --write-golden)";
+    if (spec.chain.shape == ChainShape::kPareto) pareto = true;
+    if (spec.chain.shape == ChainShape::kTraced) traced = true;
+    if (spec.failure.law == FailureLaw::kWeibull) weibull = true;
+    if (!spec.failure.assumptions_hold() &&
+        spec.failure.law == FailureLaw::kExponential) {
+      mismatch = true;
+    }
+    if (spec.platform.perturb > 0.0) perturbed = true;
+    if (spec.chain.per_position_costs) per_position = true;
+  }
+  EXPECT_TRUE(pareto);
+  EXPECT_TRUE(traced);
+  EXPECT_TRUE(weibull);
+  EXPECT_TRUE(mismatch);
+  EXPECT_TRUE(perturbed);
+  EXPECT_TRUE(per_position);
+}
+
+TEST(GoldenCorpus, EveryFixtureResolvesToItsPinnedDigests) {
+  RunnerOptions options;
+  for (const std::string& path : golden_paths()) {
+    const ScenarioSpec spec = load_spec(path);
+    const CellReport cell = run_cell(spec, options);
+    EXPECT_TRUE(cell.ok) << path;
+    ASSERT_EQ(cell.dp.size(), spec.algorithms.size()) << path;
+    ASSERT_FALSE(spec.expected.empty()) << path;
+    for (const ExpectedDigest& pin : spec.expected) {
+      const DpLaneResult* found = nullptr;
+      for (const DpLaneResult& dp : cell.dp) {
+        if (dp.algorithm == pin.algorithm) found = &dp;
+      }
+      ASSERT_NE(found, nullptr) << path << ": " << pin.algorithm;
+      EXPECT_EQ(found->digest, pin.digest)
+          << path << ": " << pin.algorithm << " plan/objective drifted";
+      EXPECT_EQ(found->makespan_bits, pin.makespan_bits)
+          << path << ": " << pin.algorithm << " objective bits drifted";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chainckpt::scenario

@@ -1,0 +1,148 @@
+// Scenario service-lane soak (ctest label: stress; gate
+// CHAINCKPT_STRESS_TESTS=1): seeded replayed arrival traces through a
+// live SolverService under bursty mixed-priority traffic, asserting the
+// scheduler_stress invariants -- bitwise solver results per job, zero
+// priority inversions under the unlimited budget, exact ServiceStats
+// reconciliation -- via the SAME shared harness
+// (tests/service/stress_harness.hpp), at several pool widths.
+#include "scenario/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "../service/stress_harness.hpp"
+#include "scenario/matrix.hpp"
+#include "scenario/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "service/solver_service.hpp"
+
+namespace chainckpt::scenario {
+namespace {
+
+using service::stress::count_priority_inversions;
+
+ScenarioSpec soak_spec(TrafficKind kind, std::size_t jobs,
+                       const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.seed = derive_cell_seed(0x50AB5EEDULL, name);
+  spec.chain.n = 24;
+  spec.failure.rate_scale = 25.0;
+  spec.traffic.kind = kind;
+  spec.traffic.jobs = jobs;
+  spec.traffic.rate = 400.0;
+  spec.traffic.burst_size = 12;
+  spec.traffic.deadline_fraction = 0.3;
+  spec.replicas = 50;  // the soak is about the service, not the sim lane
+  return spec;
+}
+
+/// Replays one trace through a live service at the given pool width and
+/// asserts the full invariant set.
+void run_replay_soak(const ScenarioSpec& spec, std::size_t workers) {
+  const MaterializedCell cell = materialize(spec);
+  const ArrivalTrace trace = make_trace(spec);
+  ASSERT_EQ(trace.arrivals.size(), spec.traffic.jobs);
+
+  // Bitwise ground truth, one synchronous solve per algorithm kind.
+  std::vector<core::OptimizationResult> expected;
+  for (core::Algorithm algorithm : spec.algorithms) {
+    expected.push_back(
+        core::optimize(algorithm, cell.chain, cell.modeled_costs));
+  }
+
+  service::ServiceOptions options;
+  options.workers = workers;
+  options.admission.budget_units = 0.0;  // unlimited: zero inversions
+  options.admission.queue_capacity = trace.arrivals.size() + 8;
+  service::SolverService svc(options);
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  std::vector<service::JobHandle> handles;
+  handles.reserve(trace.arrivals.size());
+  for (const Arrival& arrival : trace.arrivals) {
+    std::this_thread::sleep_until(
+        start + std::chrono::microseconds(arrival.offset_us));
+    handles.push_back(svc.submit(
+        {core::BatchJob{spec.algorithms[arrival.algorithm_index], cell.chain,
+                        cell.modeled_costs},
+         service::SubmitOptions(
+             arrival.priority,
+             std::chrono::milliseconds(arrival.deadline_ms))}));
+  }
+
+  std::vector<service::JobStatus> outcomes;
+  outcomes.reserve(handles.size());
+  for (const auto& handle : handles) outcomes.push_back(svc.wait(handle));
+  svc.drain();
+
+  // (b) bitwise results: generous deadlines + unlimited budget mean every
+  // job must SUCCEED, and each result must match the reference solve.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const service::JobStatus& status = outcomes[i];
+    ASSERT_EQ(status.state, service::JobState::kSucceeded)
+        << spec.name << " job " << status.id << ": "
+        << service::to_string(status.state) << " " << status.error;
+    const core::OptimizationResult& want =
+        expected[trace.arrivals[i].algorithm_index];
+    EXPECT_EQ(status.result.expected_makespan, want.expected_makespan);
+    EXPECT_EQ(status.result.plan, want.plan);
+  }
+
+  // (a) zero priority inversions, by the shared counting rule.
+  EXPECT_EQ(count_priority_inversions(outcomes), 0u) << spec.name;
+
+  // (c) exact counter reconciliation.
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, trace.arrivals.size());
+  EXPECT_EQ(stats.succeeded, trace.arrivals.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.running, 0u);
+  EXPECT_EQ(stats.inflight_units, 0.0);
+  EXPECT_EQ(stats.queued_units, 0.0);
+  svc.shutdown();
+}
+
+TEST(ServiceLane, BurstyReplaySoakAcrossPoolWidths) {
+  CHAINCKPT_REQUIRE_STRESS();
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    run_replay_soak(
+        soak_spec(TrafficKind::kBursty, 240,
+                  "soak-bursty-w" + std::to_string(workers)),
+        workers);
+  }
+}
+
+TEST(ServiceLane, PoissonReplaySoak) {
+  CHAINCKPT_REQUIRE_STRESS();
+  run_replay_soak(soak_spec(TrafficKind::kPoisson, 240, "soak-poisson"), 4);
+}
+
+TEST(ServiceLane, RunnerServiceLaneMatchesTheHarnessVerdict) {
+  CHAINCKPT_REQUIRE_STRESS();
+  // The runner's embedded service lane must reach the same verdict the
+  // standalone soak does: all succeeded, bitwise, inversion-free.
+  ScenarioSpec spec = soak_spec(TrafficKind::kBursty, 96, "soak-runner-lane");
+  RunnerOptions options;
+  const CellReport cell = run_cell(spec, options);
+  ASSERT_EQ(cell.service.size(), 1u);
+  const ServiceLaneResult& lane = cell.service[0];
+  EXPECT_EQ(lane.jobs, spec.traffic.jobs);
+  EXPECT_TRUE(lane.all_succeeded);
+  EXPECT_TRUE(lane.bitwise_ok);
+  EXPECT_EQ(lane.priority_inversions, 0u);
+  EXPECT_EQ(lane.trace_digest, hex64(make_trace(spec).digest()));
+  EXPECT_TRUE(cell.ok);
+}
+
+}  // namespace
+}  // namespace chainckpt::scenario

@@ -1,0 +1,205 @@
+// ScenarioSpec JSON round-trip + materialization determinism.
+#include "scenario/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/matrix.hpp"
+#include "scenario/spec.hpp"
+
+namespace chainckpt::scenario {
+namespace {
+
+ScenarioSpec full_featured_spec() {
+  ScenarioSpec spec;
+  spec.name = "roundtrip-cell";
+  spec.seed = 0xDEADBEEFCAFEULL;
+  spec.chain.shape = ChainShape::kPareto;
+  spec.chain.n = 17;
+  spec.chain.total_weight = 31000.0;
+  spec.chain.pareto_alpha = 1.25;
+  spec.chain.ramp_factor = 3.0;
+  spec.chain.trace = "seismic";
+  spec.chain.per_position_costs = true;
+  spec.platform.base = "Atlas";
+  spec.platform.perturb = 0.2;
+  spec.failure.law = FailureLaw::kWeibull;
+  spec.failure.weibull_shape = 0.6;
+  spec.failure.rate_scale = 12.5;
+  spec.failure.modeled_recall = 0.95;
+  spec.failure.actual_recall = 0.5;
+  spec.traffic.kind = TrafficKind::kBursty;
+  spec.traffic.jobs = 31;
+  spec.traffic.rate = 150.0;
+  spec.traffic.burst_size = 5;
+  spec.traffic.deadline_fraction = 0.4;
+  spec.traffic.priority_mix[0] = 0.1;
+  spec.traffic.priority_mix[1] = 0.2;
+  spec.traffic.priority_mix[2] = 0.3;
+  spec.traffic.priority_mix[3] = 0.4;
+  spec.algorithms = {core::Algorithm::kADVstar, core::Algorithm::kADMV};
+  spec.replicas = 321;
+  spec.expected.push_back({"ADV*", "0123456789abcdef", "0x40c3880000000000"});
+  return spec;
+}
+
+TEST(SpecIo, RoundTripPreservesEveryField) {
+  const ScenarioSpec spec = full_featured_spec();
+  const ScenarioSpec back = spec_from_json(spec_to_json(spec));
+
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.chain.shape, spec.chain.shape);
+  EXPECT_EQ(back.chain.n, spec.chain.n);
+  EXPECT_EQ(back.chain.total_weight, spec.chain.total_weight);
+  EXPECT_EQ(back.chain.pareto_alpha, spec.chain.pareto_alpha);
+  EXPECT_EQ(back.chain.ramp_factor, spec.chain.ramp_factor);
+  EXPECT_EQ(back.chain.trace, spec.chain.trace);
+  EXPECT_EQ(back.chain.per_position_costs, spec.chain.per_position_costs);
+  EXPECT_EQ(back.platform.base, spec.platform.base);
+  EXPECT_EQ(back.platform.perturb, spec.platform.perturb);
+  EXPECT_EQ(back.failure.law, spec.failure.law);
+  EXPECT_EQ(back.failure.weibull_shape, spec.failure.weibull_shape);
+  EXPECT_EQ(back.failure.rate_scale, spec.failure.rate_scale);
+  EXPECT_EQ(back.failure.modeled_recall, spec.failure.modeled_recall);
+  EXPECT_EQ(back.failure.actual_recall, spec.failure.actual_recall);
+  EXPECT_EQ(back.traffic.kind, spec.traffic.kind);
+  EXPECT_EQ(back.traffic.jobs, spec.traffic.jobs);
+  EXPECT_EQ(back.traffic.rate, spec.traffic.rate);
+  EXPECT_EQ(back.traffic.burst_size, spec.traffic.burst_size);
+  EXPECT_EQ(back.traffic.deadline_fraction, spec.traffic.deadline_fraction);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.traffic.priority_mix[i], spec.traffic.priority_mix[i]);
+  }
+  ASSERT_EQ(back.algorithms.size(), spec.algorithms.size());
+  for (std::size_t i = 0; i < spec.algorithms.size(); ++i) {
+    EXPECT_EQ(back.algorithms[i], spec.algorithms[i]);
+  }
+  EXPECT_EQ(back.replicas, spec.replicas);
+  ASSERT_EQ(back.expected.size(), 1u);
+  EXPECT_EQ(back.expected[0].algorithm, spec.expected[0].algorithm);
+  EXPECT_EQ(back.expected[0].digest, spec.expected[0].digest);
+  EXPECT_EQ(back.expected[0].makespan_bits, spec.expected[0].makespan_bits);
+
+  // Serialization is canonical: a second round trip is byte-identical.
+  EXPECT_EQ(spec_to_json(back), spec_to_json(spec));
+}
+
+TEST(SpecIo, RejectsMalformedInput) {
+  EXPECT_THROW(spec_from_json(""), std::invalid_argument);
+  EXPECT_THROW(spec_from_json("{"), std::invalid_argument);
+  EXPECT_THROW(spec_from_json("[]"), std::invalid_argument);
+  EXPECT_THROW(spec_from_json("{\"name\": }"), std::invalid_argument);
+  // Parsed but invalid: validate() must fire.
+  EXPECT_THROW(spec_from_json("{\"name\": \"x\", \"chain\": {\"n\": 1}}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      spec_from_json(
+          "{\"name\": \"x\", \"platform\": {\"base\": \"NoSuch\"}}"),
+      std::invalid_argument);
+}
+
+TEST(SpecIo, MissingFieldsKeepDefaults) {
+  const ScenarioSpec spec = spec_from_json("{\"name\": \"minimal\"}");
+  EXPECT_EQ(spec.name, "minimal");
+  EXPECT_EQ(spec.chain.shape, ChainShape::kUniform);
+  EXPECT_EQ(spec.chain.n, 24u);
+  EXPECT_EQ(spec.platform.base, "Hera");
+  EXPECT_EQ(spec.failure.law, FailureLaw::kExponential);
+  EXPECT_EQ(spec.traffic.kind, TrafficKind::kNone);
+  EXPECT_EQ(spec.algorithms.size(), 2u);
+}
+
+TEST(Spec, MaterializeIsDeterministic) {
+  const ScenarioSpec spec = full_featured_spec();
+  const MaterializedCell a = materialize(spec);
+  const MaterializedCell b = materialize(spec);
+  ASSERT_EQ(a.chain.size(), b.chain.size());
+  for (std::size_t i = 1; i <= a.chain.size(); ++i) {
+    EXPECT_EQ(a.chain.weight(i), b.chain.weight(i));
+    EXPECT_EQ(a.modeled_costs.c_disk_after(i), b.modeled_costs.c_disk_after(i));
+  }
+  EXPECT_EQ(a.modeled_platform.lambda_f, b.modeled_platform.lambda_f);
+  // Modeled vs actual differ ONLY in recall.
+  EXPECT_EQ(a.modeled_platform.lambda_f, a.actual_platform.lambda_f);
+  EXPECT_EQ(a.modeled_platform.c_disk, a.actual_platform.c_disk);
+  EXPECT_DOUBLE_EQ(a.modeled_platform.recall, 0.95);
+  EXPECT_DOUBLE_EQ(a.actual_platform.recall, 0.5);
+  // Rate scaling applied to both failure sources.
+  EXPECT_GT(a.modeled_platform.lambda_f, 0.0);
+}
+
+TEST(Spec, PerturbationIsSeededAndBounded) {
+  ScenarioSpec spec;
+  spec.name = "perturbed";
+  spec.seed = 99;
+  spec.platform.perturb = 0.35;
+  const MaterializedCell a = materialize(spec);
+  const MaterializedCell b = materialize(spec);
+  EXPECT_EQ(a.modeled_platform.lambda_f, b.modeled_platform.lambda_f);
+  EXPECT_EQ(a.modeled_platform.c_disk, b.modeled_platform.c_disk);
+  // Different seed, different jitter.
+  spec.seed = 100;
+  const MaterializedCell c = materialize(spec);
+  EXPECT_NE(a.modeled_platform.c_disk, c.modeled_platform.c_disk);
+  // Bounded multiplicative jitter.
+  ScenarioSpec exact = spec;
+  exact.platform.perturb = 0.0;
+  const MaterializedCell base = materialize(exact);
+  const double ratio = a.modeled_platform.c_disk / base.modeled_platform.c_disk;
+  EXPECT_GE(ratio, 1.0 / 1.35 - 1e-12);
+  EXPECT_LE(ratio, 1.35 + 1e-12);
+}
+
+TEST(Matrix, CellSeedsAreNameKeyed) {
+  const std::uint64_t seed_a = derive_cell_seed(7, "cell-a");
+  EXPECT_EQ(seed_a, derive_cell_seed(7, "cell-a"));
+  EXPECT_NE(seed_a, derive_cell_seed(7, "cell-b"));
+  EXPECT_NE(seed_a, derive_cell_seed(8, "cell-a"));
+}
+
+TEST(Matrix, FullMatrixMeetsTheCellFloor) {
+  const std::vector<ScenarioSpec> cells = build_matrix({});
+  EXPECT_GE(cells.size(), 200u);
+  // Names are unique (they key the seeds) and every spec validates.
+  std::set<std::string> names;
+  std::size_t traffic = 0, weibull = 0, mismatch = 0, perturbed = 0;
+  for (const ScenarioSpec& spec : cells) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+    ASSERT_NO_THROW(spec.validate()) << spec.name;
+    if (spec.traffic.kind != TrafficKind::kNone) ++traffic;
+    if (spec.failure.law == FailureLaw::kWeibull) ++weibull;
+    if (!spec.failure.assumptions_hold() &&
+        spec.failure.law == FailureLaw::kExponential) {
+      ++mismatch;
+    }
+    if (spec.platform.perturb > 0.0) ++perturbed;
+  }
+  // Every adversarial axis is represented.
+  EXPECT_GT(traffic, 0u);
+  EXPECT_GT(weibull, 0u);
+  EXPECT_GT(mismatch, 0u);
+  EXPECT_GT(perturbed, 0u);
+}
+
+TEST(Matrix, SmokeMatrixIsSmallButCoversTheAxes) {
+  MatrixOptions options;
+  options.smoke = true;
+  const std::vector<ScenarioSpec> cells = build_matrix(options);
+  EXPECT_GE(cells.size(), 20u);
+  EXPECT_LE(cells.size(), 60u);
+  bool has_broken = false, has_traffic = false;
+  for (const ScenarioSpec& spec : cells) {
+    if (!spec.failure.assumptions_hold()) has_broken = true;
+    if (spec.traffic.kind != TrafficKind::kNone) has_traffic = true;
+  }
+  EXPECT_TRUE(has_broken);
+  EXPECT_TRUE(has_traffic);
+}
+
+}  // namespace
+}  // namespace chainckpt::scenario

@@ -1,0 +1,122 @@
+// Arrival-trace generation: determinism, shape, and digest stability.
+#include "scenario/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace chainckpt::scenario {
+namespace {
+
+ScenarioSpec traffic_spec(TrafficKind kind) {
+  ScenarioSpec spec;
+  spec.name = "traffic";
+  spec.seed = 4242;
+  spec.traffic.kind = kind;
+  spec.traffic.jobs = 60;
+  spec.traffic.rate = 500.0;
+  spec.traffic.burst_size = 6;
+  return spec;
+}
+
+TEST(Traffic, DeterministicForSameSpec) {
+  const ScenarioSpec spec = traffic_spec(TrafficKind::kPoisson);
+  const ArrivalTrace a = make_trace(spec);
+  const ArrivalTrace b = make_trace(spec);
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  EXPECT_EQ(a.digest(), b.digest());
+  for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+    EXPECT_EQ(a.arrivals[i].offset_us, b.arrivals[i].offset_us);
+    EXPECT_EQ(a.arrivals[i].priority, b.arrivals[i].priority);
+    EXPECT_EQ(a.arrivals[i].deadline_ms, b.arrivals[i].deadline_ms);
+    EXPECT_EQ(a.arrivals[i].algorithm_index, b.arrivals[i].algorithm_index);
+  }
+  // A different seed produces a different trace (digest collision over
+  // full traces would be astronomically unlikely).
+  ScenarioSpec other = spec;
+  other.seed = 4243;
+  EXPECT_NE(make_trace(other).digest(), a.digest());
+}
+
+TEST(Traffic, EmitsRequestedJobCountSortedByOffset) {
+  for (TrafficKind kind : {TrafficKind::kPoisson, TrafficKind::kBursty}) {
+    const ScenarioSpec spec = traffic_spec(kind);
+    const ArrivalTrace trace = make_trace(spec);
+    ASSERT_EQ(trace.arrivals.size(), spec.traffic.jobs);
+    for (std::size_t i = 1; i < trace.arrivals.size(); ++i) {
+      EXPECT_GE(trace.arrivals[i].offset_us, trace.arrivals[i - 1].offset_us);
+    }
+    EXPECT_EQ(trace.span_us, trace.arrivals.back().offset_us);
+    // Round-robin over the algorithm list.
+    for (std::size_t i = 0; i < trace.arrivals.size(); ++i) {
+      EXPECT_EQ(trace.arrivals[i].algorithm_index,
+                i % spec.algorithms.size());
+    }
+  }
+}
+
+TEST(Traffic, BurstyTracesClusterArrivals) {
+  const ScenarioSpec spec = traffic_spec(TrafficKind::kBursty);
+  const ArrivalTrace trace = make_trace(spec);
+  // Arrivals inside one burst share an instant: with bursts of 6, at
+  // most ceil(60/6) = 10 distinct offsets exist.
+  std::map<std::uint64_t, std::size_t> by_offset;
+  for (const Arrival& a : trace.arrivals) ++by_offset[a.offset_us];
+  EXPECT_LE(by_offset.size(), 10u);
+  std::size_t largest = 0;
+  for (const auto& [offset, count] : by_offset) {
+    largest = std::max(largest, count);
+  }
+  EXPECT_EQ(largest, spec.traffic.burst_size);
+
+  // Poisson arrivals do NOT cluster that way.
+  const ArrivalTrace poisson = make_trace(traffic_spec(TrafficKind::kPoisson));
+  std::map<std::uint64_t, std::size_t> poisson_offsets;
+  for (const Arrival& a : poisson.arrivals) ++poisson_offsets[a.offset_us];
+  EXPECT_GT(poisson_offsets.size(), by_offset.size());
+}
+
+TEST(Traffic, DeadlinesAreGenerousAndFractional) {
+  ScenarioSpec spec = traffic_spec(TrafficKind::kPoisson);
+  spec.traffic.jobs = 400;
+  spec.traffic.deadline_fraction = 0.25;
+  const ArrivalTrace trace = make_trace(spec);
+  std::size_t with_deadline = 0;
+  for (const Arrival& a : trace.arrivals) {
+    if (a.deadline_ms > 0) {
+      ++with_deadline;
+      // The matrix-lane default scale: generous by construction.
+      EXPECT_GE(a.deadline_ms, 15000u);
+    }
+  }
+  // ~25% of 400, with a wide statistical margin.
+  EXPECT_GT(with_deadline, 60u);
+  EXPECT_LT(with_deadline, 140u);
+}
+
+TEST(Traffic, PriorityMixIsRespected) {
+  ScenarioSpec spec = traffic_spec(TrafficKind::kPoisson);
+  spec.traffic.jobs = 1000;
+  spec.traffic.priority_mix[0] = 1.0;  // batch only
+  spec.traffic.priority_mix[1] = 0.0;
+  spec.traffic.priority_mix[2] = 0.0;
+  spec.traffic.priority_mix[3] = 0.0;
+  for (const Arrival& a : make_trace(spec).arrivals) {
+    EXPECT_EQ(a.priority, service::Priority::kBatch);
+  }
+  spec.traffic.priority_mix[0] = 0.5;
+  spec.traffic.priority_mix[3] = 0.5;
+  std::size_t batch = 0, urgent = 0, other = 0;
+  for (const Arrival& a : make_trace(spec).arrivals) {
+    if (a.priority == service::Priority::kBatch) ++batch;
+    else if (a.priority == service::Priority::kUrgent) ++urgent;
+    else ++other;
+  }
+  EXPECT_EQ(other, 0u);
+  EXPECT_GT(batch, 350u);
+  EXPECT_GT(urgent, 350u);
+}
+
+}  // namespace
+}  // namespace chainckpt::scenario

@@ -1,0 +1,99 @@
+// Shared harness for the service stress batteries: the mixed workload
+// alphabet, synchronous reference solves, and the event-trace
+// priority-inversion counter.  Used by the scheduler soak
+// (tests/service/scheduler_stress_test.cpp) and the scenario-matrix
+// service lane (tests/scenario/service_lane_test.cpp) so both assert the
+// SAME invariants with the same counting rules.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "chain/patterns.hpp"
+#include "core/batch_solver.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "service/job.hpp"
+
+/// Gate for the minutes-long batteries (ctest label: stress).
+#define CHAINCKPT_REQUIRE_STRESS()                                          \
+  if (std::getenv("CHAINCKPT_STRESS_TESTS") == nullptr) {                   \
+    GTEST_SKIP() << "stress battery; set CHAINCKPT_STRESS_TESTS=1 "         \
+                    "(ctest label: stress)";                                \
+  }
+
+namespace chainckpt::service::stress {
+
+/// The workload alphabet: every algorithm class, sizes small enough that
+/// hundreds of jobs finish in CI time but large enough that solves span
+/// many cancellation checkpoints.
+inline std::vector<core::BatchJob> make_shapes() {
+  const platform::CostModel hera{platform::hera()};
+  const platform::CostModel atlas{platform::atlas()};
+  std::vector<core::BatchJob> shapes;
+  shapes.push_back({core::Algorithm::kAD, chain::make_uniform(120, 25000.0),
+                    hera});
+  shapes.push_back({core::Algorithm::kADVstar,
+                    chain::make_uniform(90, 25000.0), hera});
+  shapes.push_back({core::Algorithm::kADVstar,
+                    chain::make_decrease(150, 25000.0), atlas});
+  shapes.push_back({core::Algorithm::kADMVstar,
+                    chain::make_uniform(40, 25000.0), hera});
+  shapes.push_back({core::Algorithm::kADMVstar,
+                    chain::make_highlow(64, 25000.0), atlas});
+  shapes.push_back({core::Algorithm::kADMV, chain::make_uniform(24, 25000.0),
+                    hera});
+  shapes.push_back({core::Algorithm::kADMV, chain::make_highlow(30, 25000.0),
+                    atlas});
+  shapes.push_back({core::Algorithm::kPeriodic,
+                    chain::make_uniform(60, 25000.0), hera});
+  shapes.push_back({core::Algorithm::kDaly, chain::make_uniform(60, 25000.0),
+                    atlas});
+  return shapes;
+}
+
+/// Synchronous reference solves -- the bitwise ground truth every service
+/// outcome is compared against.
+inline std::vector<core::OptimizationResult> solve_expected(
+    const std::vector<core::BatchJob>& shapes) {
+  core::BatchSolver solver;
+  std::vector<core::OptimizationResult> expected;
+  expected.reserve(shapes.size());
+  for (const auto& shape : shapes) expected.push_back(solver.solve_job(shape));
+  return expected;
+}
+
+struct SubmittedJob {
+  JobHandle handle;
+  std::size_t shape = 0;
+};
+
+/// Priority inversions from the (submit_seq, start_seq) event trace: a
+/// lower-class job STARTED while a strictly higher-class job sat queued.
+/// start_seq/submit_seq share one event clock, so "L started inside H's
+/// queued window" is exactly H.submit_seq < L.start_seq < H.start_seq.
+/// Never-dispatched jobs (start_seq == 0) are excluded, as are
+/// preempted-and-rerun high jobs: their start_seq is the RESTART stamp,
+/// so lower jobs that legally started during the first run would read as
+/// inversions.  With an unlimited admission budget the dispatcher is
+/// exact and the count must be ZERO; under a priced budget first-fit
+/// inversions are legitimate and the count is diagnostic only.
+inline std::uint64_t count_priority_inversions(
+    const std::vector<JobStatus>& outcomes) {
+  std::uint64_t inversions = 0;
+  for (const auto& high : outcomes) {
+    if (high.start_seq == 0) continue;
+    if (high.preemptions > 0) continue;
+    for (const auto& low : outcomes) {
+      if (low.start_seq == 0 || low.priority >= high.priority) continue;
+      if (high.submit_seq < low.start_seq && low.start_seq < high.start_seq) {
+        ++inversions;
+      }
+    }
+  }
+  return inversions;
+}
+
+}  // namespace chainckpt::service::stress

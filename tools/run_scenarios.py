@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Drive the scenario matrix and emit/inspect BENCH_scenarios.json.
+
+Thin stdlib-only wrapper over the ``bench_scenarios`` binary: runs the
+golden-corpus check and the requested matrix sweep, writes the
+machine-readable ScenarioReport next to the chosen output path, and
+prints a per-regime digest table so CI logs show WHAT diverged, not just
+whether the run passed.
+
+Usage:
+  python3 tools/run_scenarios.py [--build-dir build] [--mode smoke|full]
+                                 [--out BENCH_scenarios.json]
+                                 [--skip-golden] [--seed N]
+
+Exit status is non-zero when bench_scenarios reports a gate failure
+(DP config mismatch, in-model divergence, or a golden-pin drift).
+"""
+import argparse
+import collections
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def run(cmd, **kwargs):
+    print("+ " + " ".join(str(c) for c in cmd), flush=True)
+    return subprocess.run(cmd, **kwargs).returncode
+
+
+def regime_of(cell_name: str) -> str:
+    """Cell names end in the regime token: shape-nN-Platform-<regime>."""
+    for token in ("poisson", "bursty"):
+        if cell_name.endswith("-" + token):
+            return "traffic-" + token
+    parts = cell_name.split("-")
+    # exp-r0.8 / exp-mis0.95a0.5 style regimes span two tokens.
+    if len(parts) >= 2 and parts[-2] == "exp":
+        return "-".join(parts[-2:])
+    return parts[-1]
+
+
+def summarize(report_path: Path) -> None:
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    summary = report["summary"]
+    print(
+        "matrix: {cells} cells | ok {ok_cells} | flagged {flagged_cells} "
+        "(diverged {diverged_flagged}) | in-model divergences "
+        "{diverged_in_model} | dp config mismatches "
+        "{dp_config_mismatches}".format(**summary)
+    )
+
+    by_regime = collections.defaultdict(lambda: [0, 0, 0.0])
+    for cell in report["cells"]:
+        bucket = by_regime[regime_of(cell["name"])]
+        bucket[0] += 1
+        bucket[1] += 1 if cell["diverged"] else 0
+        for lane in cell["sim"]:
+            bucket[2] = max(bucket[2], abs(lane["relative_gap"]))
+    print(f"{'regime':<20} {'cells':>5} {'diverged':>8} {'max |gap|':>10}")
+    for regime in sorted(by_regime):
+        cells, diverged, gap = by_regime[regime]
+        print(f"{regime:<20} {cells:>5} {diverged:>8} {gap:>10.4f}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree holding bench_scenarios")
+    parser.add_argument("--mode", choices=("smoke", "full"), default="smoke",
+                        help="matrix breadth (smoke ~30 cells, full >= 200)")
+    parser.add_argument("--out", default="BENCH_scenarios.json",
+                        help="report path (relative to the repo root)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed override")
+    parser.add_argument("--skip-golden", action="store_true",
+                        help="skip the golden-corpus digest check")
+    parser.add_argument("--timing", action="store_true",
+                        help="include wall-clock service metrics "
+                             "(opts out of byte determinism)")
+    args = parser.parse_args()
+
+    bench = REPO / args.build_dir / "bench_scenarios"
+    if not bench.exists():
+        print(f"error: {bench} not found (build the `bench_scenarios` "
+              "target first)", file=sys.stderr)
+        return 2
+
+    if not args.skip_golden:
+        rc = run([bench, "--mode", "golden",
+                  "--golden-dir", REPO / "tests" / "scenario" / "golden"])
+        if rc != 0:
+            print("golden corpus FAILED", file=sys.stderr)
+            return rc
+
+    out = (REPO / args.out).resolve()
+    cmd = [bench, "--mode", args.mode, "--out", out]
+    if args.seed is not None:
+        cmd += ["--seed", str(args.seed)]
+    if args.timing:
+        cmd += ["--timing"]
+    rc = run(cmd)
+    if rc != 0:
+        print("matrix sweep FAILED", file=sys.stderr)
+        return rc
+
+    summarize(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
