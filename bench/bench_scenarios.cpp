@@ -18,6 +18,9 @@
 //   --serial               run cells on one thread (identical bytes either way)
 //   --write-golden <dir>   re-pin the golden corpus: for every *.json spec in
 //                          <dir>, solve and rewrite its `expected` digests
+//   --spec-dir <dir>       sweep a user-supplied spec corpus (every *.json,
+//                          sorted by filename) instead of the generated
+//                          cross; combines with --mode full/smoke gates
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -144,6 +147,8 @@ int main(int argc, char** argv) {
                     "golden corpus directory (golden / --write-golden)");
   parser.add_option("write-golden", "",
                     "rewrite the expected digests of every spec in <dir>");
+  parser.add_option("spec-dir", "",
+                    "run the specs in <dir> instead of the generated matrix");
   parser.add_flag("timing", "include wall-clock service metrics");
   parser.add_flag("serial", "run cells serially");
   parser.add_flag("list", "print cell names and exit");
@@ -182,6 +187,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   mopts.smoke = mode == "smoke";
+  mopts.spec_dir = parser.get("spec-dir");
 
   const std::vector<scenario::ScenarioSpec> specs =
       scenario::build_matrix(mopts);

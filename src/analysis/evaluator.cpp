@@ -12,6 +12,10 @@ PlanEvaluator::PlanEvaluator(chain::TaskChain chain,
       costs_(std::move(costs)),
       table_(chain_, costs_.lambda_f(), costs_.lambda_s()) {
   CHAINCKPT_REQUIRE(!chain_.empty(), "evaluator needs a non-empty chain");
+  const platform::PlanningLaw& law = costs_.planning_law();
+  if (!law.is_exponential()) {
+    law_tasks_.emplace(table_, costs_.lambda_f(), law.weibull_shape);
+  }
 }
 
 double PlanEvaluator::partial_segment_value(const plan::ResiliencePlan& plan,
@@ -36,24 +40,45 @@ double PlanEvaluator::partial_segment_value(const plan::ResiliencePlan& plan,
     const std::size_t p1 = points[k];
     const bool terminal = (k + 1 == points.size());
     const std::size_t p2 = terminal ? v2 : points[k + 1];
-    const Interval seg = make_interval(table_, p1, p2);
     double ep;
     double er;
-    if (terminal) {
-      // The interval (p1, v2] is closed by the guaranteed verification at
-      // v2: E_right there is R_M (immediate detection).
-      ep = e_partial_terminal(seg, lf, costs_.v_partial_after(v2),
-                              costs_.v_guaranteed_after(v2), g, left);
-      er = e_right_step(seg, lf, costs_.v_partial_after(v2), g, left.r_disk,
-                        left.r_mem, left.e_mem, /*e_right_next=*/left.r_mem);
+    if (law_tasks_) {
+      const LawInterval seg = make_law_interval(table_, *law_tasks_, p1, p2);
+      if (terminal) {
+        ep = e_partial_terminal(seg, costs_.v_partial_after(v2),
+                                costs_.v_guaranteed_after(v2), g, left);
+        er = e_right_step(seg, costs_.v_partial_after(v2), g, left.r_disk,
+                          left.r_mem, left.e_mem,
+                          /*e_right_next=*/left.r_mem);
+      } else {
+        const double reexec =
+            make_law_interval(table_, *law_tasks_, p2, v2).exp_fs();
+        ep = e_minus_segment(seg, costs_.v_partial_after(p2), g, left,
+                             er_next) *
+                 reexec +
+             ep_next;
+        er = e_right_step(seg, costs_.v_partial_after(p2), g, left.r_disk,
+                          left.r_mem, left.e_mem, er_next);
+      }
     } else {
-      const double reexec = table_.exp_fs(p2, v2);
-      ep = e_minus_segment(seg, lf, costs_.v_partial_after(p2), g, left,
-                           er_next) *
-               reexec +
-           ep_next;
-      er = e_right_step(seg, lf, costs_.v_partial_after(p2), g, left.r_disk,
-                        left.r_mem, left.e_mem, er_next);
+      const Interval seg = make_interval(table_, p1, p2);
+      if (terminal) {
+        // The interval (p1, v2] is closed by the guaranteed verification at
+        // v2: E_right there is R_M (immediate detection).
+        ep = e_partial_terminal(seg, lf, costs_.v_partial_after(v2),
+                                costs_.v_guaranteed_after(v2), g, left);
+        er = e_right_step(seg, lf, costs_.v_partial_after(v2), g,
+                          left.r_disk, left.r_mem, left.e_mem,
+                          /*e_right_next=*/left.r_mem);
+      } else {
+        const double reexec = table_.exp_fs(p2, v2);
+        ep = e_minus_segment(seg, lf, costs_.v_partial_after(p2), g, left,
+                             er_next) *
+                 reexec +
+             ep_next;
+        er = e_right_step(seg, lf, costs_.v_partial_after(p2), g,
+                          left.r_disk, left.r_mem, left.e_mem, er_next);
+      }
     }
     ep_next = ep;
     er_next = er;
@@ -105,12 +130,16 @@ void PlanEvaluator::walk_segments(const plan::ResiliencePlan& plan,
                                costs_.r_mem_after(m1), e_mem_acc,
                                e_verif_acc};
         double segment;
-        if (mode == FormulaMode::kTwoLevel) {
+        if (mode != FormulaMode::kTwoLevel) {
+          segment = partial_segment_value(plan, v1, vb, left);
+        } else if (law_tasks_) {
+          segment = expected_verified_segment(
+              make_law_interval(table_, *law_tasks_, v1, vb),
+              costs_.v_guaranteed_after(vb), left);
+        } else {
           segment = expected_verified_segment(
               make_interval(table_, v1, vb), lf,
               costs_.v_guaranteed_after(vb), left);
-        } else {
-          segment = partial_segment_value(plan, v1, vb, left);
         }
         visit(SegmentValue{d1, m1, v1, vb, segment});
         e_verif_acc += segment;

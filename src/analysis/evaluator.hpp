@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "analysis/segment_math.hpp"
@@ -94,6 +95,11 @@ class PlanEvaluator {
   chain::TaskChain chain_;
   platform::CostModel costs_;
   chain::WeightTable table_;
+  /// Engaged when the cost model carries a non-exponential planning law
+  /// (platform::FailureLaw::kWeibull with shape != 1); the walk then scores
+  /// segments with the law-integrated formulas of segment_math.hpp, in the
+  /// same operation order as the SegmentTables streams the DPs consume.
+  std::optional<WeibullLawTasks> law_tasks_;
 };
 
 }  // namespace chainckpt::analysis

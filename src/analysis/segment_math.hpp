@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "chain/weight_table.hpp"
 
@@ -86,6 +87,105 @@ double e_right_step(const Interval& seg, double lambda_f, double v_partial,
 /// `seg` is the interval (p1, v2] and `e_right_at_v2` is R_M.
 double e_partial_terminal(const Interval& seg, double lambda_f,
                           double v_partial, double v_guaranteed, double miss,
+                          const LeftContext& left) noexcept;
+
+// ---------------------------------------------------------------------------
+// Law-integrated generalization (platform::FailureLaw::kWeibull).
+//
+// The simulator renews the fail-stop clock per *task attempt* (each task of
+// weight w_t draws one failure time; see error::WeibullInjector), so the
+// renewal argument behind Eq. (4) goes through for any attempt law, with
+// the interval quantities replaced by their law integrals:
+//
+//   H(i,j)      = sum_{t=i+1}^{j} rho_t,  rho_t = (w_t / theta)^k
+//                 (cumulative hazard of one attempt over the interval)
+//   e^{lf W}    ->  e^{H}          em1_f  ->  expm1(H)
+//   Lambda(i,j) = E[elapsed * 1{attempt fails}]
+//               = sum_t e^{-H(i,t-1)} (p_t W(i,t-1) + E[T 1{T<w_t}])
+//   x = (e^{lf W}-1)/lf  ->  Lambda e^{H} + W
+//   T_lost (Eq. 3)       ->  Lambda / p_fail
+//
+// Silent errors stay per-task Bernoulli-exponential in both the model and
+// the simulator, so every lambda_s term is untouched; the four formulas
+// below keep the exact linear structure of their exponential counterparts,
+// which is what lets SegmentTables feed the same SoA coefficient streams
+// to the unmodified DP kernels.  At shape k = 1 the quantities reduce to
+// the exponential ones analytically (H = lf W, Lambda e^H + W = em1_f/lf);
+// bitwise equality of the streams is obtained by delegation, not by this
+// path (see segment_tables.cpp).
+// ---------------------------------------------------------------------------
+
+/// Interval quantities under an arbitrary per-attempt failure law.  em1_f
+/// carries expm1(H); x and t_lost carry the law integrals that the
+/// exponential formulas derive from lambda_f on the fly.
+struct LawInterval {
+  double w = 0.0;       ///< W_{i,j}
+  double em1_f = 0.0;   ///< e^{H(i,j)} - 1
+  double em1_s = 0.0;   ///< e^{lambda_s W} - 1 (silent errors unchanged)
+  double x = 0.0;       ///< Lambda e^{H} + W (law integral of (e^{lf W}-1)/lf)
+  double t_lost = 0.0;  ///< E[elapsed | the attempt fails] = Lambda / p_fail
+
+  double exp_f() const noexcept { return 1.0 + em1_f; }
+  double exp_s() const noexcept { return 1.0 + em1_s; }
+  double em1_fs() const noexcept { return em1_f + em1_s + em1_f * em1_s; }
+  double exp_fs() const noexcept { return 1.0 + em1_fs(); }
+};
+
+/// Per-task hazard data of a chain under a mean-matched Weibull planning
+/// law: theta = 1 / (lambda_f * Gamma(1 + 1/shape)) so one attempt's mean
+/// time-to-failure equals the exponential law's 1/lambda_f.  lambda_f <= 0
+/// degenerates to the failure-free law (all hazards zero).
+class WeibullLawTasks {
+ public:
+  WeibullLawTasks(const chain::WeightTable& table, double lambda_f,
+                  double shape);
+
+  std::size_t n() const noexcept { return rho_.size() - 1; }
+  double shape() const noexcept { return shape_; }
+  /// Per-attempt hazard rho_t = (w_t / theta)^shape, t in 1..n.
+  double rho(std::size_t t) const noexcept { return rho_[t]; }
+  /// P(task t's attempt fails) = 1 - e^{-rho_t}.
+  double p_fail(std::size_t t) const noexcept { return p_fail_[t]; }
+  /// E[T 1{T < w_t}]: expected elapsed work inside task t on a failing
+  /// attempt.  Closed form theta Gamma(1+1/k) P(1+1/k, rho_t) = P(...)/
+  /// lambda_f, with Gauss-Legendre quadrature as the fallback.
+  double elapsed_when_failed(std::size_t t) const noexcept {
+    return elapsed_failed_[t];
+  }
+
+ private:
+  double shape_ = 1.0;
+  std::vector<double> rho_;
+  std::vector<double> p_fail_;
+  std::vector<double> elapsed_failed_;
+};
+
+/// Law quantities of the interval (i, j], accumulated left-to-right over
+/// the tasks.  The operation order matches the SegmentTables Weibull build
+/// exactly (one exp(-H) per task, Lambda summed in task order), so values
+/// computed here are bitwise equal to the stored streams.
+LawInterval make_law_interval(const chain::WeightTable& table,
+                              const WeibullLawTasks& tasks, std::size_t i,
+                              std::size_t j);
+
+/// Eq. (4) under the law integrals; same linear structure, with the x term
+/// carried inside `seg`.
+double expected_verified_segment(const LawInterval& seg, double v_guaranteed,
+                                 const LeftContext& left) noexcept;
+
+/// Section III-B E^- under the law integrals.
+double e_minus_segment(const LawInterval& seg, double v_partial, double miss,
+                       const LeftContext& left, double e_right_next) noexcept;
+
+/// Section III-B E_right step under the law integrals (t_lost is carried
+/// inside `seg`).
+double e_right_step(const LawInterval& seg, double v_partial, double miss,
+                    double r_disk, double r_mem, double e_mem,
+                    double e_right_next) noexcept;
+
+/// Terminal E_partial choice under the law integrals.
+double e_partial_terminal(const LawInterval& seg, double v_partial,
+                          double v_guaranteed, double miss,
                           const LeftContext& left) noexcept;
 
 }  // namespace chainckpt::analysis

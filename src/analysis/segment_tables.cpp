@@ -14,7 +14,6 @@ SegmentTables::SegmentTables(const chain::WeightTable& table,
     : n_(table.n()), has_rows_(build_rows) {
   const std::size_t stride = n_ + 1;
   const std::size_t cells = stride * stride;
-  const double lambda_f = table.lambda_f();
 
   vg_.assign(stride, 0.0);
   vp_.assign(stride, 0.0);
@@ -39,6 +38,23 @@ SegmentTables::SegmentTables(const chain::WeightTable& table,
   d_c_.assign(cells, 0.0);
   fs_c_.assign(cells, 0.0);
 
+  // Planning-law dispatch: a Weibull law at shape exactly 1 *delegates* to
+  // the exponential build, which makes the k = 1 reduction bitwise (the raw
+  // Weibull formulas are only equal up to association order: they sum
+  // per-task hazards where the exponential path multiplies lambda_f by a
+  // prefix-difference weight).
+  const platform::PlanningLaw& law = costs.planning_law();
+  if (law.is_exponential()) {
+    build_exponential(table);
+  } else {
+    build_weibull(table, law.weibull_shape);
+  }
+  build_qi_certificate();
+}
+
+void SegmentTables::build_exponential(const chain::WeightTable& table) {
+  const std::size_t stride = n_ + 1;
+  const double lambda_f = table.lambda_f();
   for (std::size_t i = 0; i <= n_; ++i) {
     for (std::size_t j = i; j <= n_; ++j) {
       // Same expression trees as segment_math.cpp / WeightTable, so the
@@ -58,7 +74,7 @@ SegmentTables::SegmentTables(const chain::WeightTable& table,
       c_c_[cm] = c;
       d_c_[cm] = d;
       fs_c_[cm] = seg.exp_fs();
-      if (build_rows) {
+      if (has_rows_) {
         const double ef = seg.exp_f();
         const std::size_t rm = i * stride + j;
         exv_r_[rm] = es * (x + vp_[j]);
@@ -72,7 +88,57 @@ SegmentTables::SegmentTables(const chain::WeightTable& table,
       }
     }
   }
-  build_qi_certificate();
+}
+
+void SegmentTables::build_weibull(const chain::WeightTable& table,
+                                  double shape) {
+  const std::size_t stride = n_ + 1;
+  const WeibullLawTasks tasks(table, table.lambda_f(), shape);
+  for (std::size_t i = 0; i <= n_; ++i) {
+    // Incremental law accumulators over j, in the exact operation order of
+    // make_law_interval so evaluator-side LawInterval values are bitwise
+    // equal to the stored streams.
+    double hazard = 0.0;
+    double lambda_acc = 0.0;
+    for (std::size_t j = i; j <= n_; ++j) {
+      if (j > i) {
+        const double survive_prefix = std::exp(-hazard);
+        lambda_acc +=
+            survive_prefix * (tasks.p_fail(j) * table.weight(i, j - 1) +
+                              tasks.elapsed_when_failed(j));
+        hazard += tasks.rho(j);
+      }
+      LawInterval seg;
+      seg.w = table.weight(i, j);
+      seg.em1_f = std::expm1(hazard);
+      seg.em1_s = table.em1_s(i, j);
+      const double ef = 1.0 + seg.em1_f;
+      seg.x = lambda_acc * ef + seg.w;
+      const double pf = seg.em1_f / ef;
+      seg.t_lost = pf > 0.0 ? lambda_acc / pf : 0.5 * seg.w;
+      const double es = seg.exp_s();
+      const double b = es * seg.em1_f;
+      const double c = seg.em1_fs();
+      const double d = seg.em1_s;
+      const std::size_t cm = j * stride + i;
+      exvg_c_[cm] = es * (seg.x + vg_[j]);
+      b_c_[cm] = b;
+      c_c_[cm] = c;
+      d_c_[cm] = d;
+      fs_c_[cm] = seg.exp_fs();
+      if (has_rows_) {
+        const std::size_t rm = i * stride + j;
+        exv_r_[rm] = es * (seg.x + vp_[j]);
+        b_r_[rm] = b;
+        c_r_[rm] = c;
+        d_r_[rm] = d;
+        tl_r_[rm] = seg.t_lost;
+        pf_r_[rm] = pf;
+        ef_r_[rm] = ef;
+        w_r_[rm] = seg.w;
+      }
+    }
+  }
 }
 
 void SegmentTables::build_qi_certificate() {

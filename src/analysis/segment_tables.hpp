@@ -153,6 +153,14 @@ class SegmentTables {
   std::vector<double> vg_, vp_;
   QiCertificate qi_;
 
+  /// Paper Eq. (4) coefficient fill (the default; also taken verbatim by a
+  /// Weibull planning law at shape exactly 1, which makes the k = 1
+  /// reduction bitwise).
+  void build_exponential(const chain::WeightTable& table);
+  /// Law-integrated fill (platform::FailureLaw::kWeibull): same streams,
+  /// with em1_f/x/tl/pf/ef/fs replaced by their renewal-law integrals --
+  /// see the LawInterval block of segment_math.hpp.
+  void build_weibull(const chain::WeightTable& table, double shape);
   void build_qi_certificate();
 };
 

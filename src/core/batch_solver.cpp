@@ -67,10 +67,21 @@ BatchSolver::TableKey BatchSolver::make_key(
     const chain::TaskChain& chain, const platform::CostModel& costs) {
   TableKey key;
   const std::size_t n = chain.size();
-  key.bits.reserve(3 + 3 * n);
+  key.bits.reserve(5 + 3 * n);
   key.bits.push_back(static_cast<std::uint64_t>(n));
   key.bits.push_back(to_bits(costs.lambda_f()));
   key.bits.push_back(to_bits(costs.lambda_s()));
+  // The planning law changes every coefficient stream SegmentTables
+  // builds, so it must discriminate cache entries; laws that reduce to the
+  // exponential build share its key (and therefore its tables).
+  const platform::PlanningLaw& law = costs.planning_law();
+  if (law.is_exponential()) {
+    key.bits.push_back(0);
+    key.bits.push_back(to_bits(1.0));
+  } else {
+    key.bits.push_back(static_cast<std::uint64_t>(law.law));
+    key.bits.push_back(to_bits(law.weibull_shape));
+  }
   for (std::size_t i = 1; i <= n; ++i) {
     key.bits.push_back(to_bits(chain.weight(i)));
   }

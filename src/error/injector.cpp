@@ -58,7 +58,19 @@ WeibullInjector::WeibullInjector(double lambda_f, double shape,
 
 TaskAttemptOutcome WeibullInjector::attempt(double duration) {
   TaskAttemptOutcome out;
-  if (lambda_f_ > 0.0) {
+  // shape == 1 IS the exponential law, so it must be DISTRIBUTION-
+  // identical to PoissonInjector on the same seed: same draw count, same
+  // expression tree.  The generic inverse-CDF below is mathematically
+  // equal at shape 1 (scale = 1/lambda_f, pow(x, 1.0) = x) but not
+  // bitwise: scale_ * (-log u) rounds differently from -log(u) / rate.
+  // Delegating to the shared exponential sampler closes that seam.
+  if (shape_ == 1.0) {
+    const double t_fail = rng_.exponential(lambda_f_);
+    if (t_fail < duration) {
+      out.fail_stop_after = t_fail;
+      return out;
+    }
+  } else if (lambda_f_ > 0.0) {
     // Inverse-CDF sample: T = scale * (-log U)^{1/shape}.  One uniform
     // draw per attempt, exactly like the exponential path, so swapping
     // laws never changes the draw count per attempt.

@@ -48,6 +48,14 @@ CostModel::CostModel(const Platform& platform, std::vector<double> c_disk,
   }
 }
 
+void CostModel::set_planning_law(PlanningLaw law) {
+  CHAINCKPT_REQUIRE(law.law == FailureLaw::kExponential ||
+                        (law.weibull_shape > 0.0 &&
+                         law.weibull_shape == law.weibull_shape),
+                    "Weibull planning law needs a positive shape");
+  planning_law_ = law;
+}
+
 void CostModel::check_position(std::size_t i) const {
   CHAINCKPT_REQUIRE(i >= 1, "action positions are 1-based task indices");
   if (!uniform_) {

@@ -19,6 +19,28 @@
 
 namespace chainckpt::platform {
 
+/// Failure law the *planner* integrates the Eq. (4)-style expectations
+/// under.  kExponential is the paper's memoryless law; kWeibull renews per
+/// task attempt with shape k and the mean-matched scale
+/// theta = 1 / (lambda_f * Gamma(1 + 1/k)), matching error::WeibullInjector.
+/// The knob changes only what analysis::SegmentTables / the evaluator
+/// build -- the DP kernels consume the resulting coefficient streams
+/// unchanged.
+enum class FailureLaw { kExponential, kWeibull };
+
+struct PlanningLaw {
+  FailureLaw law = FailureLaw::kExponential;
+  /// Weibull shape k (> 0); ignored under kExponential.
+  double weibull_shape = 1.0;
+
+  /// True when the law collapses to the paper's memoryless case.  Shape
+  /// exactly 1 takes the exponential build verbatim, so its coefficient
+  /// streams are bitwise-identical to today's (see segment_tables.cpp).
+  bool is_exponential() const noexcept {
+    return law == FailureLaw::kExponential || weibull_shape == 1.0;
+  }
+};
+
 class CostModel {
  public:
   /// Constant costs taken from a Platform record (the paper's setting).
@@ -48,6 +70,11 @@ class CostModel {
   /// g = 1 - recall.
   double miss() const noexcept { return platform_.miss_probability(); }
 
+  /// Planning law (defaults to the paper's exponential; see FailureLaw).
+  const PlanningLaw& planning_law() const noexcept { return planning_law_; }
+  /// Requires weibull_shape > 0 when the law is kWeibull.
+  void set_planning_law(PlanningLaw law);
+
   /// Cost of taking a disk checkpoint after task i (i >= 1).
   double c_disk_after(std::size_t i) const;
   /// Cost of taking a memory checkpoint after task i (i >= 1).
@@ -70,6 +97,7 @@ class CostModel {
 
  private:
   Platform platform_;
+  PlanningLaw planning_law_{};
   bool uniform_ = true;
   std::vector<double> c_disk_;
   std::vector<double> c_mem_;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "scenario/report.hpp"
+#include "scenario/spec_io.hpp"
 
 namespace chainckpt::scenario {
 
@@ -40,6 +41,12 @@ FailureSpec weibull(double shape, double modeled, double actual) {
   return f;
 }
 
+FailureSpec weibull_planned(double shape, double recall) {
+  FailureSpec f = weibull(shape, recall, recall);
+  f.plan_under_law = true;
+  return f;
+}
+
 /// The honest regimes: everything the DP assumes holds, so the sim lane
 /// must agree within its CI.  Recall sweep per the imperfect-verification
 /// axis (Table I default is 0.8).
@@ -53,14 +60,30 @@ std::vector<Regime> honest_regimes(bool smoke) {
           {"exp-r0.5", exp_recall(0.5)}};
 }
 
+/// Heavy-tail regimes planned under their ACTUAL law: honest-recall
+/// Weibull cells whose DP integrates the Weibull segment expectations, so
+/// the sim lane asserts CI agreement (in-model) instead of flagging.  The
+/// "weib0.7"/"weib0.5" tags are the PR 7 divergence-lane names on purpose:
+/// the same cells (same name-keyed seeds) flipped from flagged to
+/// in-model.
+std::vector<Regime> planned_regimes(bool smoke) {
+  if (smoke) {
+    return {{"weib0.7", weibull_planned(0.7, 0.8)}};
+  }
+  return {{"weib0.7", weibull_planned(0.7, 0.8)},
+          {"weib0.5", weibull_planned(0.5, 0.8)}};
+}
+
 /// The divergence-lane regimes: each breaks a DP assumption on purpose.
+/// "weib0.7-expplan" keeps the old exponential-planned heavy-tail row as
+/// the divergence detector (and the restart-vs-checkpoint comparison
+/// column makes the cost of planning under the wrong law visible).
 std::vector<Regime> broken_regimes(bool smoke) {
   if (smoke) {
-    return {{"exp-mis0.95a0.5", exp_mismatch(0.95, 0.5)},
-            {"weib0.7", weibull(0.7, 0.8, 0.8)}};
+    return {{"exp-mis0.95a0.5", exp_mismatch(0.95, 0.5)}};
   }
   return {{"exp-mis0.95a0.5", exp_mismatch(0.95, 0.5)},
-          {"weib0.7", weibull(0.7, 0.8, 0.8)},
+          {"weib0.7-expplan", weibull(0.7, 0.8, 0.8)},
           {"weib0.5-mis", weibull(0.5, 0.95, 0.5)}};
 }
 
@@ -109,10 +132,17 @@ std::uint64_t derive_cell_seed(std::uint64_t master_seed,
 }
 
 std::vector<ScenarioSpec> build_matrix(const MatrixOptions& options) {
+  if (!options.spec_dir.empty()) {
+    // User-supplied corpus: every *.json in the directory, sorted by
+    // filename; the generated cross is skipped entirely.
+    return load_spec_dir(options.spec_dir);
+  }
+
   std::vector<ScenarioSpec> cells;
 
   const std::vector<ShapeAxis> shapes = shape_axis(options.smoke);
   const std::vector<Regime> honest = honest_regimes(options.smoke);
+  const std::vector<Regime> planned = planned_regimes(options.smoke);
   const std::vector<Regime> broken = broken_regimes(options.smoke);
   const std::vector<std::size_t> sizes =
       options.smoke ? std::vector<std::size_t>{24} : options.sizes;
@@ -168,14 +198,19 @@ std::vector<ScenarioSpec> build_matrix(const MatrixOptions& options) {
     }
   }
 
-  // Divergence cross: every shape x base platform x broken regime at the
-  // small size (heavy-tail replicas are slow; one size suffices to
-  // exercise each break).
+  // Heavy-tail planned cross + divergence cross: every shape x base
+  // platform at the small size (heavy-tail replicas are slow; one size
+  // suffices to exercise each regime).  Planned regimes are in-model;
+  // broken regimes are measured and flagged.
   const std::size_t small_n = sizes.front();
   for (const ShapeAxis& shape : shapes) {
     for (const std::string& platform : platforms) {
       PlatformSpec p;
       p.base = platform;
+      for (const Regime& regime : planned) {
+        push(cell_name(shape.tag, small_n, platform, false, regime.tag),
+             shape.chain, p, regime, small_n);
+      }
       for (const Regime& regime : broken) {
         push(cell_name(shape.tag, small_n, platform, false, regime.tag),
              shape.chain, p, regime, small_n);

@@ -9,10 +9,12 @@
 //     cost), with a per-position-cost variant riding the uniform shape;
 //   * platforms: a Table I subset plus seeded random perturbations;
 //   * failure regimes: exponential with matched recall in {1.0, 0.8,
-//     0.5}, an exponential recall MISMATCH (modeled 0.95 / actual 0.5),
-//     and Weibull heavy tails (shape 0.7 honest, shape 0.5 + recall
-//     mismatch) -- the last three are divergence-lane regimes where the
-//     DP's assumptions break by construction;
+//     0.5}; Weibull heavy tails PLANNED under the Weibull law (shape 0.7
+//     and 0.5, honest recall -- in-model since the planning-law work, so
+//     the sim lane asserts agreement); and the divergence-lane breaks
+//     (exponential recall mismatch, Weibull planned exponentially, and
+//     Weibull shape 0.5 + recall mismatch) where a DP assumption is
+//     violated by construction;
 //   * traffic: a Poisson and a bursty arrival lane through
 //     service::SolverService on a platform/shape subset.
 //
@@ -47,6 +49,10 @@ struct MatrixOptions {
   bool traffic_cells = true;
   /// Reduced axes for smoke runs (CI matrix lane on every push).
   bool smoke = false;
+  /// When non-empty, build_matrix() ignores the generated cross and
+  /// returns the specs loaded from this directory (every *.json, sorted
+  /// by filename) -- external corpora sweep without recompiling.
+  std::string spec_dir;
 };
 
 /// Expands the options into the deterministic cell list.  Pure function.

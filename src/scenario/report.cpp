@@ -102,6 +102,7 @@ std::string report_to_json(const ScenarioReport& report) {
     const CellReport& cell = report.cells[i];
     out += "    {\"name\": \"" + json_escape(cell.name) + "\"";
     out += ", \"seed\": " + std::to_string(cell.seed);
+    out += ", \"planning_law\": \"" + json_escape(cell.planning_law) + "\"";
     out += ", \"assumptions_hold\": ";
     out += json_bool(cell.assumptions_hold);
     out += ", \"flagged\": ";
@@ -121,6 +122,8 @@ std::string report_to_json(const ScenarioReport& report) {
       out += ", \"configs\": " + std::to_string(dp.configs);
       out += ", \"configs_identical\": ";
       out += json_bool(dp.configs_identical);
+      out += ", \"restart_makespan\": " + fmt_double(dp.restart_makespan);
+      out += ", \"restart_ratio\": " + fmt_double(dp.restart_ratio);
       out += ", \"plan\": \"" + json_escape(dp.plan_compact) + "\"}";
     }
     out += "],\n     \"sim\": [";

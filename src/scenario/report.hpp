@@ -56,6 +56,14 @@ struct DpLaneResult {
   /// bit-identical plans and objectives.
   bool configs_identical = false;
   std::size_t configs = 0;    ///< configurations cross-checked
+  /// Restart-vs-checkpoint comparison (Sodre et al.): the restart-only
+  /// plan (no intermediate actions, mandatory final disk checkpoint)
+  /// scored under the SAME planning law as the DP, and its makespan
+  /// relative to the optimized plan.  A ratio well above 1 quantifies
+  /// what checkpointing buys on this cell; heavy-tail cells planned
+  /// under Weibull show it growing with 1/shape.
+  double restart_makespan = 0.0;
+  double restart_ratio = 0.0;  ///< restart_makespan / expected_makespan
 };
 
 /// One algorithm's Monte-Carlo lane in one cell.
@@ -87,6 +95,9 @@ struct ServiceLaneResult {
 struct CellReport {
   std::string name;
   std::uint64_t seed = 0;
+  /// Planning-law column: "exponential" or "weibull k=<shape>" -- the law
+  /// the modeled cost model's DP integrated segment expectations under.
+  std::string planning_law;
   bool assumptions_hold = true;
   bool diverged = false;        ///< any sim lane outside the interval
   bool flagged = false;         ///< !assumptions_hold (divergence lane)

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "analysis/evaluator.hpp"
 #include "core/optimizer.hpp"
 #include "error/injector.hpp"
 #include "scenario/traffic.hpp"
@@ -80,12 +81,29 @@ sim::InjectorFactory make_injector_factory(const ScenarioSpec& spec,
   };
 }
 
+/// Human-readable planning-law tag for the report column.
+std::string planning_law_name(const platform::CostModel& costs) {
+  const platform::PlanningLaw& law = costs.planning_law();
+  if (law.is_exponential()) return "exponential";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "weibull k=%g", law.weibull_shape);
+  return buf;
+}
+
 /// Reference solves + cross-configuration equivalence for one cell.
 /// Returns the reference OptimizationResults (spec.algorithms order) for
 /// the other lanes.
 std::vector<core::OptimizationResult> run_dp_lane(const ScenarioSpec& spec,
                                                   const MaterializedCell& cell,
                                                   CellReport& out) {
+  // Restart-vs-checkpoint comparison (Sodre et al.): score the
+  // restart-only plan -- no intermediate actions, just the mandatory
+  // final disk checkpoint -- under the SAME planning law the DP used.
+  // One number per cell; the per-algorithm ratio lands in each DP lane.
+  const double restart_makespan =
+      analysis::PlanEvaluator(cell.chain, cell.modeled_costs)
+          .expected_makespan(plan::ResiliencePlan(cell.chain.size()));
+
   std::vector<core::OptimizationResult> references;
   references.reserve(spec.algorithms.size());
   for (core::Algorithm algorithm : spec.algorithms) {
@@ -108,6 +126,10 @@ std::vector<core::OptimizationResult> run_dp_lane(const ScenarioSpec& spec,
         lane.expected_makespan = result.expected_makespan;
         lane.makespan_bits = double_bits_hex(result.expected_makespan);
         lane.plan_compact = result.plan.compact_string();
+        lane.restart_makespan = restart_makespan;
+        lane.restart_ratio = result.expected_makespan != 0.0
+                                 ? restart_makespan / result.expected_makespan
+                                 : 0.0;
         references.push_back(std::move(result));
       } else if (digest != reference_digest) {
         lane.configs_identical = false;
@@ -300,6 +322,7 @@ CellReport run_cell(const ScenarioSpec& spec, const RunnerOptions& options) {
   CellReport report;
   report.name = spec.name;
   report.seed = spec.seed;
+  report.planning_law = planning_law_name(cell.modeled_costs);
   report.assumptions_hold = spec.failure.assumptions_hold();
   report.flagged = !report.assumptions_hold;
 

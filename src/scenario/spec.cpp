@@ -190,7 +190,9 @@ TrafficKind traffic_kind_from_string(const std::string& name) {
 }
 
 bool FailureSpec::assumptions_hold() const noexcept {
-  if (law != FailureLaw::kExponential) return false;
+  // A Weibull cell planned under the Weibull law is in-model: the DP
+  // integrates the same per-attempt renewal law the injector samples.
+  if (law != FailureLaw::kExponential && !plan_under_law) return false;
   // actual < 0 mirrors modeled: always honest.  An explicit actual
   // against an implicit (platform-default) modeled recall is treated as
   // a mismatch -- conservative: the cell goes to the divergence lane.
@@ -306,6 +308,13 @@ MaterializedCell materialize(const ScenarioSpec& spec) {
   // Identical cost vectors (same kCostStream draw), different recall.
   platform::CostModel actual_costs =
       build_costs(actual, spec.chain, spec.seed);
+  if (spec.failure.plan_under_law &&
+      spec.failure.law == FailureLaw::kWeibull) {
+    // The DP plans under the injector's law: Weibull, mean-matched scale,
+    // renewed per task attempt (see platform::PlanningLaw).
+    modeled_costs.set_planning_law({platform::FailureLaw::kWeibull,
+                                    spec.failure.weibull_shape});
+  }
 
   return MaterializedCell{std::move(chain), std::move(modeled),
                           std::move(actual), std::move(modeled_costs),

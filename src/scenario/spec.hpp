@@ -98,8 +98,15 @@ struct FailureSpec {
   /// modeled_recall.  A mismatch is a deliberate model-assumption break:
   /// the DP prices detection at one recall while reality pays another.
   double actual_recall = -1.0;
+  /// Plan under the cell's ACTUAL failure law: materialization stamps a
+  /// matching platform::PlanningLaw on the modeled cost model, so the DP
+  /// optimizes Weibull-integrated segment expectations instead of the
+  /// paper's exponential closed forms.  No effect under kExponential.
+  /// Defaults to false -- the PR 7 behavior (and golden digests) exactly.
+  bool plan_under_law = false;
 
-  /// True when the DP's assumptions hold in this regime: exponential law
+  /// True when the DP's assumptions hold in this regime: the planning law
+  /// matches the actual law (exponential, or Weibull with plan_under_law)
   /// and actual recall == modeled recall.  Cells where this is false are
   /// DIVERGENCE-LANE cells -- the runner measures the sim-vs-DP gap and
   /// flags it instead of asserting agreement.

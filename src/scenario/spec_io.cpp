@@ -1,7 +1,9 @@
 #include "scenario/spec_io.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -278,7 +280,8 @@ std::string spec_to_json(const ScenarioSpec& spec) {
      << ", \"rate_scale\": " << fmt_double(spec.failure.rate_scale)
      << ", \"modeled_recall\": " << fmt_double(spec.failure.modeled_recall)
      << ", \"actual_recall\": " << fmt_double(spec.failure.actual_recall)
-     << "},\n";
+     << ", \"plan_under_law\": "
+     << (spec.failure.plan_under_law ? "true" : "false") << "},\n";
   os << "  \"traffic\": {\"kind\": \"" << to_string(spec.traffic.kind)
      << "\", \"jobs\": " << spec.traffic.jobs
      << ", \"rate\": " << fmt_double(spec.traffic.rate)
@@ -344,6 +347,9 @@ ScenarioSpec spec_from_json(const std::string& json) {
     spec.failure.rate_scale = get_number(f, "rate_scale", 1.0);
     spec.failure.modeled_recall = get_number(f, "modeled_recall", -1.0);
     spec.failure.actual_recall = get_number(f, "actual_recall", -1.0);
+    // Absent in pre-planning-law fixtures: default keeps their exponential
+    // planning (and golden digests) untouched.
+    spec.failure.plan_under_law = get_bool(f, "plan_under_law", false);
   }
   if (const JsonValue* v = find(obj, "traffic")) {
     const JsonObject& t = get_object(*v, "traffic");
@@ -414,6 +420,24 @@ void save_spec(const std::string& path, const ScenarioSpec& spec) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write scenario spec: " + path);
   out << spec_to_json(spec);
+}
+
+std::vector<ScenarioSpec> load_spec_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("scenario spec directory not found: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(paths.size());
+  for (const std::string& path : paths) specs.push_back(load_spec(path));
+  return specs;
 }
 
 }  // namespace chainckpt::scenario

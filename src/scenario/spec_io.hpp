@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "scenario/spec.hpp"
 
@@ -26,5 +27,11 @@ ScenarioSpec spec_from_json(const std::string& json);
 /// File helpers; throw std::runtime_error when the path is unreadable.
 ScenarioSpec load_spec(const std::string& path);
 void save_spec(const std::string& path, const ScenarioSpec& spec);
+
+/// Loads every *.json spec in `dir`, sorted by filename so matrix runs
+/// over user-supplied corpora are order-deterministic.  Throws
+/// std::runtime_error on a missing directory and propagates per-file
+/// parse errors (each prefixed with its path).
+std::vector<ScenarioSpec> load_spec_dir(const std::string& dir);
 
 }  // namespace chainckpt::scenario

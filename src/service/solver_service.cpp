@@ -32,6 +32,9 @@ struct JobRecord {
   RejectReason reject_reason = RejectReason::kNone;
   std::uint64_t submit_seq = 0;
   std::uint64_t start_seq = 0;
+  /// Wall-clock instant of the most recent queue entry (submit or
+  /// requeue-after-preemption); priority aging boosts from it.
+  core::CancelToken::Clock::time_point queued_at{};
   /// Wall-clock instant of the most recent dispatch; the preemption
   /// policy's estimate of a running job's remaining time reads it.
   core::CancelToken::Clock::time_point started_at{};
@@ -143,6 +146,9 @@ SolverService::SolverService(ServiceOptions options)
   pool_ = std::thread([this] {
     util::parallel_for(0, workers_, [this](std::size_t) { worker_loop(); });
   });
+  if (options_.enable_preemption && options_.watchdog_interval.count() > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 SolverService::~SolverService() { shutdown(); }
@@ -194,6 +200,7 @@ JobHandle SolverService::submit(JobRequest request) {
       }
       record->state = JobState::kQueued;
       record->submit_seq = ++event_seq_;
+      record->queued_at = core::CancelToken::Clock::now();
       queue_.push_back(record);
       queued_units_ += record->cost_units;
       maybe_preempt_locked();
@@ -283,8 +290,10 @@ void SolverService::shutdown() {
   }
   work_ready_.notify_all();
   job_done_.notify_all();
+  watchdog_wake_.notify_all();
   for (const JobStatus& status : dropped) invoke_callback(callback, status);
   if (pool_.joinable()) pool_.join();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 ServiceStats SolverService::stats() const {
@@ -329,15 +338,53 @@ void SolverService::settle_gauges_locked() {
   if (running_jobs_.empty()) inflight_units_ = 0.0;
 }
 
+void SolverService::watchdog_loop() {
+  // The tick exists because deadline risk is a function of TIME, not of
+  // events: with every worker deep in long solves, nothing calls
+  // maybe_preempt_locked() while a queued deadline's remaining time
+  // decays past the at-risk threshold.  Re-running the policy each
+  // interval bounds how late the crossing is noticed by one tick.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    watchdog_wake_.wait_for(lock, options_.watchdog_interval);
+    if (stopping_) break;
+    maybe_preempt_locked();
+  }
+}
+
 std::shared_ptr<detail::JobRecord> SolverService::pop_runnable_locked() {
+  // Priority aging (opt-in): one clock read shared by every comparison in
+  // this pass, so the boosted ranking is a strict weak ordering even as
+  // waits tick upward between calls.  Effective class = submitted class
+  // + floor(wait / aging_interval), capped at kUrgent; FIFO within an
+  // effective class, so a long-waiting kBatch job eventually outranks
+  // freshly submitted kUrgent work and bounded starvation holds.
+  const bool aging = options_.aging_interval.count() > 0;
+  const auto now = aging ? core::CancelToken::Clock::now()
+                         : core::CancelToken::Clock::time_point{};
+  const auto aged_class = [&](const detail::JobRecord& r) {
+    const auto boosts = (now - r.queued_at) / options_.aging_interval;
+    const auto cls = static_cast<long long>(r.options.priority) + boosts;
+    return std::min<long long>(
+        cls, static_cast<long long>(Priority::kUrgent));
+  };
+  const auto ranks = [&](const detail::JobRecord& a,
+                         const detail::JobRecord& b) {
+    if (!aging) return ranks_before(a, b);
+    const long long ca = aged_class(a);
+    const long long cb = aged_class(b);
+    if (ca != cb) return ca > cb;
+    return a.submit_seq < b.submit_seq;
+  };
+
   auto best = queue_.end();
   auto best_any = queue_.end();
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (best_any == queue_.end() || ranks_before(**it, **best_any)) {
+    if (best_any == queue_.end() || ranks(**it, **best_any)) {
       best_any = it;
     }
     if (!admission_.fits((*it)->cost_units, inflight_units_)) continue;
-    if (best == queue_.end() || ranks_before(**it, **best)) best = it;
+    if (best == queue_.end() || ranks(**it, **best)) best = it;
   }
   if (best != queue_.end()) {
     auto record = *best;
@@ -454,6 +501,7 @@ bool SolverService::requeue_preempted(
     record->token.clear_preempt();
     record->preempt_pending = false;
     record->state = JobState::kQueued;
+    record->queued_at = core::CancelToken::Clock::now();
     ++record->preemptions;
     ++counters_.preempted;
     inflight_units_ -= record->cost_units;

@@ -91,6 +91,25 @@ struct ServiceOptions {
   /// completed job in the class yet) is treated as at-risk -- the
   /// scheduler cannot rule a miss out, so it protects the deadline.
   double preemption_slack = 1.5;
+  /// Periodic deadline-risk watchdog.  The dispatcher historically
+  /// re-evaluated preemption only at submit/dispatch/completion events,
+  /// so a queued deadline could slide into the at-risk region during a
+  /// long event-free stretch (every worker busy on long solves) and
+  /// expire unprotected -- the stress battery caught exactly that.  The
+  /// watchdog re-runs the same policy every interval so the at-risk
+  /// crossing is observed within one tick.  Zero disables (restoring the
+  /// event-only behavior; the regression test does this on purpose).
+  std::chrono::milliseconds watchdog_interval{20};
+  /// Priority aging: when positive, a queued job's effective class for
+  /// DISPATCH ordering is raised one class per `aging_interval` waited
+  /// (capped at kUrgent), so sustained high-class storms cannot starve
+  /// kBatch forever -- waiting becomes rank.  Preemption victim/contender
+  /// selection still uses the submitted class (aging earns a turn, not
+  /// the right to displace running work).  Zero (the default) keeps
+  /// strict classes: several batteries assert zero inversions under
+  /// strict priority, so aging -- which trades inversions for bounded
+  /// starvation -- is opt-in.
+  std::chrono::milliseconds aging_interval{0};
 };
 
 /// Counters + gauges, snapshotted by stats().  The embedded solver's
@@ -177,10 +196,14 @@ class SolverService {
 
  private:
   void worker_loop();
+  /// Timer thread body: re-evaluates the preemption policy every
+  /// watchdog_interval so deadline risk is caught between events.
+  void watchdog_loop();
   /// Pops the highest-priority queued job fitting the admission budget,
   /// FIFO within a class (or the best queued job regardless of price
-  /// when the pool is idle); nullptr when nothing is runnable.  Requires
-  /// mutex_.
+  /// when the pool is idle); nullptr when nothing is runnable.  When
+  /// aging is enabled the ranking uses wait-boosted effective classes
+  /// against one shared clock read.  Requires mutex_.
   std::shared_ptr<detail::JobRecord> pop_runnable_locked();
   /// Preemption policy: if a queued strictly-higher-class job's deadline
   /// is at risk and displacing a running lower-class job would let it
@@ -231,6 +254,8 @@ class SolverService {
 
   std::size_t workers_ = 1;
   std::thread pool_;
+  std::condition_variable watchdog_wake_;  ///< shutdown: end the tick wait
+  std::thread watchdog_;
 };
 
 }  // namespace chainckpt::service

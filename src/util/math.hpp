@@ -29,6 +29,23 @@ double error_probability(double lambda, double duration) noexcept;
 /// duration.
 double expected_time_lost(double lambda, double duration) noexcept;
 
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a) for
+/// a > 0, x >= 0.  Power series for x < a + 1, modified-Lentz continued
+/// fraction on the upper tail otherwise.  The planning-law build evaluates
+/// it at a = 1 + 1/k for Weibull shapes k in (0, inf), where both branches
+/// converge in a handful of terms; accuracy is ~1e-14 relative.
+double incomplete_gamma_p(double a, double x) noexcept;
+
+/// E[T * 1{T < w}] for T ~ Weibull(shape, scale): the expected elapsed time
+/// of an attempt that fails inside a window of `w` seconds.  Evaluated by
+/// fixed-node (32-point) Gauss-Legendre quadrature after the substitution
+/// u = (t/scale)^shape, which removes the shape < 1 density singularity at
+/// t = 0:  integral_0^rho scale * u^{1/shape} e^{-u} du, rho = (w/scale)^
+/// shape.  Serves as the oracle for (and fallback of) the closed form
+/// scale * Gamma(1 + 1/shape) * P(1 + 1/shape, rho).
+double weibull_elapsed_quadrature(double shape, double scale,
+                                  double w) noexcept;
+
 /// True when |a - b| <= tol * max(1, |a|, |b|).
 bool approx_equal(double a, double b, double rel_tol) noexcept;
 

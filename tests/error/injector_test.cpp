@@ -169,6 +169,53 @@ TEST(WeibullInjector, HeavyTailMatchesWeibullCdf) {
   EXPECT_GT(expected_cdf, 2.0 * util::error_probability(lambda, w));
 }
 
+TEST(WeibullInjector, ShapeOneIsBitwiseThePoissonInjector) {
+  // shape == 1 IS the exponential law: on the same seed the two
+  // injectors must produce the IDENTICAL outcome sequence -- same draw
+  // count per attempt, same fail-stop instants bit for bit, same silent
+  // strikes, same recall sub-stream.  The generic inverse-CDF sampler
+  // rounds differently (scale * pow(-log u, 1.0) vs -log(u) / rate), so
+  // the injector delegates to the shared exponential sampler at shape 1;
+  // this test pins that delegation.
+  const double lambda_f = 1e-3, lambda_s = 4e-4;
+  PoissonInjector exp_inj(lambda_f, lambda_s, util::Xoshiro256::stream(77, 3));
+  WeibullInjector weib_inj(lambda_f, 1.0, lambda_s,
+                           util::Xoshiro256::stream(77, 3));
+  util::Xoshiro256 cadence(91);
+  for (int i = 0; i < 5000; ++i) {
+    // Interleave recall draws so the sub-stream discipline is compared
+    // too, and vary the window so both short and long attempts appear.
+    const int recalls = static_cast<int>(cadence() % 3);
+    for (int d = 0; d < recalls; ++d) {
+      ASSERT_EQ(exp_inj.partial_verification_detects(0.8),
+                weib_inj.partial_verification_detects(0.8));
+    }
+    const double w = 50.0 + static_cast<double>(cadence() % 2000);
+    const auto oe = exp_inj.attempt(w);
+    const auto ow = weib_inj.attempt(w);
+    ASSERT_EQ(oe.fail_stop_after.has_value(), ow.fail_stop_after.has_value());
+    if (oe.fail_stop_after.has_value()) {
+      ASSERT_EQ(*oe.fail_stop_after, *ow.fail_stop_after);
+    }
+    ASSERT_EQ(oe.silent_corruption, ow.silent_corruption);
+  }
+}
+
+TEST(WeibullInjector, ShapeOneDisabledFailStopMatchesPoissonDrawCount) {
+  // lambda_f == 0 disables fail-stop on both injectors; the streams must
+  // stay aligned there as well (the Poisson path consumes no draw for a
+  // disabled source, so neither may the Weibull path).
+  PoissonInjector exp_inj(0.0, 5e-4, util::Xoshiro256::stream(13, 1));
+  WeibullInjector weib_inj(0.0, 1.0, 5e-4, util::Xoshiro256::stream(13, 1));
+  for (int i = 0; i < 2000; ++i) {
+    const auto oe = exp_inj.attempt(300.0);
+    const auto ow = weib_inj.attempt(300.0);
+    ASSERT_FALSE(oe.fail_stop_after.has_value());
+    ASSERT_FALSE(ow.fail_stop_after.has_value());
+    ASSERT_EQ(oe.silent_corruption, ow.silent_corruption);
+  }
+}
+
 TEST(WeibullInjector, DeterministicAndRecallSubStreamIsolated) {
   WeibullInjector a(1e-3, 0.7, 2e-3, util::Xoshiro256::stream(23, 0));
   WeibullInjector b(1e-3, 0.7, 2e-3, util::Xoshiro256::stream(23, 0));

@@ -75,6 +75,45 @@ TEST(Agreement, HeavyTailedCellIsFlaggedAndDiverges) {
   EXPECT_TRUE(cell.ok);
 }
 
+TEST(Agreement, WeibullPlannedHonestCellsAgreeWithinCi) {
+  // The heavy-tail planning mode: when the DP optimizes under the SAME
+  // Weibull law the injector draws from (plan_under_law), the cell is
+  // back in-model -- honest agreement within the CI, not a flagged
+  // divergence.  This is the tentpole acceptance cell: the exact regime
+  // HeavyTailedCellIsFlaggedAndDiverges shows breaking the exponential
+  // planner is healed by planning under the law.
+  for (double shape : {0.7, 0.5}) {
+    ScenarioSpec spec = base_cell("agree-weibull-planned-k" +
+                                  std::to_string(shape));
+    spec.failure.law = FailureLaw::kWeibull;
+    spec.failure.weibull_shape = shape;
+    spec.failure.plan_under_law = true;
+    spec.failure.modeled_recall = 0.8;
+    spec.failure.actual_recall = 0.8;
+    ASSERT_TRUE(spec.failure.assumptions_hold());
+    const CellReport cell = run_cell(spec);
+    EXPECT_TRUE(cell.assumptions_hold) << "shape " << shape;
+    EXPECT_FALSE(cell.flagged) << "shape " << shape;
+    EXPECT_FALSE(cell.diverged) << "shape " << shape;
+    EXPECT_TRUE(cell.ok) << "shape " << shape;
+    EXPECT_EQ(cell.planning_law,
+              "weibull k=" + std::to_string(shape).substr(0, 3));
+    for (const SimLaneResult& lane : cell.sim) {
+      EXPECT_TRUE(lane.within_ci)
+          << lane.algorithm << " shape " << shape << " gap "
+          << lane.relative_gap << " (" << lane.gap_sigmas << " sigmas)";
+      EXPECT_GT(lane.sim_mean, 0.0);
+    }
+    for (const DpLaneResult& lane : cell.dp) {
+      EXPECT_TRUE(lane.configs_identical) << lane.algorithm;
+      // The restart-vs-checkpoint comparison: under a heavy tail the
+      // restart-only strategy is dramatically worse than the optimized
+      // plan, and the ratio must be recorded on the reference config.
+      EXPECT_GT(lane.restart_ratio, 1.0) << lane.algorithm;
+    }
+  }
+}
+
 TEST(Agreement, RecallMismatchIsFlaggedNeverAveraged) {
   ScenarioSpec spec = base_cell("agree-mismatch");
   spec.failure.modeled_recall = 0.95;

@@ -323,6 +323,179 @@ TEST(SchedulerStress, PreemptionStormFourWorkers) {
   run_preemption_storm(4);
 }
 
+/// Watchdog regression: manufactures a deadline-risk crossing in an
+/// EVENT-FREE window.  With slack < 1 and calibrated estimates, an
+/// urgent deadline can be safe at submit (remaining >= slack * (own
+/// estimate + batch wait)) yet drift into the at-risk region later:
+/// remaining decays at rate 1 while the threshold decays at rate slack.
+/// Between the submit and the batch solve's completion there is NO
+/// scheduler event, so the event-only dispatcher provably misses the
+/// crossing and the urgent job expires in queue; the periodic watchdog
+/// tick catches it and displaces the batch job in time.  Every duration
+/// is derived from the service's own in-situ calibrated estimates, so
+/// the scenario scales with machine speed.
+void run_watchdog_probe(milliseconds watchdog, std::uint64_t* preempted,
+                        JobState* urgent_state, JobState* batch_state) {
+  const platform::CostModel costs{platform::hera()};
+  // Calibration work and probe work differ (weights 25000 vs 26000) so
+  // the probe solves rebuild their tables: the estimate then reflects a
+  // cold solve, which is what the probe runs.
+  const core::BatchJob batch_cal{core::Algorithm::kADMV,
+                                 chain::make_uniform(72, 25000.0), costs};
+  const core::BatchJob urgent_cal{core::Algorithm::kADVstar,
+                                  chain::make_uniform(150, 25000.0), costs};
+  const core::BatchJob batch_probe{core::Algorithm::kADMV,
+                                   chain::make_uniform(72, 26000.0), costs};
+  const core::BatchJob urgent_probe{core::Algorithm::kADVstar,
+                                    chain::make_uniform(150, 26000.0), costs};
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.admission.budget_units = 0.0;  // unlimited
+  options.preemption_slack = 0.5;
+  options.watchdog_interval = watchdog;
+  SolverService service(options);
+
+  // Calibrate both algorithm classes: the at-risk math must run on real
+  // estimates, or the uncalibrated-is-at-risk rule preempts at submit
+  // and the event-free window never exists.
+  ASSERT_EQ(service.wait(service.submit({batch_cal})).state,
+            JobState::kSucceeded);
+  ASSERT_EQ(service.wait(service.submit({urgent_cal})).state,
+            JobState::kSucceeded);
+  const double est_b = service.estimate(core::Algorithm::kADMV, 72).seconds;
+  const double est_u =
+      service.estimate(core::Algorithm::kADVstar, 150).seconds;
+  ASSERT_GT(est_b, 0.0);
+  ASSERT_GE(est_u, 0.0);
+
+  // Pin the single worker with the batch probe.
+  JobHandle batch = service.submit({batch_probe, {Priority::kBatch}});
+  for (int i = 0; i < 2000 && service.stats().running < 1; ++i) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_EQ(service.stats().running, 1u);
+
+  // Deadline chosen between the submit-time threshold slack*(est_u +
+  // est_b) and the batch runtime est_b: safe now, at risk at
+  //   t* = (D - slack*(est_u + est_b)) / (1 - slack)  [40% into the
+  // batch solve for this D], expired before the batch solve's
+  // completion event.  Only the watchdog looks in between.
+  const double slack = options.preemption_slack;
+  const double deadline_s = slack * (est_u + est_b) + 0.2 * est_b;
+  ASSERT_LT(deadline_s, est_b);
+  JobHandle urgent = service.submit(
+      {urgent_probe,
+       {Priority::kUrgent,
+        milliseconds(static_cast<std::int64_t>(deadline_s * 1000.0))}});
+
+  *urgent_state = service.wait(urgent).state;
+  const JobStatus batch_status = service.wait(batch);
+  *batch_state = batch_status.state;
+  *preempted = service.stats().preempted;
+  service.shutdown();
+}
+
+TEST(SchedulerStress, WatchdogCatchesEventFreeDeadlineRisk) {
+  CHAINCKPT_REQUIRE_STRESS();
+  std::uint64_t preempted = 0;
+  JobState urgent_state = JobState::kQueued;
+  JobState batch_state = JobState::kQueued;
+  run_watchdog_probe(milliseconds(20), &preempted, &urgent_state,
+                     &batch_state);
+  // The tick observed the crossing: the batch job was displaced, the
+  // urgent job made its deadline, and the batch job still finished.
+  EXPECT_GE(preempted, 1u);
+  EXPECT_EQ(urgent_state, JobState::kSucceeded);
+  EXPECT_EQ(batch_state, JobState::kSucceeded);
+  std::cout << "[watchdog] preempted=" << preempted
+            << " urgent=" << to_string(urgent_state) << std::endl;
+}
+
+TEST(SchedulerStress, EventOnlyDispatcherMissesEventFreeDeadlineRisk) {
+  CHAINCKPT_REQUIRE_STRESS();
+  // The regression baseline: watchdog disabled restores the event-only
+  // dispatcher, and the exact same scenario strands the urgent job --
+  // nothing re-evaluates deadline risk between its submit and the batch
+  // solve's completion, which lands after the deadline.  This arm
+  // documents the bug the watchdog fixes; if it ever starts preempting,
+  // an event was added to the window and the watchdog arm should be
+  // re-derived.
+  std::uint64_t preempted = 0;
+  JobState urgent_state = JobState::kQueued;
+  JobState batch_state = JobState::kQueued;
+  run_watchdog_probe(milliseconds(0), &preempted, &urgent_state,
+                     &batch_state);
+  EXPECT_EQ(preempted, 0u);
+  EXPECT_EQ(urgent_state, JobState::kExpired);
+  EXPECT_EQ(batch_state, JobState::kSucceeded);
+}
+
+/// Bounded-starvation probe: one worker, a sustained kUrgent storm, and
+/// one kBatch job submitted just after the storm's first job pinned the
+/// worker.  Returns whether the batch job STARTED before the storm's
+/// last submission (start_seq vs submit_seq in the service-wide event
+/// order).  Under strict priority it cannot (the backlog of urgent work
+/// outranks it until the storm drains); with aging enabled its effective
+/// class reaches kUrgent after 3 intervals and FIFO-by-submit_seq within
+/// the class puts it ahead of every storm job submitted after it.
+bool run_aging_probe(milliseconds aging_interval) {
+  const platform::CostModel costs{platform::hera()};
+  const core::BatchJob work{core::Algorithm::kADMV,
+                            chain::make_uniform(40, 25000.0), costs};
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.admission.budget_units = 0.0;
+  options.enable_preemption = false;  // isolate dispatch ordering
+  options.aging_interval = aging_interval;
+  SolverService service(options);
+
+  // Pin the worker.
+  std::vector<JobHandle> urgent;
+  urgent.push_back(service.submit({work, {Priority::kUrgent}}));
+  for (int i = 0; i < 2000 && service.stats().running < 1; ++i) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  JobHandle batch = service.submit({work, {Priority::kBatch}});
+
+  // The storm: a continuous urgent backlog for ~600ms of submissions
+  // (each solve is tens of ms, so the queue never empties mid-storm).
+  for (int i = 0; i < 60; ++i) {
+    urgent.push_back(service.submit({work, {Priority::kUrgent}}));
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+
+  std::uint64_t last_storm_submit = 0;
+  for (const auto& handle : urgent) {
+    const JobStatus status = service.wait(handle);
+    EXPECT_EQ(status.state, JobState::kSucceeded);
+    last_storm_submit = std::max(last_storm_submit, status.submit_seq);
+  }
+  const JobStatus batch_status = service.wait(batch);
+  EXPECT_EQ(batch_status.state, JobState::kSucceeded);
+  service.shutdown();
+  return batch_status.start_seq != 0 &&
+         batch_status.start_seq < last_storm_submit;
+}
+
+TEST(SchedulerStress, AgingBoundsBatchStarvationUnderUrgentStorm) {
+  CHAINCKPT_REQUIRE_STRESS();
+  // With aging at 25ms/class the batch job reaches kUrgent rank ~75ms
+  // into a ~600ms storm and dispatches ahead of later arrivals: bounded
+  // starvation.
+  EXPECT_TRUE(run_aging_probe(milliseconds(25)));
+}
+
+TEST(SchedulerStress, StrictPriorityStarvesBatchUnderUrgentStorm) {
+  CHAINCKPT_REQUIRE_STRESS();
+  // The contrast arm: aging disabled (the default) preserves strict
+  // classes, and the same storm starves the batch job until it ends --
+  // which is exactly why aging_interval stays opt-in (other batteries
+  // assert zero inversions under strict priority).
+  EXPECT_FALSE(run_aging_probe(milliseconds(0)));
+}
+
 TEST(SchedulerStress, BudgetedChaosDrainsEverything) {
   CHAINCKPT_REQUIRE_STRESS();
   // A tight priced budget plus mixed priorities: inversions are now

@@ -36,8 +36,9 @@ def regime_of(cell_name: str) -> str:
         if cell_name.endswith("-" + token):
             return "traffic-" + token
     parts = cell_name.split("-")
-    # exp-r0.8 / exp-mis0.95a0.5 style regimes span two tokens.
-    if len(parts) >= 2 and parts[-2] == "exp":
+    # exp-r0.8 / exp-mis0.95a0.5 / weib0.7-expplan / weib0.5-mis style
+    # regimes span two tokens ("weib0.7" alone is the law-planned regime).
+    if len(parts) >= 2 and (parts[-2] == "exp" or parts[-2].startswith("weib")):
         return "-".join(parts[-2:])
     return parts[-1]
 
@@ -75,6 +76,10 @@ def main() -> int:
                         help="report path (relative to the repo root)")
     parser.add_argument("--seed", type=int, default=None,
                         help="master seed override")
+    parser.add_argument("--spec-dir", default=None,
+                        help="directory of *.json spec files swept INSTEAD "
+                             "of the generated matrix (e.g. "
+                             "tests/scenario/specs-weibull)")
     parser.add_argument("--skip-golden", action="store_true",
                         help="skip the golden-corpus digest check")
     parser.add_argument("--timing", action="store_true",
@@ -99,6 +104,8 @@ def main() -> int:
     cmd = [bench, "--mode", args.mode, "--out", out]
     if args.seed is not None:
         cmd += ["--seed", str(args.seed)]
+    if args.spec_dir is not None:
+        cmd += ["--spec-dir", REPO / args.spec_dir]
     if args.timing:
         cmd += ["--timing"]
     rc = run(cmd)
