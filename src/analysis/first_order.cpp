@@ -1,5 +1,6 @@
 #include "analysis/first_order.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -35,6 +36,11 @@ std::string FirstOrderPrediction::describe() const {
      << "s, disk ckpt every " << period_disk << "s; predicted overhead "
      << overhead * 100.0 << "%";
   return os.str();
+}
+
+double stability_radius(std::size_t mechanism_count) {
+  const double count = static_cast<double>(mechanism_count);
+  return std::clamp(2.0 / std::max(1.0, 2.0 * count), 0.02, 0.5);
 }
 
 FirstOrderPrediction first_order_prediction(const platform::Platform& p) {

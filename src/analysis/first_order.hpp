@@ -49,4 +49,16 @@ struct FirstOrderPrediction {
 /// the first-order optimum uses them only through a higher-order term).
 FirstOrderPrediction first_order_prediction(const platform::Platform& p);
 
+/// Advisory drift radius for a parameter that a mechanism deployed
+/// `mechanism_count` times responds to.  The Young/Daly periods above all
+/// scale as (cost/lambda)^{1/2}, so a relative parameter drift delta
+/// misplaces the optimal period by about delta/2 and the optimal count by
+/// about count * delta / 2; the radius is the drift at which roughly one
+/// placement moves, clamped to [0.02, 0.5] so dense plans keep a usable
+/// window and sparse plans do not claim unbounded stability.  This is a
+/// *screen*, not a soundness bound -- core::ValidityCertificate uses it
+/// to decide when a cached plan is even worth re-scoring, never to skip
+/// the re-scoring itself.
+double stability_radius(std::size_t mechanism_count);
+
 }  // namespace chainckpt::analysis

@@ -2,63 +2,185 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "analysis/segment_math.hpp"
+#include "util/assert.hpp"
 #include "util/math.hpp"
 
 namespace chainckpt::analysis {
 
+namespace {
+
+bool bits_differ(double a, double b) noexcept {
+  return std::memcmp(&a, &b, sizeof(double)) != 0;
+}
+
+}  // namespace
+
 SegmentTables::SegmentTables(const chain::WeightTable& table,
                              const platform::CostModel& costs,
                              bool build_rows)
-    : n_(table.n()), has_rows_(build_rows) {
+    : n_(table.n()),
+      has_rows_(build_rows),
+      lambda_f_(table.lambda_f()),
+      lambda_s_(table.lambda_s()),
+      law_(costs.planning_law()) {
+  build(table, costs, kStreamAll, nullptr);
+}
+
+SegmentTables::SegmentTables(const SegmentTables& base,
+                             const chain::WeightTable& table,
+                             const platform::CostModel& costs, bool build_rows,
+                             PatchSummary* summary)
+    : n_(table.n()),
+      has_rows_(build_rows),
+      lambda_f_(table.lambda_f()),
+      lambda_s_(table.lambda_s()),
+      law_(costs.planning_law()) {
+  CHAINCKPT_REQUIRE(base.n_ == n_,
+                    "segment-table patch donor has a different chain length");
+  unsigned mask = stream_mask_for(base, table, costs);
+  if (build_rows && !base.has_rows_) {
+    // The donor never built the row arrays; everything row-oriented must
+    // be filled from scratch (the b/c/d bits cover the row mirrors too).
+    mask |= kStreamB | kStreamC | kStreamD | kStreamExv | kStreamTl |
+            kStreamPf | kStreamEf | kStreamW;
+  }
+  build(table, costs, mask, &base);
+  if (summary != nullptr) {
+    const auto arrays_for = [this](unsigned m) {
+      std::size_t count = 0;
+      for (const unsigned col_bit :
+           {kStreamExvg, kStreamFs, kStreamVg, kStreamVp}) {
+        if (m & col_bit) ++count;
+      }
+      for (const unsigned shared_bit : {kStreamB, kStreamC, kStreamD}) {
+        if (m & shared_bit) count += has_rows_ ? 2 : 1;
+      }
+      if (has_rows_) {
+        for (const unsigned row_bit :
+             {kStreamExv, kStreamTl, kStreamPf, kStreamEf, kStreamW}) {
+          if (m & row_bit) ++count;
+        }
+      }
+      return count;
+    };
+    summary->streams_rebuilt = arrays_for(mask);
+    summary->streams_reused = arrays_for(kStreamAll) - summary->streams_rebuilt;
+    summary->qi_rebuilt =
+        (mask & (kStreamExvg | kStreamB | kStreamC | kStreamD)) != 0;
+  }
+}
+
+unsigned SegmentTables::stream_mask_for(const SegmentTables& base,
+                                        const chain::WeightTable& table,
+                                        const platform::CostModel& costs) {
+  const bool lf_changed = bits_differ(table.lambda_f(), base.lambda_f_);
+  const bool ls_changed = bits_differ(table.lambda_s(), base.lambda_s_);
+  const platform::PlanningLaw& law = costs.planning_law();
+  // Laws compare by the build path they select: every exponential-reducing
+  // law (including Weibull at shape exactly 1) is one equivalence class.
+  bool law_changed = law.is_exponential() != base.law_.is_exponential();
+  if (!law_changed && !law.is_exponential()) {
+    law_changed = bits_differ(law.weibull_shape, base.law_.weibull_shape);
+  }
+  bool vg_changed = false;
+  bool vp_changed = false;
+  for (std::size_t i = 1; i <= base.n_; ++i) {
+    vg_changed |= bits_differ(costs.v_guaranteed_after(i), base.vg_[i]);
+    vp_changed |= bits_differ(costs.v_partial_after(i), base.vp_[i]);
+  }
+  unsigned mask = 0;
+  if (lf_changed || law_changed) {
+    mask |= kStreamExvg | kStreamB | kStreamC | kStreamFs | kStreamExv |
+            kStreamTl | kStreamPf | kStreamEf;
+  }
+  if (ls_changed) {
+    mask |= kStreamExvg | kStreamB | kStreamC | kStreamD | kStreamFs |
+            kStreamExv;
+  }
+  if (vg_changed) mask |= kStreamExvg | kStreamVg;
+  if (vp_changed) mask |= kStreamExv | kStreamVp;
+  return mask;
+}
+
+void SegmentTables::build(const chain::WeightTable& table,
+                          const platform::CostModel& costs, unsigned mask,
+                          const SegmentTables* base) {
   const std::size_t stride = n_ + 1;
   const std::size_t cells = stride * stride;
 
-  vg_.assign(stride, 0.0);
-  vp_.assign(stride, 0.0);
-  for (std::size_t i = 1; i <= n_; ++i) {
-    vg_[i] = costs.v_guaranteed_after(i);
-    vp_[i] = costs.v_partial_after(i);
+  // Allocate the streams the mask rebuilds; copy the rest from the donor
+  // byte for byte.  A null donor (the full build) must carry a full mask.
+  const auto prepare = [&](std::vector<double>& mine,
+                           const std::vector<double> SegmentTables::*member,
+                           unsigned bit, std::size_t size) {
+    if (mask & bit) {
+      mine.assign(size, 0.0);
+    } else {
+      mine = base->*member;
+    }
+  };
+  prepare(vg_, &SegmentTables::vg_, kStreamVg, stride);
+  prepare(vp_, &SegmentTables::vp_, kStreamVp, stride);
+  if (mask & kStreamVg) {
+    for (std::size_t i = 1; i <= n_; ++i) vg_[i] = costs.v_guaranteed_after(i);
+  }
+  if (mask & kStreamVp) {
+    for (std::size_t i = 1; i <= n_; ++i) vp_[i] = costs.v_partial_after(i);
   }
 
-  if (build_rows) {
-    exv_r_.assign(cells, 0.0);
-    b_r_.assign(cells, 0.0);
-    c_r_.assign(cells, 0.0);
-    d_r_.assign(cells, 0.0);
-    tl_r_.assign(cells, 0.0);
-    pf_r_.assign(cells, 0.0);
-    ef_r_.assign(cells, 0.0);
-    w_r_.assign(cells, 0.0);
+  prepare(exvg_c_, &SegmentTables::exvg_c_, kStreamExvg, cells);
+  prepare(b_c_, &SegmentTables::b_c_, kStreamB, cells);
+  prepare(c_c_, &SegmentTables::c_c_, kStreamC, cells);
+  prepare(d_c_, &SegmentTables::d_c_, kStreamD, cells);
+  prepare(fs_c_, &SegmentTables::fs_c_, kStreamFs, cells);
+  if (has_rows_) {
+    prepare(exv_r_, &SegmentTables::exv_r_, kStreamExv, cells);
+    prepare(b_r_, &SegmentTables::b_r_, kStreamB, cells);
+    prepare(c_r_, &SegmentTables::c_r_, kStreamC, cells);
+    prepare(d_r_, &SegmentTables::d_r_, kStreamD, cells);
+    prepare(tl_r_, &SegmentTables::tl_r_, kStreamTl, cells);
+    prepare(pf_r_, &SegmentTables::pf_r_, kStreamPf, cells);
+    prepare(ef_r_, &SegmentTables::ef_r_, kStreamEf, cells);
+    prepare(w_r_, &SegmentTables::w_r_, kStreamW, cells);
   }
-  exvg_c_.assign(cells, 0.0);
-  b_c_.assign(cells, 0.0);
-  c_c_.assign(cells, 0.0);
-  d_c_.assign(cells, 0.0);
-  fs_c_.assign(cells, 0.0);
 
   // Planning-law dispatch: a Weibull law at shape exactly 1 *delegates* to
   // the exponential build, which makes the k = 1 reduction bitwise (the raw
   // Weibull formulas are only equal up to association order: they sum
   // per-task hazards where the exponential path multiplies lambda_f by a
   // prefix-difference weight).
-  const platform::PlanningLaw& law = costs.planning_law();
-  if (law.is_exponential()) {
-    build_exponential(table);
-  } else {
-    build_weibull(table, law.weibull_shape);
+  const unsigned col_mask = kStreamExvg | kStreamB | kStreamC | kStreamD |
+                            kStreamFs;
+  const unsigned row_mask = kStreamExv | kStreamB | kStreamC | kStreamD |
+                            kStreamTl | kStreamPf | kStreamEf | kStreamW;
+  const bool need_fill =
+      (mask & col_mask) != 0 || (has_rows_ && (mask & row_mask) != 0);
+  if (need_fill) {
+    if (law_.is_exponential()) {
+      build_exponential(table, mask);
+    } else {
+      build_weibull(table, law_.weibull_shape, mask);
+    }
   }
-  build_qi_certificate();
+  if (mask & (kStreamExvg | kStreamB | kStreamC | kStreamD)) {
+    build_qi_certificate();
+  } else {
+    qi_ = base->qi_;
+  }
 }
 
-void SegmentTables::build_exponential(const chain::WeightTable& table) {
+void SegmentTables::build_exponential(const chain::WeightTable& table,
+                                      unsigned mask) {
   const std::size_t stride = n_ + 1;
   const double lambda_f = table.lambda_f();
   for (std::size_t i = 0; i <= n_; ++i) {
     for (std::size_t j = i; j <= n_; ++j) {
       // Same expression trees as segment_math.cpp / WeightTable, so the
-      // stored coefficients are bitwise what the scalar path computes.
+      // stored coefficients are bitwise what the scalar path computes --
+      // for full builds and masked patch rebuilds alike.
       const double em1_f = table.em1_f(i, j);
       const double em1_s = table.em1_s(i, j);
       const double w = table.weight(i, j);
@@ -69,29 +191,33 @@ void SegmentTables::build_exponential(const chain::WeightTable& table) {
       const double c = seg.em1_fs();
       const double d = em1_s;
       const std::size_t cm = j * stride + i;
-      exvg_c_[cm] = es * (x + vg_[j]);
-      b_c_[cm] = b;
-      c_c_[cm] = c;
-      d_c_[cm] = d;
-      fs_c_[cm] = seg.exp_fs();
+      if (mask & kStreamExvg) exvg_c_[cm] = es * (x + vg_[j]);
+      if (mask & kStreamB) b_c_[cm] = b;
+      if (mask & kStreamC) c_c_[cm] = c;
+      if (mask & kStreamD) d_c_[cm] = d;
+      if (mask & kStreamFs) fs_c_[cm] = seg.exp_fs();
       if (has_rows_) {
         const double ef = seg.exp_f();
         const std::size_t rm = i * stride + j;
-        exv_r_[rm] = es * (x + vp_[j]);
-        b_r_[rm] = b;
-        c_r_[rm] = c;
-        d_r_[rm] = d;
-        tl_r_[rm] = util::expected_time_lost(lambda_f, w);
-        pf_r_[rm] = em1_f / ef;
-        ef_r_[rm] = ef;
-        w_r_[rm] = w;
+        if (mask & kStreamExv) exv_r_[rm] = es * (x + vp_[j]);
+        if (mask & kStreamB) b_r_[rm] = b;
+        if (mask & kStreamC) c_r_[rm] = c;
+        if (mask & kStreamD) d_r_[rm] = d;
+        // expected_time_lost dominates the row-build cost; a patch that
+        // keeps lambda_f skips it entirely.
+        if (mask & kStreamTl) {
+          tl_r_[rm] = util::expected_time_lost(lambda_f, w);
+        }
+        if (mask & kStreamPf) pf_r_[rm] = em1_f / ef;
+        if (mask & kStreamEf) ef_r_[rm] = ef;
+        if (mask & kStreamW) w_r_[rm] = w;
       }
     }
   }
 }
 
 void SegmentTables::build_weibull(const chain::WeightTable& table,
-                                  double shape) {
+                                  double shape, unsigned mask) {
   const std::size_t stride = n_ + 1;
   const WeibullLawTasks tasks(table, table.lambda_f(), shape);
   for (std::size_t i = 0; i <= n_; ++i) {
@@ -121,21 +247,21 @@ void SegmentTables::build_weibull(const chain::WeightTable& table,
       const double c = seg.em1_fs();
       const double d = seg.em1_s;
       const std::size_t cm = j * stride + i;
-      exvg_c_[cm] = es * (seg.x + vg_[j]);
-      b_c_[cm] = b;
-      c_c_[cm] = c;
-      d_c_[cm] = d;
-      fs_c_[cm] = seg.exp_fs();
+      if (mask & kStreamExvg) exvg_c_[cm] = es * (seg.x + vg_[j]);
+      if (mask & kStreamB) b_c_[cm] = b;
+      if (mask & kStreamC) c_c_[cm] = c;
+      if (mask & kStreamD) d_c_[cm] = d;
+      if (mask & kStreamFs) fs_c_[cm] = seg.exp_fs();
       if (has_rows_) {
         const std::size_t rm = i * stride + j;
-        exv_r_[rm] = es * (seg.x + vp_[j]);
-        b_r_[rm] = b;
-        c_r_[rm] = c;
-        d_r_[rm] = d;
-        tl_r_[rm] = seg.t_lost;
-        pf_r_[rm] = pf;
-        ef_r_[rm] = ef;
-        w_r_[rm] = seg.w;
+        if (mask & kStreamExv) exv_r_[rm] = es * (seg.x + vp_[j]);
+        if (mask & kStreamB) b_r_[rm] = b;
+        if (mask & kStreamC) c_r_[rm] = c;
+        if (mask & kStreamD) d_r_[rm] = d;
+        if (mask & kStreamTl) tl_r_[rm] = seg.t_lost;
+        if (mask & kStreamPf) pf_r_[rm] = pf;
+        if (mask & kStreamEf) ef_r_[rm] = ef;
+        if (mask & kStreamW) w_r_[rm] = seg.w;
       }
     }
   }
@@ -148,6 +274,7 @@ void SegmentTables::build_qi_certificate() {
   // move the leftmost argmin and break the bitwise-equality contract.
   // The cost of strictness is only lost pruning, and the paper's four
   // platforms pass with zero defects as evaluated.
+  qi_ = QiCertificate{};
   const std::size_t stride = n_ + 1;
   qi_.argmin_window_safe.assign(stride, 1);
   std::vector<std::uint8_t> cell_ok(stride, 1);

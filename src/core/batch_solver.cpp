@@ -1,5 +1,6 @@
 #include "core/batch_solver.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -48,7 +49,9 @@ std::uint64_t to_bits(double value) noexcept {
 
 }  // namespace
 
-BatchSolver::BatchSolver(BatchOptions options) : options_(options) {}
+BatchSolver::BatchSolver(BatchOptions options)
+    : options_(options),
+      plan_cache_(PlanCacheConfig{options.plan_cache_budget_bytes}) {}
 
 std::size_t BatchSolver::TableKeyHash::operator()(
     const TableKey& key) const noexcept {
@@ -213,6 +216,32 @@ OptimizationResult BatchSolver::solve_job(const BatchJob& job,
 
   CHAINCKPT_REQUIRE(job.chain.size() <= options_.max_n,
                     "batch job chain longer than BatchOptions::max_n");
+
+  // Plan-cache front door: an exact key match returns the memoized
+  // result bitwise; a certified epsilon-hit returns the cached plan
+  // re-scored under this job's model.  Either way the DP (and the table
+  // cache) is never touched.  A near-miss that cannot be served leaves a
+  // warm upper bound for the post-solve oracle check below.
+  double warm_bound = 0.0;
+  bool have_warm_bound = false;
+  if (options_.enable_plan_cache) {
+    const double epsilon = job.cache_epsilon >= 0.0
+                               ? job.cache_epsilon
+                               : options_.plan_cache_epsilon;
+    CacheLookup cached =
+        plan_cache_.lookup(job.algorithm, job.chain, job.costs, epsilon);
+    if (cached.outcome == CacheOutcome::kExactHit ||
+        cached.outcome == CacheOutcome::kEpsilonHit) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.jobs_solved;
+      return cached.result;
+    }
+    if (cached.has_warm_bound) {
+      warm_bound = cached.warm_upper_bound;
+      have_warm_bound = true;
+    }
+  }
+
   const bool rows = needs_row_tables(job.algorithm);
   const TableKey key = make_key(job.chain, job.costs);
 
@@ -243,15 +272,53 @@ OptimizationResult BatchSolver::solve_job(const BatchJob& job,
       // pure duplicate work (the SegmentTables must rebuild -- rows are
       // a construction-time property).
       std::shared_ptr<const chain::WeightTable> built_table = entry.table;
+      // Incremental path: find a donor whose streams this build can
+      // patch instead of recomputing.  A row upgrade's own rowless entry
+      // is the ideal donor (mask = the row streams); otherwise any ready
+      // entry over the same chain weights (key words [5, 5+n)) donates
+      // whatever the parameter drift left untouched.  The patch
+      // constructors reproduce a from-scratch build byte for byte, so
+      // the determinism contract is unaffected.
+      std::shared_ptr<const analysis::SegmentTables> donor_seg = entry.seg;
+      std::shared_ptr<const chain::WeightTable> donor_table;
+      if (donor_seg == nullptr) {
+        const std::size_t n = job.chain.size();
+        for (const auto& [other_key, other] : cache_) {
+          if (other.building || other.seg == nullptr) continue;
+          if (other_key.bits[0] != key.bits[0]) continue;
+          if (!std::equal(other_key.bits.begin() + 5,
+                          other_key.bits.begin() + 5 + n,
+                          key.bits.begin() + 5)) {
+            continue;
+          }
+          donor_table = other.table;
+          donor_seg = other.seg;
+          break;
+        }
+      }
       lock.unlock();
       std::shared_ptr<const analysis::SegmentTables> built_seg;
+      bool patched = false;
+      analysis::PatchSummary patch_summary;
       try {
         if (built_table == nullptr) {
-          built_table = std::make_shared<const chain::WeightTable>(
-              job.chain, job.costs.lambda_f(), job.costs.lambda_s());
+          built_table =
+              donor_table != nullptr
+                  ? std::make_shared<const chain::WeightTable>(
+                        *donor_table, job.costs.lambda_f(),
+                        job.costs.lambda_s())
+                  : std::make_shared<const chain::WeightTable>(
+                        job.chain, job.costs.lambda_f(),
+                        job.costs.lambda_s());
         }
-        built_seg = std::make_shared<const analysis::SegmentTables>(
-            *built_table, job.costs, rows);
+        if (donor_seg != nullptr) {
+          built_seg = std::make_shared<const analysis::SegmentTables>(
+              *donor_seg, *built_table, job.costs, rows, &patch_summary);
+          patched = true;
+        } else {
+          built_seg = std::make_shared<const analysis::SegmentTables>(
+              *built_table, job.costs, rows);
+        }
       } catch (...) {
         lock.lock();
         const auto it = cache_.find(key);
@@ -275,6 +342,10 @@ OptimizationResult BatchSolver::solve_job(const BatchJob& job,
       built.building = false;
       built.last_used = ++use_tick_;
       ++stats_.tables_built;
+      if (patched) {
+        ++stats_.tables_patched;
+        stats_.patched_streams_reused += patch_summary.streams_reused;
+      }
       build_done_.notify_all();
       table = built.table;
       seg = built.seg;
@@ -311,6 +382,7 @@ OptimizationResult BatchSolver::solve_job(const BatchJob& job,
   ctx.set_scan_mode(options_.scan_mode);
   ctx.set_cancel_token(cancel);
   ctx.set_checkpoint(ckpt.get());
+  if (have_warm_bound) ctx.set_warm_upper_bound(warm_bound);
   OptimizationResult result;
   try {
     result = optimize(job.algorithm, ctx, options_.layout);
@@ -346,15 +418,27 @@ OptimizationResult BatchSolver::solve_job(const BatchJob& job,
     throw;
   }
 
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.jobs_solved;
-  stats_.scan += result.scan;
-  if (resumed) {
-    ++stats_.checkpoints_resumed;
-    stats_.checkpoint_slabs_skipped += ckpt->last_run_slabs_skipped();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.jobs_solved;
+    stats_.scan += result.scan;
+    if (resumed) {
+      ++stats_.checkpoints_resumed;
+      stats_.checkpoint_slabs_skipped += ckpt->last_run_slabs_skipped();
+    }
+    // Oracle guard: the rejected candidate's re-score upper-bounds the
+    // optimum, so a fresh solve above it (beyond rounding) means the
+    // solver or the certificate lied.
+    if (have_warm_bound &&
+        result.expected_makespan > warm_bound * (1.0 + 1e-9)) {
+      ++stats_.warm_bound_violations;
+    }
+    if (options_.cache_budget_bytes != 0) {
+      evict_locked(options_.cache_budget_bytes);
+    }
   }
-  if (options_.cache_budget_bytes != 0) {
-    evict_locked(options_.cache_budget_bytes);
+  if (options_.enable_plan_cache) {
+    plan_cache_.insert(job.algorithm, job.chain, job.costs, result);
   }
   return result;
 }
@@ -367,6 +451,7 @@ std::size_t BatchSolver::release_scratch() {
     cache_.clear();
     checkpoints_.clear();
   }
+  freed += plan_cache_.clear();
   freed += util::release_all_arenas();
   const std::lock_guard<std::mutex> lock(mutex_);
   stats_.released_bytes += freed;
@@ -397,8 +482,41 @@ void BatchSolver::set_cache_budget(std::size_t budget_bytes) {
   if (budget_bytes != 0) evict_locked(budget_bytes);
 }
 
+void BatchSolver::set_plan_cache_budget(std::size_t budget_bytes) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    options_.plan_cache_budget_bytes = budget_bytes;
+  }
+  plan_cache_.set_budget(budget_bytes);
+}
+
+bool BatchSolver::probable_plan_cache_hit(const BatchJob& job) const {
+  if (!options_.enable_plan_cache || !is_dp_algorithm(job.algorithm) ||
+      job.chain.empty()) {
+    return false;
+  }
+  const double epsilon = job.cache_epsilon >= 0.0
+                             ? job.cache_epsilon
+                             : options_.plan_cache_epsilon;
+  return plan_cache_.probable_hit(job.algorithm, job.chain, job.costs,
+                                  epsilon);
+}
+
+PlanCacheStats BatchSolver::plan_cache_stats() const {
+  return plan_cache_.stats_snapshot();
+}
+
+std::size_t BatchSolver::plan_cache_resident_bytes() const {
+  return plan_cache_.resident_bytes();
+}
+
+std::size_t BatchSolver::plan_cache_size() const {
+  return plan_cache_.size();
+}
+
 std::size_t BatchSolver::resident_bytes() const {
-  std::size_t total = util::arena_resident_bytes();
+  std::size_t total = util::arena_resident_bytes() +
+                      plan_cache_.resident_bytes();
   const std::lock_guard<std::mutex> lock(mutex_);
   return total + cache_bytes_locked() + checkpoint_bytes_locked();
 }

@@ -55,6 +55,7 @@
 
 #include "core/cancellation.hpp"
 #include "core/optimizer.hpp"
+#include "core/plan_cache.hpp"
 #include "core/solve_checkpoint.hpp"
 
 namespace chainckpt::core {
@@ -66,6 +67,12 @@ struct BatchJob {
   Algorithm algorithm = Algorithm::kADMVstar;
   chain::TaskChain chain;
   platform::CostModel costs;
+  /// Per-job relative-error tolerance for plan-cache epsilon-hits (see
+  /// core/plan_cache.hpp): the job accepts a cached plan certified within
+  /// (1 + cache_epsilon) of the drifted optimum.  Negative (the default)
+  /// defers to BatchOptions::plan_cache_epsilon; 0 restricts this job to
+  /// exact hits.
+  double cache_epsilon = -1.0;
 };
 
 struct BatchOptions {
@@ -103,6 +110,20 @@ struct BatchOptions {
   /// Oldest-interrupted first; a dropped checkpoint just means the job
   /// starts from scratch on its next submission.
   std::size_t checkpoint_budget_bytes = 0;
+  /// Memoize final plans in a core::PlanCache and serve repeat solve_job()
+  /// submissions from it: exact key matches return the stored result
+  /// bitwise; near-misses may be served under an epsilon tolerance (see
+  /// plan_cache_epsilon).  The batch solve() entry bypasses the plan
+  /// cache (its phases pre-build tables for every job) but results are
+  /// identical either way.
+  bool enable_plan_cache = true;
+  /// LRU byte budget for the plan cache; 0 keeps it unbounded (plans are
+  /// a few hundred bytes each).  Runtime-adjustable via
+  /// set_plan_cache_budget().
+  std::size_t plan_cache_budget_bytes = 0;
+  /// Default epsilon for jobs that leave BatchJob::cache_epsilon
+  /// negative.  0 (the default) serves exact hits only.
+  double plan_cache_epsilon = 0.0;
 };
 
 /// Counters accumulated over the solver's lifetime.
@@ -134,6 +155,17 @@ struct BatchStats {
   /// resumes skipped instead of re-executing.
   std::size_t checkpoints_resumed = 0;
   std::size_t checkpoint_slabs_skipped = 0;
+  /// Table builds served by the incremental patch path: a same-shape
+  /// donor entry (same chain weights, different rates/costs) was found
+  /// and only the invalidated coefficient streams were recomputed.
+  /// Counted inside tables_built.
+  std::size_t tables_patched = 0;
+  /// Coefficient streams the patch builds copied instead of recomputing.
+  std::size_t patched_streams_reused = 0;
+  /// Fresh solves whose objective exceeded the plan cache's warm upper
+  /// bound (the evaluator re-score of a stale plan) beyond rounding: a
+  /// certificate or solver bug.  Must stay 0.
+  std::size_t warm_bound_violations = 0;
   /// Aggregated prune/fallback counters of every DP job's inner scans
   /// (all-zero while scan_mode is kDense).
   ScanStats scan;
@@ -185,6 +217,25 @@ class BatchSolver {
   /// Replaces BatchOptions::cache_budget_bytes at runtime and applies it
   /// immediately; 0 removes the bound.
   void set_cache_budget(std::size_t budget_bytes);
+
+  /// Replaces BatchOptions::plan_cache_budget_bytes at runtime and
+  /// applies it immediately; 0 removes the bound.
+  void set_plan_cache_budget(std::size_t budget_bytes);
+
+  /// Cheap probe for admission pricing: would solve_job(job) probably be
+  /// served from the plan cache without running the DP?  (See
+  /// PlanCache::probable_hit -- a probed epsilon-hit can still re-solve
+  /// if its re-score fails the epsilon test.)  Always false while
+  /// enable_plan_cache is off or for non-DP algorithms.
+  bool probable_plan_cache_hit(const BatchJob& job) const;
+
+  /// Plan-cache counters (hits/misses/evictions reconcile with
+  /// stats().jobs_solved; see PlanCacheStats).
+  PlanCacheStats plan_cache_stats() const;
+  /// Bytes held by the memoized plans.
+  std::size_t plan_cache_resident_bytes() const;
+  /// Memoized plans currently resident.
+  std::size_t plan_cache_size() const;
 
   /// Bytes currently held by this solver's table cache, its retained
   /// checkpoints, and all solver arenas in the process.
@@ -258,6 +309,9 @@ class BatchSolver {
 
   BatchOptions options_;
   BatchStats stats_;
+  /// Memoized final plans (own internal lock; never held together with
+  /// mutex_).
+  PlanCache plan_cache_;
   std::unordered_map<TableKey, TableEntry, TableKeyHash> cache_;
   std::unordered_map<TableKey, CheckpointEntry, TableKeyHash> checkpoints_;
   std::uint64_t use_tick_ = 0;

@@ -1,0 +1,310 @@
+#include "core/plan_cache.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "analysis/evaluator.hpp"
+#include "util/assert.hpp"
+
+namespace chainckpt::core {
+
+namespace {
+
+std::uint64_t to_bits(double value) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+/// Only the ADMV partial-verification engine reads V and the recall; the
+/// other DPs are invariant under them (grep the kernels: exv_r / vp are
+/// consumed by dp_partial alone), so keying them for every algorithm
+/// would only forfeit sound exact hits.
+bool reads_partial_stream(Algorithm algorithm) noexcept {
+  return algorithm == Algorithm::kADMV;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {}
+
+std::size_t PlanCache::PlanKeyHash::operator()(
+    const PlanKey& key) const noexcept {
+  // FNV-1a over the 64-bit words, byte by byte (same scheme as the
+  // BatchSolver table key).
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t word : key.bits) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (word >> shift) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+PlanCache::PlanKey PlanCache::make_exact_key(Algorithm algorithm,
+                                             const chain::TaskChain& chain,
+                                             const platform::CostModel& costs) {
+  PlanKey key;
+  const std::size_t n = chain.size();
+  const bool partial = reads_partial_stream(algorithm);
+  key.bits.reserve(6 + n * (partial ? 7 : 6) + (partial ? 1 : 0));
+  key.bits.push_back(static_cast<std::uint64_t>(algorithm));
+  key.bits.push_back(static_cast<std::uint64_t>(n));
+  key.bits.push_back(to_bits(costs.lambda_f()));
+  key.bits.push_back(to_bits(costs.lambda_s()));
+  // Laws that reduce to the exponential build share a key, mirroring the
+  // table cache: their coefficient streams -- and hence their plans --
+  // are bitwise identical.
+  const platform::PlanningLaw& law = costs.planning_law();
+  if (law.is_exponential()) {
+    key.bits.push_back(0);
+    key.bits.push_back(to_bits(1.0));
+  } else {
+    key.bits.push_back(static_cast<std::uint64_t>(law.law));
+    key.bits.push_back(to_bits(law.weibull_shape));
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    key.bits.push_back(to_bits(chain.weight(i)));
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    key.bits.push_back(to_bits(costs.v_guaranteed_after(i)));
+    key.bits.push_back(to_bits(costs.c_disk_after(i)));
+    key.bits.push_back(to_bits(costs.c_mem_after(i)));
+    key.bits.push_back(to_bits(costs.r_disk_after(i)));
+    key.bits.push_back(to_bits(costs.r_mem_after(i)));
+  }
+  if (partial) {
+    for (std::size_t i = 1; i <= n; ++i) {
+      key.bits.push_back(to_bits(costs.v_partial_after(i)));
+    }
+    key.bits.push_back(to_bits(costs.recall()));
+  }
+  return key;
+}
+
+PlanCache::PlanKey PlanCache::make_shape_key(Algorithm algorithm,
+                                             const chain::TaskChain& chain) {
+  PlanKey key;
+  const std::size_t n = chain.size();
+  key.bits.reserve(2 + n);
+  key.bits.push_back(static_cast<std::uint64_t>(algorithm));
+  key.bits.push_back(static_cast<std::uint64_t>(n));
+  for (std::size_t i = 1; i <= n; ++i) {
+    key.bits.push_back(to_bits(chain.weight(i)));
+  }
+  return key;
+}
+
+std::size_t PlanCache::entry_bytes(const Entry& entry) noexcept {
+  // Deterministic estimate: the two keys, the plan's action vector, the
+  // cost model's per-position streams (uniform models store none), and
+  // the fixed-size bookkeeping.
+  std::size_t bytes = sizeof(Entry);
+  bytes += (entry.exact_key.bits.size() + entry.shape_key.bits.size()) *
+           sizeof(std::uint64_t);
+  bytes += entry.result.plan.size() * sizeof(plan::Action);
+  if (!entry.costs.is_uniform()) {
+    bytes += entry.result.plan.size() * 6 * sizeof(double);
+  }
+  return bytes;
+}
+
+CacheLookup PlanCache::lookup(Algorithm algorithm,
+                              const chain::TaskChain& chain,
+                              const platform::CostModel& costs,
+                              double epsilon) {
+  CacheLookup out;
+  const PlanKey exact_key = make_exact_key(algorithm, chain, costs);
+  std::shared_ptr<Entry> candidate;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    const auto it = entries_.find(exact_key);
+    if (it != entries_.end()) {
+      it->second->last_used = ++use_tick_;
+      ++stats_.exact_hits;
+      out.outcome = CacheOutcome::kExactHit;
+      out.result = it->second->result;
+      return out;
+    }
+    const auto shape_it = shape_index_.find(make_shape_key(algorithm, chain));
+    if (shape_it != shape_index_.end()) {
+      const auto entry_it = entries_.find(shape_it->second);
+      if (entry_it != entries_.end()) candidate = entry_it->second;
+    }
+    if (candidate == nullptr) {
+      ++stats_.misses;
+      return out;  // kMiss
+    }
+  }
+
+  // Near-miss path, outside the lock: certificate screen, then the
+  // law-aware re-score of the cached plan under the REQUESTED model.
+  const DriftCheck check =
+      check_certificate(candidate->cert, candidate->costs, costs,
+                        chain.size());
+  out.lower_bound = check.lower_bound;
+  // Score under the formula framework the algorithm's DP optimizes: the
+  // kADMV engine prices every segment with the Section III-B accounting
+  // even when the optimal plan ends up partial-free, and the two
+  // frameworks differ by a small but real margin (see DESIGN.md) -- a
+  // kAuto re-score of a partial-free plan would undercut the DP objective
+  // and break the warm bound's upper-bound contract.
+  const analysis::PlanEvaluator evaluator(chain, costs);
+  const double score = evaluator.expected_makespan(
+      candidate->result.plan,
+      algorithm == Algorithm::kADMV
+          ? analysis::FormulaMode::kPartialFramework
+          : analysis::FormulaMode::kAuto);
+  out.warm_upper_bound = score;
+  out.has_warm_bound = true;
+  const bool servable = check.outcome != DriftOutcome::kBeyondRadius &&
+                        epsilon > 0.0 && check.lower_bound > 0.0 &&
+                        score <= (1.0 + epsilon) * check.lower_bound;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (servable) {
+    candidate->last_used = ++use_tick_;
+    ++stats_.epsilon_hits;
+    out.outcome = CacheOutcome::kEpsilonHit;
+    out.result.plan = candidate->result.plan;
+    out.result.expected_makespan = score;
+    out.result.scan = ScanStats{};
+    out.error_bound = score / check.lower_bound - 1.0;
+  } else {
+    ++stats_.cert_rejections;
+    out.outcome = CacheOutcome::kCertRejected;
+  }
+  return out;
+}
+
+void PlanCache::insert(Algorithm algorithm, const chain::TaskChain& chain,
+                       const platform::CostModel& costs,
+                       const OptimizationResult& result) {
+  PlanKey exact_key = make_exact_key(algorithm, chain, costs);
+  PlanKey shape_key = make_shape_key(algorithm, chain);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(exact_key);
+    if (it != entries_.end()) {
+      it->second->last_used = ++use_tick_;
+      shape_index_[shape_key] = exact_key;
+      return;
+    }
+  }
+  // Certificate construction (a first_order pass plus plan counts) stays
+  // outside the lock.
+  auto entry = std::make_shared<Entry>(Entry{
+      result,
+      make_validity_certificate(result.plan, costs.platform(),
+                                result.expected_makespan,
+                                chain.total_weight()),
+      costs, std::move(exact_key), std::move(shape_key), 0, 0});
+  // The kADMV engine prices even partial-free optima under the III-B
+  // framework; the certificate's gamma fold must know (see sensitivity.hpp).
+  if (algorithm == Algorithm::kADMV) entry->cert.partial_framework = true;
+  entry->bytes = entry_bytes(*entry);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entry->last_used = ++use_tick_;
+  const auto [it, inserted] = entries_.emplace(entry->exact_key, entry);
+  if (!inserted) {
+    // Raced another insert of the same key; the results are identical by
+    // the determinism contract, keep the incumbent.
+    it->second->last_used = use_tick_;
+  } else {
+    ++stats_.inserts;
+  }
+  shape_index_[entry->shape_key] = entry->exact_key;
+  if (config_.budget_bytes != 0) evict_locked(config_.budget_bytes);
+}
+
+bool PlanCache::probable_hit(Algorithm algorithm,
+                             const chain::TaskChain& chain,
+                             const platform::CostModel& costs,
+                             double epsilon) const {
+  std::shared_ptr<Entry> candidate;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(make_exact_key(algorithm, chain, costs)) != 0) {
+      return true;
+    }
+    if (epsilon <= 0.0) return false;
+    const auto shape_it =
+        shape_index_.find(make_shape_key(algorithm, chain));
+    if (shape_it == shape_index_.end()) return false;
+    const auto entry_it = entries_.find(shape_it->second);
+    if (entry_it == entries_.end()) return false;
+    candidate = entry_it->second;
+  }
+  const DriftCheck check =
+      check_certificate(candidate->cert, candidate->costs, costs,
+                        chain.size());
+  return check.outcome != DriftOutcome::kBeyondRadius;
+}
+
+std::size_t PlanCache::evict_to(std::size_t budget_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evict_locked(budget_bytes);
+}
+
+void PlanCache::set_budget(std::size_t budget_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  config_.budget_bytes = budget_bytes;
+  if (budget_bytes != 0) evict_locked(budget_bytes);
+}
+
+std::size_t PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t freed = resident_bytes_locked();
+  entries_.clear();
+  shape_index_.clear();
+  return freed;
+}
+
+std::size_t PlanCache::resident_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_locked();
+}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+PlanCacheStats PlanCache::stats_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::resident_bytes_locked() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, entry] : entries_) total += entry->bytes;
+  return total;
+}
+
+std::size_t PlanCache::evict_locked(std::size_t budget_bytes) {
+  std::size_t freed = 0;
+  std::size_t resident = resident_bytes_locked();
+  while (resident > budget_bytes && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second->last_used < victim->second->last_used) victim = it;
+    }
+    const Entry& entry = *victim->second;
+    // Unhook the shape index if it points at the victim, so near-miss
+    // lookups never chase a dangling exact key.
+    const auto shape_it = shape_index_.find(entry.shape_key);
+    if (shape_it != shape_index_.end() &&
+        shape_it->second == entry.exact_key) {
+      shape_index_.erase(shape_it);
+    }
+    resident -= entry.bytes;
+    freed += entry.bytes;
+    stats_.evicted_bytes += entry.bytes;
+    ++stats_.evictions;
+    entries_.erase(victim);
+  }
+  return freed;
+}
+
+}  // namespace chainckpt::core

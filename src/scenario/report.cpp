@@ -162,6 +162,22 @@ std::string report_to_json(const ScenarioReport& report) {
       }
       out += "]";
     }
+    if (!cell.cache.empty()) {
+      out += ",\n     \"cache\": [";
+      for (std::size_t j = 0; j < cell.cache.size(); ++j) {
+        const CacheLaneResult& c = cell.cache[j];
+        if (j) out += ", ";
+        out += "{\"requests\": " + std::to_string(c.requests);
+        out += ", \"exact_hits\": " + std::to_string(c.exact_hits);
+        out += ", \"epsilon_hits\": " + std::to_string(c.epsilon_hits);
+        out += ", \"resolves\": " + std::to_string(c.resolves);
+        out += ", \"epsilon\": " + fmt_double(c.epsilon);
+        out += ", \"oracle_ok\": ";
+        out += json_bool(c.oracle_ok);
+        out += "}";
+      }
+      out += "]";
+    }
     out += "}";
     if (i + 1 < report.cells.size()) out += ",";
     out += "\n";

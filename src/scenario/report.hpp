@@ -92,6 +92,22 @@ struct ServiceLaneResult {
   std::string timing_json;
 };
 
+/// The cache-replay lane of one cache-enabled cell.  Counters come from
+/// serial PlanCacheStats deltas around each replayed request, so
+/// requests == exact_hits + epsilon_hits + resolves holds by
+/// construction; `oracle_ok` folds the per-request fresh-solve oracle:
+/// exact hits bitwise-identical to the fresh solve, epsilon-hits within
+/// (1 + epsilon) of the fresh objective, re-solves bitwise-identical to
+/// the fresh solve.
+struct CacheLaneResult {
+  std::size_t requests = 0;
+  std::size_t exact_hits = 0;
+  std::size_t epsilon_hits = 0;
+  std::size_t resolves = 0;      ///< misses + certificate rejections
+  double epsilon = 0.0;          ///< tolerance the lane replayed under
+  bool oracle_ok = false;
+};
+
 struct CellReport {
   std::string name;
   std::uint64_t seed = 0;
@@ -105,6 +121,7 @@ struct CellReport {
   std::vector<DpLaneResult> dp;
   std::vector<SimLaneResult> sim;
   std::vector<ServiceLaneResult> service;  ///< empty or one entry
+  std::vector<CacheLaneResult> cache;      ///< empty or one entry
 };
 
 struct MatrixSummary {

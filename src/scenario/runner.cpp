@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "analysis/evaluator.hpp"
+#include "core/batch_solver.hpp"
 #include "core/optimizer.hpp"
 #include "error/injector.hpp"
 #include "scenario/traffic.hpp"
@@ -314,6 +315,120 @@ void run_service_lane(const ScenarioSpec& spec, const MaterializedCell& cell,
   out.service.push_back(std::move(lane));
 }
 
+/// Seeded per-parameter-group drift of a cost model: every group (rates,
+/// checkpoint/recovery/verification costs) is scaled by an independent
+/// exp-symmetric factor in [1/(1+drift), 1+drift].  Per-position models
+/// keep their position structure (each stream scaled by its group
+/// factor); the planning law is carried over unchanged.
+platform::CostModel drift_costs(const platform::CostModel& base,
+                                std::size_t n, double drift,
+                                util::Xoshiro256& rng) {
+  const auto jitter = [&rng, drift] {
+    return std::exp((2.0 * rng.uniform01() - 1.0) * std::log1p(drift));
+  };
+  const double f_lf = jitter(), f_ls = jitter(), f_cd = jitter(),
+               f_cm = jitter(), f_rd = jitter(), f_rm = jitter(),
+               f_vg = jitter(), f_vp = jitter();
+  platform::Platform p = base.platform();
+  p.lambda_f *= f_lf;
+  p.lambda_s *= f_ls;
+  p.c_disk *= f_cd;
+  p.c_mem *= f_cm;
+  p.r_disk *= f_rd;
+  p.r_mem *= f_rm;
+  p.v_guaranteed *= f_vg;
+  p.v_partial *= f_vp;
+  platform::CostModel out = [&] {
+    if (base.is_uniform()) return platform::CostModel(p);
+    std::vector<double> c_disk(n), c_mem(n), v_g(n), v_p(n), r_disk(n),
+        r_mem(n);
+    for (std::size_t i = 1; i <= n; ++i) {
+      c_disk[i - 1] = base.c_disk_after(i) * f_cd;
+      c_mem[i - 1] = base.c_mem_after(i) * f_cm;
+      v_g[i - 1] = base.v_guaranteed_after(i) * f_vg;
+      v_p[i - 1] = base.v_partial_after(i) * f_vp;
+      r_disk[i - 1] = base.r_disk_after(i) * f_rd;
+      r_mem[i - 1] = base.r_mem_after(i) * f_rm;
+    }
+    return platform::CostModel(p, std::move(c_disk), std::move(c_mem),
+                               std::move(v_g), std::move(v_p),
+                               std::move(r_disk), std::move(r_mem));
+  }();
+  out.set_planning_law(base.planning_law());
+  return out;
+}
+
+/// Cache-replay lane: populate a plan-cached BatchSolver with the cell's
+/// solves, replay `requests` seeded submissions (a quarter verbatim, the
+/// rest parameter-drifted), classify each via PlanCacheStats deltas
+/// (serial loop, so the deltas are exact), and oracle every served
+/// result against a cache-disabled fresh solve of the SAME request.
+void run_cache_lane(const ScenarioSpec& spec, const MaterializedCell& cell,
+                    CellReport& out) {
+  core::BatchOptions cached_opts;
+  cached_opts.plan_cache_epsilon = spec.cache.epsilon;
+  core::BatchSolver cached(cached_opts);
+  core::BatchOptions fresh_opts;
+  fresh_opts.enable_plan_cache = false;
+  core::BatchSolver fresh(fresh_opts);
+
+  CacheLaneResult lane;
+  lane.requests = spec.cache.requests;
+  lane.epsilon = spec.cache.epsilon;
+  lane.oracle_ok = true;
+
+  for (core::Algorithm algorithm : spec.algorithms) {
+    cached.solve_job(
+        core::BatchJob{algorithm, cell.chain, cell.modeled_costs});
+  }
+
+  static const char kTag[] = "cache-lane";
+  util::Xoshiro256 rng = util::Xoshiro256::stream(
+      fnv1a(kTag, sizeof(kTag) - 1, spec.seed), 0);
+  const std::size_t n = cell.chain.size();
+  for (std::size_t r = 0; r < spec.cache.requests; ++r) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform01() * static_cast<double>(spec.algorithms.size()));
+    const core::Algorithm algorithm =
+        spec.algorithms[std::min(pick, spec.algorithms.size() - 1)];
+    const bool verbatim = rng.uniform01() < 0.25;
+    const platform::CostModel request_costs =
+        verbatim ? cell.modeled_costs
+                 : drift_costs(cell.modeled_costs, n, spec.cache.drift, rng);
+
+    const core::PlanCacheStats before = cached.plan_cache_stats();
+    const core::OptimizationResult served = cached.solve_job(
+        core::BatchJob{algorithm, cell.chain, request_costs});
+    const core::PlanCacheStats after = cached.plan_cache_stats();
+    const core::OptimizationResult oracle = fresh.solve_job(
+        core::BatchJob{algorithm, cell.chain, request_costs});
+
+    const std::uint64_t served_digest =
+        result_digest(served.plan, served.expected_makespan);
+    const std::uint64_t oracle_digest =
+        result_digest(oracle.plan, oracle.expected_makespan);
+    if (after.exact_hits > before.exact_hits) {
+      ++lane.exact_hits;
+      // A certified exact hit must be indistinguishable from solving.
+      if (served_digest != oracle_digest) lane.oracle_ok = false;
+    } else if (after.epsilon_hits > before.epsilon_hits) {
+      ++lane.epsilon_hits;
+      // The epsilon contract is against the TRUE drifted optimum, which
+      // the oracle solve computes.
+      if (!(served.expected_makespan <=
+            (1.0 + spec.cache.epsilon) * oracle.expected_makespan *
+                (1.0 + 1e-12))) {
+        lane.oracle_ok = false;
+      }
+    } else {
+      ++lane.resolves;
+      // A rejected certificate must fall through to a REAL solve.
+      if (served_digest != oracle_digest) lane.oracle_ok = false;
+    }
+  }
+  out.cache.push_back(std::move(lane));
+}
+
 }  // namespace
 
 CellReport run_cell(const ScenarioSpec& spec, const RunnerOptions& options) {
@@ -332,6 +447,9 @@ CellReport run_cell(const ScenarioSpec& spec, const RunnerOptions& options) {
   if (spec.traffic.kind != TrafficKind::kNone) {
     run_service_lane(spec, cell, references, options, report);
   }
+  if (spec.cache.enabled) {
+    run_cache_lane(spec, cell, report);
+  }
 
   bool configs_ok = true;
   for (const DpLaneResult& dp : report.dp) {
@@ -345,7 +463,11 @@ CellReport run_cell(const ScenarioSpec& spec, const RunnerOptions& options) {
     service_ok = service_ok && svc.all_succeeded && svc.bitwise_ok &&
                  svc.priority_inversions == 0;
   }
-  report.ok = configs_ok && service_ok &&
+  bool cache_ok = true;
+  for (const CacheLaneResult& c : report.cache) {
+    cache_ok = cache_ok && c.oracle_ok;
+  }
+  report.ok = configs_ok && service_ok && cache_ok &&
               (report.assumptions_hold ? !report.diverged : true);
   return report;
 }

@@ -251,6 +251,17 @@ void ScenarioSpec::validate() const {
     }
     if (!(mix > 0.0)) throw std::invalid_argument("empty priority mix");
   }
+  if (cache.enabled) {
+    if (cache.requests < 1) {
+      throw std::invalid_argument("cache.requests must be >= 1");
+    }
+    if (!(cache.drift >= 0.0)) {
+      throw std::invalid_argument("cache.drift must be >= 0");
+    }
+    if (!(cache.epsilon >= 0.0)) {
+      throw std::invalid_argument("cache.epsilon must be >= 0");
+    }
+  }
 }
 
 MaterializedCell materialize(const ScenarioSpec& spec) {

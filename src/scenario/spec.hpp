@@ -136,6 +136,23 @@ struct TrafficSpec {
   double priority_mix[4] = {0.25, 0.5, 0.15, 0.1};
 };
 
+/// Cache-replay lane: re-submit the cell's solves through a plan-cached
+/// core::BatchSolver, first verbatim (exact hits) and then under seeded
+/// parameter drift (epsilon-hits or certified re-solves), and oracle
+/// every served result against a cache-disabled fresh solve.  Disabled
+/// by default so pre-cache fixtures round-trip byte-identically.
+struct CacheReplaySpec {
+  bool enabled = false;
+  /// Replayed requests after the populating solves.
+  std::size_t requests = 16;
+  /// Relative drift magnitude: each drifted request scales every
+  /// parameter group by a seeded factor in [1/(1+drift), 1+drift].
+  double drift = 0.05;
+  /// Epsilon handed to the cached solver (BatchJob::cache_epsilon);
+  /// 0 = exact hits only.
+  double epsilon = 0.02;
+};
+
 /// Expected result pin for golden fixtures: one algorithm's plan/objective
 /// digest (scenario/report.hpp defines the digest).
 struct ExpectedDigest {
@@ -151,6 +168,7 @@ struct ScenarioSpec {
   PlatformSpec platform;
   FailureSpec failure;
   TrafficSpec traffic;
+  CacheReplaySpec cache;
   /// Algorithms solved (and simulated) in the cell, paper display names.
   std::vector<core::Algorithm> algorithms = {core::Algorithm::kADVstar,
                                              core::Algorithm::kADMVstar};

@@ -292,6 +292,14 @@ std::string spec_to_json(const ScenarioSpec& spec) {
      << ", " << fmt_double(spec.traffic.priority_mix[1]) << ", "
      << fmt_double(spec.traffic.priority_mix[2]) << ", "
      << fmt_double(spec.traffic.priority_mix[3]) << "]},\n";
+  // Emitted only when the lane is on: pre-cache fixtures keep their exact
+  // bytes across a load/save round trip.
+  if (spec.cache.enabled) {
+    os << "  \"cache\": {\"enabled\": true"
+       << ", \"requests\": " << spec.cache.requests
+       << ", \"drift\": " << fmt_double(spec.cache.drift)
+       << ", \"epsilon\": " << fmt_double(spec.cache.epsilon) << "},\n";
+  }
   os << "  \"algorithms\": [";
   for (std::size_t i = 0; i < spec.algorithms.size(); ++i) {
     if (i) os << ", ";
@@ -371,6 +379,14 @@ ScenarioSpec spec_from_json(const std::string& json) {
         spec.traffic.priority_mix[i] = m.number;
       }
     }
+  }
+  if (const JsonValue* v = find(obj, "cache")) {
+    const JsonObject& c = get_object(*v, "cache");
+    spec.cache.enabled = get_bool(c, "enabled", false);
+    spec.cache.requests =
+        static_cast<std::size_t>(get_number(c, "requests", 16));
+    spec.cache.drift = get_number(c, "drift", 0.05);
+    spec.cache.epsilon = get_number(c, "epsilon", 0.02);
   }
   if (const JsonValue* v = find(obj, "algorithms")) {
     if (v->kind != JsonValue::Kind::kArray) {

@@ -60,9 +60,14 @@ AdmissionController::AdmissionController(AdmissionConfig config)
 
 AdmissionVerdict AdmissionController::assess(
     core::Algorithm algorithm, std::size_t n, std::size_t queued_now,
-    double inflight_units, std::chrono::milliseconds deadline) const {
+    double inflight_units, std::chrono::milliseconds deadline,
+    bool probable_cache_hit) const {
   AdmissionVerdict verdict;
   verdict.cost_units = price_units(algorithm, n);
+  if (probable_cache_hit && config_.cache_hit_unit_factor > 0.0 &&
+      config_.cache_hit_unit_factor < 1.0) {
+    verdict.cost_units *= config_.cache_hit_unit_factor;
+  }
   if (config_.max_job_units > 0.0 &&
       verdict.cost_units > config_.max_job_units) {
     verdict.decision = AdmissionDecision::kReject;
@@ -87,7 +92,8 @@ AdmissionVerdict AdmissionController::assess(
     verdict.reason = "deadline already passed at submit";
     return verdict;
   }
-  if (deadline.count() > 0 && config_.reject_infeasible_deadlines) {
+  if (deadline.count() > 0 && config_.reject_infeasible_deadlines &&
+      !probable_cache_hit) {
     const std::lock_guard<std::mutex> lock(mutex_);
     const Estimate est = estimate_locked(algorithm, n);
     verdict.estimated_seconds = est.seconds;

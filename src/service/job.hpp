@@ -65,6 +65,14 @@ struct SubmitOptions {
 
   Priority priority = Priority::kNormal;
   std::chrono::milliseconds deadline{0};
+
+  /// Per-submission plan-cache tolerance, copied onto the underlying
+  /// core::BatchJob at submit.  Negative (the default) defers to the
+  /// service solver's BatchOptions::plan_cache_epsilon; 0 accepts exact
+  /// hits only; > 0 also accepts certified epsilon-hits whose re-scored
+  /// objective is within (1 + epsilon) of the sound lower bound (see
+  /// docs/CACHING.md).
+  double cache_epsilon = -1.0;
 };
 
 /// One submission: the work itself (algorithm + chain + cost model, the

@@ -156,7 +156,14 @@ SolverService::~SolverService() { shutdown(); }
 JobHandle SolverService::submit(JobRequest request) {
   auto record = std::make_shared<detail::JobRecord>(std::move(request.work));
   record->options = request.options;
+  // Per-submission plan-cache tolerance rides on the BatchJob; negative
+  // defers to the solver's BatchOptions::plan_cache_epsilon.
+  record->work.cache_epsilon = request.options.cache_epsilon;
   const std::size_t n = record->work.chain.size();
+  // Probe the plan cache before taking the service lock: the probe hashes
+  // the chain and cost model (O(n)) and takes only the cache's own lock.
+  const bool probable_cache_hit =
+      solver_.probable_plan_cache_hit(record->work);
 
   CompletionCallback callback;
   JobStatus rejected_status;
@@ -178,7 +185,8 @@ JobHandle SolverService::submit(JobRequest request) {
     } else {
       const AdmissionVerdict verdict =
           admission_.assess(record->work.algorithm, n, queue_.size(),
-                            inflight_units_, record->options.deadline);
+                            inflight_units_, record->options.deadline,
+                            probable_cache_hit);
       record->cost_units = verdict.cost_units;
       if (verdict.decision == AdmissionDecision::kReject) {
         reason = verdict.reason;
@@ -313,6 +321,7 @@ ServiceStats SolverService::stats() const {
     out.queued_units = queued_units_;
   }
   out.solver = solver_.stats_snapshot();
+  out.plan_cache = solver_.plan_cache_stats();
   return out;
 }
 

@@ -131,6 +131,10 @@ struct ServiceStats {
   double inflight_units = 0.0;
   double queued_units = 0.0;
   core::BatchStats solver;
+  /// Snapshot of the solver's plan cache (hit/miss/eviction counters;
+  /// see core/plan_cache.hpp).  lookups == exact_hits + epsilon_hits +
+  /// cert_rejections + misses holds in every snapshot.
+  core::PlanCacheStats plan_cache;
 };
 
 class SolverService {

@@ -1,0 +1,255 @@
+// Incremental-rebuild equivalence: patching a (WeightTable, SegmentTables)
+// pair for a drifted parameter must produce coefficient streams that are
+// BYTE-identical (memcmp) to a from-scratch build -- for the exponential
+// and the Weibull build paths alike.  The DP kernels consume these
+// streams verbatim, so byte-identity here is what makes a plan-cache
+// re-solve on patched tables bitwise indistinguishable from a cold solve.
+#include "analysis/segment_tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "chain/patterns.hpp"
+#include "chain/weight_table.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+
+namespace chainckpt::analysis {
+namespace {
+
+constexpr std::size_t kN = 12;
+
+chain::TaskChain test_chain() { return chain::make_uniform(kN, 25000.0); }
+
+platform::Platform scaled_hera() {
+  platform::Platform p = platform::hera();
+  p.lambda_f *= 25.0;
+  p.lambda_s *= 25.0;
+  return p;
+}
+
+bool same_doubles(const double* a, const double* b, std::size_t count) {
+  return std::memcmp(a, b, count * sizeof(double)) == 0;
+}
+
+/// Full byte comparison of every stream the two tables expose.
+void expect_identical(const SegmentTables& patched,
+                      const SegmentTables& scratch, const char* what) {
+  ASSERT_EQ(patched.n(), scratch.n());
+  ASSERT_EQ(patched.has_rows(), scratch.has_rows());
+  const std::size_t n = patched.n();
+  const std::size_t full = (n + 1) * (n + 1);
+  EXPECT_TRUE(same_doubles(patched.exvg_col(0), scratch.exvg_col(0), full))
+      << what << ": exvg";
+  EXPECT_TRUE(same_doubles(patched.b_col(0), scratch.b_col(0), full))
+      << what << ": b_col";
+  EXPECT_TRUE(same_doubles(patched.c_col(0), scratch.c_col(0), full))
+      << what << ": c_col";
+  EXPECT_TRUE(same_doubles(patched.d_col(0), scratch.d_col(0), full))
+      << what << ": d_col";
+  EXPECT_TRUE(same_doubles(patched.fs_col(0), scratch.fs_col(0), full))
+      << what << ": fs_col";
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double pg = patched.vg_after(i), sg = scratch.vg_after(i);
+    const double pp = patched.vp_after(i), sp = scratch.vp_after(i);
+    EXPECT_TRUE(same_doubles(&pg, &sg, 1)) << what << ": vg[" << i << "]";
+    EXPECT_TRUE(same_doubles(&pp, &sp, 1)) << what << ": vp[" << i << "]";
+  }
+  if (patched.has_rows()) {
+    EXPECT_TRUE(same_doubles(patched.exv_row(0), scratch.exv_row(0), full))
+        << what << ": exv_row";
+    EXPECT_TRUE(same_doubles(patched.b_row(0), scratch.b_row(0), full))
+        << what << ": b_row";
+    EXPECT_TRUE(same_doubles(patched.c_row(0), scratch.c_row(0), full))
+        << what << ": c_row";
+    EXPECT_TRUE(same_doubles(patched.d_row(0), scratch.d_row(0), full))
+        << what << ": d_row";
+    EXPECT_TRUE(same_doubles(patched.tl_row(0), scratch.tl_row(0), full))
+        << what << ": tl_row";
+    EXPECT_TRUE(same_doubles(patched.pf_row(0), scratch.pf_row(0), full))
+        << what << ": pf_row";
+    EXPECT_TRUE(same_doubles(patched.ef_row(0), scratch.ef_row(0), full))
+        << what << ": ef_row";
+    EXPECT_TRUE(same_doubles(patched.w_row(0), scratch.w_row(0), full))
+        << what << ": w_row";
+  }
+  // The QI certificate is a pure function of the column streams.
+  EXPECT_EQ(patched.verify_quadrangle().violating_cells,
+            scratch.verify_quadrangle().violating_cells)
+      << what;
+}
+
+/// Builds base tables for `base_p`, patches them to `next`, and checks
+/// the patch against a from-scratch build of `next`.
+PatchSummary patch_and_check(const platform::CostModel& base_costs,
+                             const platform::CostModel& next_costs,
+                             const char* what, bool rows = true) {
+  const chain::TaskChain chain = test_chain();
+  const chain::WeightTable base_table(chain, base_costs.lambda_f(),
+                                      base_costs.lambda_s());
+  const SegmentTables base(base_table, base_costs, rows);
+
+  const chain::WeightTable patched_table(base_table, next_costs.lambda_f(),
+                                         next_costs.lambda_s());
+  PatchSummary summary;
+  const SegmentTables patched(base, patched_table, next_costs, rows,
+                              &summary);
+
+  const chain::WeightTable scratch_table(chain, next_costs.lambda_f(),
+                                         next_costs.lambda_s());
+  const SegmentTables scratch(scratch_table, next_costs, rows);
+
+  // The patched WeightTable itself must be bitwise equal to scratch.
+  for (std::size_t i = 0; i <= kN; ++i) {
+    for (std::size_t j = i; j <= kN; ++j) {
+      const double pf = patched_table.em1_f(i, j);
+      const double sf = scratch_table.em1_f(i, j);
+      const double ps = patched_table.em1_s(i, j);
+      const double ss = scratch_table.em1_s(i, j);
+      EXPECT_TRUE(same_doubles(&pf, &sf, 1)) << what << " em1_f " << i << j;
+      EXPECT_TRUE(same_doubles(&ps, &ss, 1)) << what << " em1_s " << i << j;
+    }
+  }
+  expect_identical(patched, scratch, what);
+  return summary;
+}
+
+platform::CostModel exp_costs(const platform::Platform& p) {
+  return platform::CostModel(p);
+}
+
+platform::CostModel weibull_costs(const platform::Platform& p,
+                                  double shape) {
+  platform::CostModel costs(p);
+  costs.set_planning_law({platform::FailureLaw::kWeibull, shape});
+  return costs;
+}
+
+TEST(SegmentTablesPatch, LambdaFDriftRebuildsOnlyItsDependents) {
+  platform::Platform base = scaled_hera();
+  platform::Platform next = base;
+  next.lambda_f *= 1.07;
+  const PatchSummary summary =
+      patch_and_check(exp_costs(base), exp_costs(next), "lambda_f");
+  EXPECT_GT(summary.streams_rebuilt, 0u);
+  EXPECT_GT(summary.streams_reused, 0u);
+  EXPECT_TRUE(summary.qi_rebuilt);
+}
+
+TEST(SegmentTablesPatch, LambdaSDriftRebuildsOnlyItsDependents) {
+  platform::Platform base = scaled_hera();
+  platform::Platform next = base;
+  next.lambda_s *= 0.93;
+  const PatchSummary summary =
+      patch_and_check(exp_costs(base), exp_costs(next), "lambda_s");
+  EXPECT_GT(summary.streams_rebuilt, 0u);
+  EXPECT_GT(summary.streams_reused, 0u);
+}
+
+TEST(SegmentTablesPatch, BothRatesDrift) {
+  platform::Platform base = scaled_hera();
+  platform::Platform next = base;
+  next.lambda_f *= 1.11;
+  next.lambda_s *= 1.05;
+  patch_and_check(exp_costs(base), exp_costs(next), "both rates");
+}
+
+TEST(SegmentTablesPatch, VerificationCostDriftTouchesOnlyTheVStreams) {
+  platform::Platform base = scaled_hera();
+  platform::Platform next = base;
+  next.v_guaranteed *= 1.3;
+  next.v_partial *= 0.7;
+  const PatchSummary summary =
+      patch_and_check(exp_costs(base), exp_costs(next), "verif costs");
+  // vg -> {exvg, vg}, vp -> {exv, vp}: four streams, no shared b/c/d.
+  EXPECT_EQ(summary.streams_rebuilt, 4u);
+  EXPECT_TRUE(summary.qi_rebuilt);  // exvg is a column stream
+}
+
+TEST(SegmentTablesPatch, CheckpointAndRecoveryDriftIsAFullReuse) {
+  // C_D/C_M/R_D/R_M and the recall are never baked into the coefficient
+  // streams -- the DP reads them from the CostModel directly -- so a
+  // drift confined to them must copy EVERY stream and skip the QI probe.
+  platform::Platform base = scaled_hera();
+  platform::Platform next = base;
+  next.c_disk *= 1.4;
+  next.c_mem *= 0.8;
+  next.r_disk *= 1.2;
+  next.r_mem *= 1.1;
+  next.recall = 0.7;
+  const PatchSummary summary =
+      patch_and_check(exp_costs(base), exp_costs(next), "ckpt costs");
+  EXPECT_EQ(summary.streams_rebuilt, 0u);
+  EXPECT_GT(summary.streams_reused, 0u);
+  EXPECT_FALSE(summary.qi_rebuilt);
+}
+
+TEST(SegmentTablesPatch, WeibullShapeDriftRebuildsTheLawStreams) {
+  const platform::Platform p = scaled_hera();
+  patch_and_check(weibull_costs(p, 0.7), weibull_costs(p, 0.9),
+                  "weibull shape");
+}
+
+TEST(SegmentTablesPatch, WeibullRateDrift) {
+  platform::Platform base = scaled_hera();
+  platform::Platform next = base;
+  next.lambda_f *= 1.08;
+  patch_and_check(weibull_costs(base, 0.7), weibull_costs(next, 0.7),
+                  "weibull lambda_f");
+}
+
+TEST(SegmentTablesPatch, LawChangeAcrossThePatchIsByteExact) {
+  const platform::Platform p = scaled_hera();
+  // exponential -> Weibull and back: the law bit flips every law-dependent
+  // stream, and the result must still match scratch bitwise.
+  patch_and_check(exp_costs(p), weibull_costs(p, 0.7), "exp->weibull");
+  patch_and_check(weibull_costs(p, 0.7), exp_costs(p), "weibull->exp");
+}
+
+TEST(SegmentTablesPatch, ShapeOneWeibullIsTheExponentialClass) {
+  // Weibull with shape exactly 1 takes the exponential build verbatim, so
+  // patching from a plain exponential base must treat the law as
+  // unchanged (nothing law-driven rebuilt beyond what the rates demand).
+  const platform::Platform p = scaled_hera();
+  const PatchSummary summary = patch_and_check(
+      exp_costs(p), weibull_costs(p, 1.0), "weibull shape-1");
+  EXPECT_EQ(summary.streams_rebuilt, 0u);
+}
+
+TEST(SegmentTablesPatch, RowUpgradeFromARowlessDonor) {
+  const platform::Platform p = scaled_hera();
+  const chain::TaskChain chain = test_chain();
+  const platform::CostModel costs = exp_costs(p);
+  const chain::WeightTable table(chain, costs.lambda_f(), costs.lambda_s());
+  const SegmentTables rowless(table, costs, /*build_rows=*/false);
+  ASSERT_FALSE(rowless.has_rows());
+  PatchSummary summary;
+  const SegmentTables upgraded(rowless, table, costs, /*build_rows=*/true,
+                               &summary);
+  ASSERT_TRUE(upgraded.has_rows());
+  const SegmentTables scratch(table, costs, /*build_rows=*/true);
+  expect_identical(upgraded, scratch, "row upgrade");
+  EXPECT_GT(summary.streams_rebuilt, 0u);
+}
+
+TEST(SegmentTablesPatch, PerPositionCostsPatchByteExact) {
+  const platform::Platform base_p = scaled_hera();
+  platform::Platform next_p = base_p;
+  next_p.lambda_s *= 1.06;
+  const auto per_position = [](const platform::Platform& p) {
+    std::vector<double> c_disk(kN, p.c_disk), c_mem(kN, p.c_mem),
+        v_g(kN), v_p(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      v_g[i] = p.v_guaranteed * (0.5 + 0.1 * static_cast<double>(i));
+      v_p[i] = p.v_partial * (1.5 - 0.05 * static_cast<double>(i));
+    }
+    return platform::CostModel(p, c_disk, c_mem, v_g, v_p);
+  };
+  patch_and_check(per_position(base_p), per_position(next_p),
+                  "per-position lambda_s");
+}
+
+}  // namespace
+}  // namespace chainckpt::analysis

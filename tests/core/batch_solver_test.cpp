@@ -235,7 +235,11 @@ TEST(BatchSolver, ConcurrentSolveJobsBuildSharedTablesOnce) {
   const platform::CostModel costs{platform::hera()};
   const BatchJob job{Algorithm::kADMVstar, chain, costs};
   const auto reference = optimize(job.algorithm, job.chain, job.costs);
-  BatchSolver solver;
+  // Exercise the raw table-share path: with the plan cache on, whichever
+  // thread finishes first would serve the rest without touching tables.
+  BatchOptions options;
+  options.enable_plan_cache = false;
+  BatchSolver solver{options};
   constexpr std::size_t kThreads = 8;
   std::vector<OptimizationResult> results(kThreads);
   std::vector<std::thread> threads;
@@ -280,7 +284,11 @@ TEST(BatchSolver, InterruptedSolveReleasesItsScratchEagerly) {
   // execution keeps the whole solve's scratch on this thread, so the
   // eager release is fully observable.
   util::set_parallelism(1);
-  BatchSolver solver;
+  // Plan cache off: the second submission must actually run (and be
+  // interrupted in) the DP, not return the memoized first result.
+  BatchOptions options;
+  options.enable_plan_cache = false;
+  BatchSolver solver{options};
   const BatchJob job{Algorithm::kADMVstar, chain::make_uniform(120, 25000.0),
                      platform::CostModel{platform::hera()}};
   ASSERT_NO_THROW(solver.solve_job(job));  // grow the scratch
@@ -302,6 +310,166 @@ TEST(BatchSolver, InterruptedSolveReleasesItsScratchEagerly) {
   const OptimizationResult reference = fresh.solve_job(job);
   EXPECT_EQ(expected.expected_makespan, reference.expected_makespan);
   EXPECT_EQ(expected.plan, reference.plan);
+  util::set_parallelism(0);
+}
+
+TEST(BatchSolverPlanCache, CountersReconcileAcrossHitMissAndEpsilon) {
+  BatchOptions options;
+  options.plan_cache_epsilon = 0.05;
+  BatchSolver solver{options};
+  platform::Platform base = platform::hera();
+  base.lambda_f *= 25.0;
+  base.lambda_s *= 25.0;
+  const BatchJob job{Algorithm::kADMVstar, chain::make_uniform(14, 25000.0),
+                     platform::CostModel{base}};
+  const OptimizationResult first = solver.solve_job(job);   // miss + insert
+  const OptimizationResult second = solver.solve_job(job);  // exact hit
+  EXPECT_EQ(first.plan, second.plan);
+  EXPECT_EQ(first.expected_makespan, second.expected_makespan);
+
+  platform::Platform drifted = base;
+  drifted.lambda_s *= 1.01;  // inside the radii: epsilon-hit
+  BatchJob near = job;
+  near.costs = platform::CostModel{drifted};
+  const OptimizationResult served = solver.solve_job(near);
+
+  platform::Platform wild = base;
+  wild.lambda_s *= 4.0;  // far beyond: certificate rejection + re-solve
+  BatchJob far = job;
+  far.costs = platform::CostModel{wild};
+  solver.solve_job(far);
+
+  const PlanCacheStats cache = solver.plan_cache_stats();
+  EXPECT_EQ(cache.lookups, 4u);
+  EXPECT_EQ(cache.exact_hits, 1u);
+  EXPECT_EQ(cache.epsilon_hits, 1u);
+  EXPECT_EQ(cache.cert_rejections, 1u);
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.exact_hits + cache.epsilon_hits + cache.cert_rejections +
+                cache.misses,
+            cache.lookups);
+  EXPECT_EQ(cache.inserts, 2u);  // the miss and the rejected re-solve
+  EXPECT_EQ(solver.stats_snapshot().warm_bound_violations, 0u);
+
+  // The epsilon-served objective honors the tolerance against a fresh
+  // cache-free solve of the drifted model.
+  BatchOptions cold_options;
+  cold_options.enable_plan_cache = false;
+  BatchSolver cold{cold_options};
+  const OptimizationResult fresh = cold.solve_job(near);
+  EXPECT_LE(served.expected_makespan,
+            (1.0 + 0.05) * fresh.expected_makespan * (1.0 + 1e-12));
+}
+
+TEST(BatchSolverPlanCache, BudgetEvictsLruAndEvictedJobsResolveBitwise) {
+  BatchOptions options;
+  BatchSolver solver{options};
+  const platform::CostModel hera{platform::hera()};
+  std::vector<BatchJob> jobs;
+  for (std::size_t n = 10; n < 20; ++n) {
+    jobs.push_back(
+        {Algorithm::kADVstar, chain::make_uniform(n, 25000.0), hera});
+  }
+  std::vector<OptimizationResult> first;
+  for (const BatchJob& job : jobs) first.push_back(solver.solve_job(job));
+  const std::size_t resident = solver.plan_cache_resident_bytes();
+  ASSERT_GT(resident, 0u);
+  EXPECT_EQ(solver.plan_cache_size(), jobs.size());
+
+  // Squeeze the budget at runtime: LRU entries go, the rest stay.
+  solver.set_plan_cache_budget(resident / 3);
+  EXPECT_LE(solver.plan_cache_resident_bytes(), resident / 3);
+  EXPECT_LT(solver.plan_cache_size(), jobs.size());
+  const PlanCacheStats cache = solver.plan_cache_stats();
+  EXPECT_GT(cache.evictions, 0u);
+  EXPECT_GT(cache.evicted_bytes, 0u);
+
+  // Evicted jobs re-solve bitwise-identically (and re-populate the
+  // cache under the new budget).
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const OptimizationResult again = solver.solve_job(jobs[i]);
+    EXPECT_EQ(again.expected_makespan, first[i].expected_makespan)
+        << "job " << i;
+    EXPECT_EQ(again.plan, first[i].plan) << "job " << i;
+  }
+  EXPECT_LE(solver.plan_cache_resident_bytes(), resident / 3);
+  EXPECT_EQ(solver.stats_snapshot().warm_bound_violations, 0u);
+}
+
+TEST(BatchSolverPlanCache, ThreadCountDoesNotChangeServedResults) {
+  // The cache front door must be invariant to DP parallelism: the same
+  // submission sequence classifies and serves identically at any thread
+  // count, because keys and results are bitwise-deterministic.
+  platform::Platform base = platform::hera();
+  base.lambda_f *= 25.0;
+  base.lambda_s *= 25.0;
+  platform::Platform drifted = base;
+  drifted.lambda_s *= 1.01;
+  const auto sequence = [&](BatchSolver& solver,
+                            std::vector<OptimizationResult>* out) {
+    BatchJob job{Algorithm::kADMVstar, chain::make_uniform(40, 25000.0),
+                 platform::CostModel{base}};
+    job.cache_epsilon = 0.05;
+    out->push_back(solver.solve_job(job));
+    out->push_back(solver.solve_job(job));
+    job.costs = platform::CostModel{drifted};
+    out->push_back(solver.solve_job(job));
+  };
+  std::vector<OptimizationResult> baseline;
+  {
+    util::set_parallelism(1);
+    BatchSolver solver;
+    sequence(solver, &baseline);
+  }
+  std::vector<OptimizationResult> wide;
+  PlanCacheStats wide_stats;
+  {
+    util::set_parallelism(7);
+    BatchSolver solver;
+    sequence(solver, &wide);
+    wide_stats = solver.plan_cache_stats();
+  }
+  util::set_parallelism(0);
+  ASSERT_EQ(baseline.size(), wide.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(wide[i].expected_makespan, baseline[i].expected_makespan)
+        << "step " << i;
+    EXPECT_EQ(wide[i].plan, baseline[i].plan) << "step " << i;
+  }
+  EXPECT_EQ(wide_stats.exact_hits, 1u);
+  EXPECT_EQ(wide_stats.epsilon_hits, 1u);
+}
+
+TEST(BatchSolverPlanCache, ResumedSolvePopulatesTheCacheIdentically) {
+  // An interrupted solve retains a checkpoint; the retry resumes it and
+  // its result lands in the plan cache exactly as a cold solve's would:
+  // the follow-up submission exact-hits bitwise.
+  util::set_parallelism(1);
+  BatchSolver solver;
+  const BatchJob job{Algorithm::kADMVstar, chain::make_uniform(120, 25000.0),
+                     platform::CostModel{platform::hera()}};
+  CancelToken token;
+  token.trip_after_polls(3000);
+  EXPECT_THROW(solver.solve_job(job, &token), SolveInterrupted);
+  // The interrupted attempt counted a lookup (miss) but inserted nothing.
+  EXPECT_EQ(solver.plan_cache_stats().inserts, 0u);
+
+  const OptimizationResult resumed = solver.solve_job(job);
+  const BatchStats stats = solver.stats_snapshot();
+  EXPECT_EQ(stats.checkpoints_resumed, 1u);
+  EXPECT_EQ(solver.plan_cache_stats().inserts, 1u);
+
+  const OptimizationResult hit = solver.solve_job(job);
+  EXPECT_EQ(hit.expected_makespan, resumed.expected_makespan);
+  EXPECT_EQ(hit.plan, resumed.plan);
+  EXPECT_EQ(solver.plan_cache_stats().exact_hits, 1u);
+
+  // And the resumed result is bitwise what a never-interrupted solver
+  // computes.
+  BatchSolver fresh;
+  const OptimizationResult reference = fresh.solve_job(job);
+  EXPECT_EQ(resumed.expected_makespan, reference.expected_makespan);
+  EXPECT_EQ(resumed.plan, reference.plan);
   util::set_parallelism(0);
 }
 

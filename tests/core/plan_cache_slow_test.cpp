@@ -1,0 +1,230 @@
+// Deep drift battery for core::PlanCache: seeded random platforms at
+// n in {32 .. 400}, per-parameter drift sweeps that cross the
+// certificate boundary from both sides, exponential AND Weibull
+// planning laws -- every single lookup oracled against a fresh DP solve
+// of the drifted request.  Well over 500 seeded cases, so the whole
+// executable is gated behind CHAINCKPT_SLOW_TESTS=1 (skips instantly
+// otherwise) and carries the `slow` ctest label, matching the oracle
+// pruning battery:
+//
+//   CHAINCKPT_SLOW_TESTS=1 ctest --test-dir build -L slow
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "chain/patterns.hpp"
+#include "core/plan_cache.hpp"
+#include "platform/registry.hpp"
+#include "util/rng.hpp"
+
+namespace chainckpt::core {
+namespace {
+
+#define CHAINCKPT_REQUIRE_SLOW()                                        \
+  if (std::getenv("CHAINCKPT_SLOW_TESTS") == nullptr) {                 \
+    GTEST_SKIP() << "deep plan-cache drift battery; set "               \
+                    "CHAINCKPT_SLOW_TESTS=1 (ctest label: slow)";       \
+  }
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+platform::Platform seeded_platform(std::uint64_t seed) {
+  util::Xoshiro256 rng = util::Xoshiro256::stream(seed, 0);
+  platform::Platform p = platform::hera();
+  const auto jitter = [&rng] {
+    return std::exp((2.0 * rng.uniform01() - 1.0) * 0.4);
+  };
+  p.lambda_f *= 25.0 * jitter();
+  p.lambda_s *= 25.0 * jitter();
+  p.c_disk *= jitter();
+  p.c_mem *= jitter();
+  p.r_disk *= jitter();
+  p.r_mem *= jitter();
+  p.v_guaranteed *= jitter();
+  p.v_partial *= jitter();
+  p.recall = 0.6 + 0.35 * rng.uniform01();
+  return p;
+}
+
+platform::CostModel costs_for(const platform::Platform& p, bool weibull) {
+  platform::CostModel costs(p);
+  if (weibull) {
+    costs.set_planning_law({platform::FailureLaw::kWeibull, 0.7});
+  }
+  return costs;
+}
+
+enum class Param { kLf, kLs, kCd, kCm, kRd, kVg, kVp, kRecall };
+
+platform::Platform apply_drift(const platform::Platform& base, Param param,
+                               double factor) {
+  platform::Platform p = base;
+  switch (param) {
+    case Param::kLf: p.lambda_f *= factor; break;
+    case Param::kLs: p.lambda_s *= factor; break;
+    case Param::kCd: p.c_disk *= factor; break;
+    case Param::kCm: p.c_mem *= factor; break;
+    case Param::kRd: p.r_disk *= factor; break;
+    case Param::kVg: p.v_guaranteed *= factor; break;
+    case Param::kVp: p.v_partial *= factor; break;
+    case Param::kRecall:
+      p.recall = std::min(0.999, std::max(0.01, p.recall * factor));
+      break;
+  }
+  return p;
+}
+
+/// Runs one drifted lookup against the fresh-solve oracle.  Returns true
+/// when the case was counted (it always is; the return keeps callers
+/// honest about the tally).
+void oracle_case(PlanCache& cache, Algorithm algorithm,
+                 const chain::TaskChain& chain,
+                 const platform::CostModel& request, double epsilon,
+                 const char* label, std::size_t* cases) {
+  const CacheLookup lookup =
+      cache.lookup(algorithm, chain, request, epsilon);
+  ASSERT_NE(lookup.outcome, CacheOutcome::kMiss) << label;
+  const OptimizationResult fresh = optimize(algorithm, chain, request);
+  switch (lookup.outcome) {
+    case CacheOutcome::kExactHit:
+      // Bit-key equality over the algorithm's read set: the stored
+      // result must equal a fresh solve bitwise.
+      EXPECT_TRUE(lookup.result.plan == fresh.plan) << label;
+      EXPECT_TRUE(same_bits(lookup.result.expected_makespan,
+                            fresh.expected_makespan))
+          << label;
+      break;
+    case CacheOutcome::kEpsilonHit:
+      EXPECT_LE(lookup.error_bound, epsilon) << label;
+      // Lower bound sound against the fresh optimum...
+      EXPECT_GE(fresh.expected_makespan,
+                lookup.lower_bound * (1.0 - 1e-12))
+          << label;
+      // ...hence the served score is within (1 + epsilon) of it.
+      EXPECT_LE(lookup.result.expected_makespan,
+                (1.0 + epsilon) * fresh.expected_makespan * (1.0 + 1e-12))
+          << label;
+      break;
+    case CacheOutcome::kCertRejected:
+      // The caller re-solves; the warm bound must sit above the optimum.
+      ASSERT_TRUE(lookup.has_warm_bound) << label;
+      EXPECT_GE(lookup.warm_upper_bound,
+                fresh.expected_makespan * (1.0 - 1e-12))
+          << label;
+      break;
+    case CacheOutcome::kMiss:
+      break;
+  }
+  ++*cases;
+}
+
+TEST(PlanCacheSlow, PerParameterDriftSweepsAcrossTheCertificateBoundary) {
+  CHAINCKPT_REQUIRE_SLOW();
+  // Factors straddle the advisory radii (0.02 floor .. ~0.1 typical):
+  // well inside, near the boundary from both sides, and far beyond, plus
+  // downward drifts that force the weight-floor fallback for rates.
+  const double kFactors[] = {1.005, 1.018, 1.05, 1.12, 1.40, 0.985, 0.90};
+  const Param kParams[] = {Param::kLf, Param::kLs, Param::kCd,
+                           Param::kCm, Param::kRd, Param::kVg,
+                           Param::kVp, Param::kRecall};
+  const double epsilon = 0.05;
+  std::size_t cases = 0;
+  std::uint64_t seed = 1000;
+  struct Config {
+    std::size_t n;
+    Algorithm algorithm;
+  };
+  // Large n stays on the cheap single-level engine; the O(n^4) two-level
+  // DP and the partial-verification engine run at moderate sizes.
+  const Config kConfigs[] = {
+      {32, Algorithm::kADMVstar}, {48, Algorithm::kADMV},
+      {64, Algorithm::kADVstar},  {128, Algorithm::kADVstar},
+      {400, Algorithm::kADVstar},
+  };
+  for (const Config& config : kConfigs) {
+    for (const bool weibull : {false, true}) {
+      if (weibull && config.algorithm == Algorithm::kADMV) continue;
+      const auto chain = chain::make_uniform(
+          config.n, 2000.0 * static_cast<double>(config.n));
+      const platform::Platform base = seeded_platform(++seed);
+      const auto base_costs = costs_for(base, weibull);
+      PlanCache cache;
+      cache.insert(config.algorithm, chain, base_costs,
+                   optimize(config.algorithm, chain, base_costs));
+      for (const Param param : kParams) {
+        for (const double factor : kFactors) {
+          const auto request =
+              costs_for(apply_drift(base, param, factor), weibull);
+          const std::string label =
+              "n=" + std::to_string(config.n) +
+              (weibull ? " weibull" : " exp") + " param=" +
+              std::to_string(static_cast<int>(param)) + " factor=" +
+              std::to_string(factor);
+          oracle_case(cache, config.algorithm, chain, request, epsilon,
+                      label.c_str(), &cases);
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+  // 9 (config, law) pairs x 8 parameters x 7 factors = 504 oracled cases.
+  EXPECT_GE(cases, 500u);
+}
+
+TEST(PlanCacheSlow, SeededMultiParameterDriftStorm) {
+  CHAINCKPT_REQUIRE_SLOW();
+  // All parameters drift at once, both laws, repeatedly against one
+  // cached base -- the realistic telemetry-refresh shape.
+  const double epsilon = 0.05;
+  std::size_t cases = 0;
+  for (const bool weibull : {false, true}) {
+    const auto chain = chain::make_uniform(48, 96000.0);
+    const platform::Platform base = seeded_platform(weibull ? 7 : 3);
+    const auto base_costs = costs_for(base, weibull);
+    PlanCache cache;
+    cache.insert(Algorithm::kADMVstar, chain, base_costs,
+                 optimize(Algorithm::kADMVstar, chain, base_costs));
+    util::Xoshiro256 rng =
+        util::Xoshiro256::stream(weibull ? 7700 : 3300, 1);
+    for (int trial = 0; trial < 60; ++trial) {
+      platform::Platform drifted = base;
+      const auto jitter = [&rng] {
+        return std::exp((2.0 * rng.uniform01() - 1.0) * 0.05);
+      };
+      drifted.lambda_f *= jitter();
+      drifted.lambda_s *= jitter();
+      drifted.c_disk *= jitter();
+      drifted.c_mem *= jitter();
+      drifted.r_disk *= jitter();
+      drifted.r_mem *= jitter();
+      drifted.v_guaranteed *= jitter();
+      drifted.v_partial *= jitter();
+      const auto request = costs_for(drifted, weibull);
+      const std::string label = std::string(weibull ? "weibull" : "exp") +
+                                " storm trial " + std::to_string(trial);
+      oracle_case(cache, Algorithm::kADMVstar, chain, request, epsilon,
+                  label.c_str(), &cases);
+      if (HasFatalFailure()) return;
+      // A fraction of re-solves is inserted back, as the BatchSolver
+      // front door would do, so later trials hit a mixed cache.
+      if (trial % 7 == 0) {
+        cache.insert(Algorithm::kADMVstar, chain, request,
+                     optimize(Algorithm::kADMVstar, chain, request));
+      }
+    }
+    const PlanCacheStats stats = cache.stats_snapshot();
+    EXPECT_EQ(stats.lookups, 60u);
+    EXPECT_EQ(stats.exact_hits + stats.epsilon_hits +
+                  stats.cert_rejections + stats.misses,
+              stats.lookups);
+  }
+  EXPECT_EQ(cases, 120u);
+}
+
+}  // namespace
+}  // namespace chainckpt::core

@@ -1,0 +1,96 @@
+// Cache-replay lane: seeded drifted re-submissions through a plan-cached
+// BatchSolver, classified by PlanCacheStats deltas and oracled against
+// cache-disabled fresh solves (see runner.cpp run_cache_lane).
+#include "scenario/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/report.hpp"
+#include "scenario/spec_io.hpp"
+
+namespace chainckpt::scenario {
+namespace {
+
+ScenarioSpec cache_spec() {
+  ScenarioSpec spec;
+  spec.name = "cache-lane";
+  spec.seed = 77001;
+  spec.chain.shape = ChainShape::kUniform;
+  spec.chain.n = 12;
+  spec.failure.rate_scale = 25.0;
+  spec.cache.enabled = true;
+  spec.cache.requests = 20;
+  spec.cache.drift = 0.05;
+  spec.cache.epsilon = 0.02;
+  spec.algorithms = {core::Algorithm::kADVstar, core::Algorithm::kADMVstar};
+  spec.replicas = 50;
+  return spec;
+}
+
+TEST(CacheLane, OutcomesReconcileAndEveryServeSurvivesTheOracle) {
+  const ScenarioSpec spec = cache_spec();
+  RunnerOptions options;
+  const CellReport cell = run_cell(spec, options);
+
+  ASSERT_EQ(cell.cache.size(), 1u);
+  const CacheLaneResult& lane = cell.cache[0];
+  EXPECT_EQ(lane.requests, spec.cache.requests);
+  // Stats deltas partition the requests exactly.
+  EXPECT_EQ(lane.exact_hits + lane.epsilon_hits + lane.resolves,
+            lane.requests);
+  // A quarter of requests are verbatim re-submissions; at least one must
+  // exact-hit at these counts.
+  EXPECT_GT(lane.exact_hits, 0u);
+  // Drifted requests must exercise the non-exact paths too.
+  EXPECT_GT(lane.epsilon_hits + lane.resolves, 0u);
+  // The fresh-solve oracle: exact hits bitwise-identical, epsilon-hits
+  // within (1 + epsilon) of the fresh objective, re-solves bitwise.
+  EXPECT_TRUE(lane.oracle_ok);
+  EXPECT_TRUE(cell.ok);
+}
+
+TEST(CacheLane, ReportIsByteDeterministicAndCarriesTheLane) {
+  const ScenarioSpec spec = cache_spec();
+  RunnerOptions options;
+  ScenarioReport a;
+  a.cells.push_back(run_cell(spec, options));
+  a.finalize();
+  ScenarioReport b;
+  b.cells.push_back(run_cell(spec, options));
+  b.finalize();
+  const std::string ja = report_to_json(a);
+  EXPECT_EQ(ja, report_to_json(b));
+  EXPECT_NE(ja.find("\"cache\": [{\"requests\": 20"), std::string::npos);
+}
+
+TEST(CacheLane, DisabledLaneLeavesReportAndSpecBytesUntouched) {
+  ScenarioSpec spec = cache_spec();
+  spec.cache.enabled = false;
+  RunnerOptions options;
+  const CellReport cell = run_cell(spec, options);
+  EXPECT_TRUE(cell.cache.empty());
+  ScenarioReport report;
+  report.cells.push_back(cell);
+  report.finalize();
+  EXPECT_EQ(report_to_json(report).find("\"cache\""), std::string::npos);
+  // The spec writer only emits the cache block when the lane is on, so
+  // pre-cache fixtures round-trip byte-identically.
+  EXPECT_EQ(spec_to_json(spec).find("\"cache\""), std::string::npos);
+  const std::string json = spec_to_json(spec);
+  EXPECT_EQ(spec_to_json(spec_from_json(json)), json);
+}
+
+TEST(CacheLane, SpecRoundTripsTheCacheBlock) {
+  const ScenarioSpec spec = cache_spec();
+  const std::string json = spec_to_json(spec);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  const ScenarioSpec back = spec_from_json(json);
+  EXPECT_TRUE(back.cache.enabled);
+  EXPECT_EQ(back.cache.requests, spec.cache.requests);
+  EXPECT_EQ(back.cache.drift, spec.cache.drift);
+  EXPECT_EQ(back.cache.epsilon, spec.cache.epsilon);
+  EXPECT_EQ(spec_to_json(back), json);
+}
+
+}  // namespace
+}  // namespace chainckpt::scenario

@@ -248,6 +248,11 @@ void run_preemption_storm(std::size_t workers) {
 
   ServiceOptions options;
   options.workers = workers;
+  // The storm is manufactured from resubmissions of one identical job;
+  // the plan cache would serve every repeat as an instant exact hit and
+  // no worker would ever be pinned.  This probe tests preemption, not
+  // caching.
+  options.solver.enable_plan_cache = false;
   SolverService service(options);
   // Calibrate both classes so the at-risk math runs on real estimates.
   ASSERT_EQ(service.wait(service.submit({batch_work})).state,
@@ -449,6 +454,10 @@ bool run_aging_probe(milliseconds aging_interval) {
   options.admission.budget_units = 0.0;
   options.enable_preemption = false;  // isolate dispatch ordering
   options.aging_interval = aging_interval;
+  // The storm resubmits one identical job; with the plan cache on,
+  // every repeat exact-hits in microseconds and the backlog the probe
+  // depends on never forms.
+  options.solver.enable_plan_cache = false;
   SolverService service(options);
 
   // Pin the worker.

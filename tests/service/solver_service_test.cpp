@@ -485,5 +485,100 @@ TEST(SolverService, ShutdownCancelsQueuedWorkAndRejectsNewSubmissions) {
   EXPECT_EQ(service.stats().rejected, 1u);
 }
 
+TEST(SolverServicePlanCache, StatsSnapshotReconcilesAndEpsilonFlowsThrough) {
+  SolverService service;
+  platform::Platform base = platform::hera();
+  base.lambda_f *= 25.0;
+  base.lambda_s *= 25.0;
+  const core::BatchJob job{core::Algorithm::kADMVstar,
+                           chain::make_uniform(14, 25000.0),
+                           platform::CostModel{base}};
+  const JobHandle first = service.submit({job});
+  ASSERT_EQ(service.wait(first).state, JobState::kSucceeded);
+  // Identical re-submission: exact hit, bitwise result.
+  const JobHandle second = service.submit({job});
+  const JobStatus hit = service.wait(second);
+  ASSERT_EQ(hit.state, JobState::kSucceeded);
+  EXPECT_EQ(hit.result.expected_makespan,
+            service.poll(first).result.expected_makespan);
+  EXPECT_EQ(hit.result.plan, service.poll(first).result.plan);
+
+  // Drifted re-submission with a per-submission tolerance: epsilon-hit.
+  platform::Platform drifted = base;
+  drifted.lambda_s *= 1.01;
+  core::BatchJob near = job;
+  near.costs = platform::CostModel{drifted};
+  SubmitOptions options;
+  options.cache_epsilon = 0.05;
+  const JobHandle third = service.submit({near, options});
+  const JobStatus served = service.wait(third);
+  ASSERT_EQ(served.state, JobState::kSucceeded);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_cache.lookups, 3u);
+  EXPECT_EQ(stats.plan_cache.exact_hits, 1u);
+  EXPECT_EQ(stats.plan_cache.epsilon_hits, 1u);
+  EXPECT_EQ(stats.plan_cache.misses, 1u);
+  EXPECT_EQ(stats.plan_cache.exact_hits + stats.plan_cache.epsilon_hits +
+                stats.plan_cache.cert_rejections + stats.plan_cache.misses,
+            stats.plan_cache.lookups);
+  EXPECT_EQ(stats.solver.warm_bound_violations, 0u);
+
+  // The served objective honors the tolerance against a fresh solve.
+  core::BatchOptions cold_options;
+  cold_options.enable_plan_cache = false;
+  core::BatchSolver cold{cold_options};
+  const core::OptimizationResult fresh = cold.solve_job(near);
+  EXPECT_LE(served.result.expected_makespan,
+            (1.0 + 0.05) * fresh.expected_makespan * (1.0 + 1e-12));
+}
+
+TEST(SolverServicePlanCache, ProbableHitsArePricedAtTheDiscount) {
+  SolverService service;
+  const core::BatchJob job{core::Algorithm::kADMVstar,
+                           chain::make_uniform(60, 25000.0),
+                           platform::CostModel{platform::hera()}};
+  const JobHandle cold = service.submit({job});
+  ASSERT_EQ(service.wait(cold).state, JobState::kSucceeded);
+  const JobHandle warm = service.submit({job});
+  ASSERT_EQ(service.wait(warm).state, JobState::kSucceeded);
+  const double full_price = service.poll(cold).cost_units;
+  const double discounted = service.poll(warm).cost_units;
+  ASSERT_GT(full_price, 0.0);
+  // Default AdmissionConfig::cache_hit_unit_factor = 0.05.
+  EXPECT_NEAR(discounted, 0.05 * full_price, 1e-12 * full_price);
+}
+
+TEST(SolverServicePlanCache, ProbableHitSkipsTheDeadlineFeasibilityScreen) {
+  // Calibrate the ADMV class with a completed job, then submit one whose
+  // deadline is far below the calibrated estimate: rejected cold, but
+  // admitted (and served from cache) once the plan cache holds its key.
+  SolverService service;
+  const core::BatchJob slow{core::Algorithm::kADMV,
+                            chain::make_uniform(40, 25000.0),
+                            platform::CostModel{platform::atlas()}};
+  const JobHandle calibrate = service.submit({slow});
+  ASSERT_EQ(service.wait(calibrate).state, JobState::kSucceeded);
+
+  // A different (uncached) chain of the same class with a 1 ms deadline:
+  // the calibrated estimate screens it out.
+  const core::BatchJob cold{core::Algorithm::kADMV,
+                            chain::make_uniform(41, 25000.0),
+                            platform::CostModel{platform::atlas()}};
+  const JobHandle infeasible =
+      service.submit({cold, SubmitOptions{milliseconds(1)}});
+  const JobStatus rejected = service.poll(infeasible);
+  ASSERT_EQ(rejected.state, JobState::kRejected);
+  EXPECT_EQ(rejected.reject_reason, RejectReason::kDeadlineInfeasible);
+
+  // The CACHED chain under the same hopeless deadline sails through: a
+  // hit costs microseconds, so the screen would reject free work.
+  const JobHandle cached =
+      service.submit({slow, SubmitOptions{milliseconds(1)}});
+  const JobStatus status = service.wait(cached);
+  EXPECT_EQ(status.state, JobState::kSucceeded);
+  EXPECT_GE(service.stats().plan_cache.exact_hits, 1u);
+}
+
 }  // namespace
 }  // namespace chainckpt::service
