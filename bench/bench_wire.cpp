@@ -1,0 +1,131 @@
+// google-benchmark: cost of the network edge.  Three questions --
+//  (a) what do the payload codecs cost in isolation (encode/decode a
+//      full kSubmit, the hot frame on the wire)?
+//  (b) what is the per-request latency of a loopback WireClient
+//      round-trip (submit + streamed result) against a live server?
+//  (c) how many solves/sec does one connection sustain when requests are
+//      pipelined in bursts (the writev-aggregation path)?
+// The jobs are small (AD at n = 64) so the numbers measure the edge, not
+// the DP underneath it.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/patterns.hpp"
+#include "net/payload.hpp"
+#include "net/wire_client.hpp"
+#include "net/wire_server.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "service/solver_service.hpp"
+
+namespace {
+
+using namespace chainckpt;
+
+service::JobRequest small_request() {
+  service::JobRequest request;
+  request.work = core::BatchJob{core::Algorithm::kAD,
+                                chain::make_uniform(64, 25000.0),
+                                platform::CostModel{platform::hera()}};
+  return request;
+}
+
+void BM_WireEncodeSubmit(benchmark::State& state) {
+  const service::JobRequest request = small_request();
+  for (auto _ : state) {
+    const std::vector<std::uint8_t> bytes = net::encode_job_request(request);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireEncodeSubmit);
+
+void BM_WireDecodeSubmit(benchmark::State& state) {
+  const std::vector<std::uint8_t> bytes =
+      net::encode_job_request(small_request());
+  for (auto _ : state) {
+    service::JobRequest decoded;
+    const bool ok = net::decode_job_request(bytes.data(), bytes.size(),
+                                            decoded);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(decoded.work.chain.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["payload_bytes"] = static_cast<double>(bytes.size());
+}
+BENCHMARK(BM_WireDecodeSubmit);
+
+/// One submit -> streamed result round-trip per iteration: the edge's
+/// request latency floor (syscalls + framing + scheduling), since the
+/// n = 64 AD solve itself is microseconds and cache-served after the
+/// first iteration.
+void BM_WireLoopbackRoundtrip(benchmark::State& state) {
+  service::SolverService svc;
+  net::WireServer server(svc);
+  server.start();
+  net::WireClient::Options options;
+  options.port = server.port();
+  options.tenant = 1;
+  net::WireClient client(options);
+
+  const service::JobRequest request = small_request();
+  std::uint64_t request_id = 0;
+  for (auto _ : state) {
+    ++request_id;
+    const net::SubmitOutcome outcome =
+        client.submit(request, request_id, /*stream=*/true);
+    if (outcome.retry) state.SkipWithError("unexpected backpressure");
+    const service::JobStatus status = client.wait_result(request_id);
+    benchmark::DoNotOptimize(status.result.expected_makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  server.stop();
+}
+BENCHMARK(BM_WireLoopbackRoundtrip)->Unit(benchmark::kMicrosecond);
+
+/// `range(0)` submits pipelined before collecting any result: the
+/// batched-writev path, reported as solves/sec through one connection.
+void BM_WireLoopbackBurst(benchmark::State& state) {
+  service::SolverService svc;
+  net::WireServer server(svc);
+  server.start();
+  net::WireClient::Options options;
+  options.port = server.port();
+  options.tenant = 1;
+  net::WireClient client(options);
+
+  const std::size_t burst = static_cast<std::size_t>(state.range(0));
+  const service::JobRequest request = small_request();
+  std::uint64_t request_id = 0;
+  for (auto _ : state) {
+    std::vector<std::uint64_t> live;
+    live.reserve(burst);
+    for (std::size_t i = 0; i < burst; ++i) {
+      ++request_id;
+      const net::SubmitOutcome outcome =
+          client.submit(request, request_id, /*stream=*/true);
+      if (outcome.retry) {
+        state.SkipWithError("unexpected backpressure");
+        break;
+      }
+      live.push_back(request_id);
+    }
+    for (const std::uint64_t id : live) {
+      const service::JobStatus status = client.wait_result(id);
+      benchmark::DoNotOptimize(status.result.expected_makespan);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(burst));
+  state.counters["solves_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * burst),
+      benchmark::Counter::kIsRate);
+  server.stop();
+}
+BENCHMARK(BM_WireLoopbackBurst)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

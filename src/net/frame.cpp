@@ -1,0 +1,112 @@
+#include "net/frame.hpp"
+
+#include "core/result_io.hpp"
+
+namespace chainckpt::net {
+
+bool frame_type_known(std::uint8_t raw) noexcept {
+  return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kGoodbye);
+}
+
+const char* to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kWelcome: return "welcome";
+    case FrameType::kSubmit: return "submit";
+    case FrameType::kSubmitAck: return "submit_ack";
+    case FrameType::kPoll: return "poll";
+    case FrameType::kStatus: return "status";
+    case FrameType::kCancel: return "cancel";
+    case FrameType::kCancelAck: return "cancel_ack";
+    case FrameType::kResult: return "result";
+    case FrameType::kRetryAfter: return "retry_after";
+    case FrameType::kError: return "error";
+    case FrameType::kStatsRequest: return "stats_request";
+    case FrameType::kStatsReply: return "stats_reply";
+    case FrameType::kGoodbye: return "goodbye";
+  }
+  return "unknown";
+}
+
+const char* to_string(WireError error) noexcept {
+  switch (error) {
+    case WireError::kNone: return "none";
+    case WireError::kBadMagic: return "bad magic";
+    case WireError::kBadVersion: return "unsupported protocol version";
+    case WireError::kBadType: return "unknown frame type";
+    case WireError::kPayloadTooLarge: return "declared payload too large";
+    case WireError::kBadPayload: return "malformed payload";
+    case WireError::kUnknownRequest: return "unknown request id";
+    case WireError::kDuplicateRequest: return "request id already in use";
+    case WireError::kTenantMismatch: return "frame tenant differs from "
+                                            "the connection's tenant";
+    case WireError::kNotAccepting: return "server is not accepting work";
+  }
+  return "unknown";
+}
+
+WireError to_wire_error(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kBadMagic: return WireError::kBadMagic;
+    case DecodeStatus::kBadVersion: return WireError::kBadVersion;
+    case DecodeStatus::kBadType: return WireError::kBadType;
+    case DecodeStatus::kPayloadTooLarge: return WireError::kPayloadTooLarge;
+    case DecodeStatus::kOk:
+    case DecodeStatus::kNeedMoreData:
+      break;
+  }
+  return WireError::kNone;
+}
+
+void encode_header(std::vector<std::uint8_t>& out,
+                   const FrameHeader& header) {
+  out.reserve(out.size() + kHeaderBytes + header.payload_size);
+  for (const std::uint8_t byte : kMagic) out.push_back(byte);
+  core::put_u8(out, header.version);
+  core::put_u8(out, static_cast<std::uint8_t>(header.type));
+  core::put_u16(out, header.flags);
+  core::put_u64(out, header.tenant_id);
+  core::put_u64(out, header.request_id);
+  core::put_u32(out, header.payload_size);
+}
+
+std::vector<std::uint8_t> encode_frame(
+    const FrameHeader& header, const std::vector<std::uint8_t>& payload) {
+  FrameHeader sized = header;
+  sized.payload_size = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  encode_header(out, sized);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+DecodeStatus decode_header(const std::uint8_t* data, std::size_t size,
+                           FrameHeader& header, std::uint32_t max_payload) {
+  if (size < kHeaderBytes) return DecodeStatus::kNeedMoreData;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (data[i] != kMagic[i]) return DecodeStatus::kBadMagic;
+  }
+  std::size_t offset = 4;
+  std::uint8_t version = 0;
+  std::uint8_t raw_type = 0;
+  core::get_u8(data, size, offset, version);
+  core::get_u8(data, size, offset, raw_type);
+  core::get_u16(data, size, offset, header.flags);
+  core::get_u64(data, size, offset, header.tenant_id);
+  core::get_u64(data, size, offset, header.request_id);
+  core::get_u32(data, size, offset, header.payload_size);
+  header.version = version;
+  // Version is checked before type: a future version may define new
+  // types, so an unknown type only means "malformed" within a version we
+  // actually speak.
+  if (version != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (!frame_type_known(raw_type)) return DecodeStatus::kBadType;
+  header.type = static_cast<FrameType>(raw_type);
+  if (header.payload_size > max_payload) {
+    return DecodeStatus::kPayloadTooLarge;
+  }
+  return DecodeStatus::kOk;
+}
+
+}  // namespace chainckpt::net

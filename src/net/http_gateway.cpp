@@ -1,0 +1,622 @@
+#include "net/http_gateway.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/payload.hpp"
+#include "service/admission.hpp"
+
+namespace chainckpt::net {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string fmt_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// ---------------------------------------------------------------- JSON
+// A ~100-line recursive-descent JSON reader for the gateway's fixed
+// request schema.  Not a general library: no \uXXXX escapes, doubles
+// only.  scenario/spec_io.cpp keeps its own parser on purpose -- its
+// grammar is pinned by the golden scenario corpus and must not drift
+// with gateway needs.
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<Json> items;
+  std::map<std::string, Json> fields;
+
+  const Json* find(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it != fields.end() ? &it->second : nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(Json& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.type = Json::Type::kString;
+      return string(out.text);
+    }
+    if (c == 't') {
+      out.type = Json::Type::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.type = Json::Type::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.type = Json::Type::kNull;
+      return literal("null");
+    }
+    return number(out);
+  }
+
+  bool string(std::string& out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: return false;  // \uXXXX and friends unsupported
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return false;
+  }
+
+  bool number(Json& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      std::size_t used = 0;
+      out.number = std::stod(text_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) return false;
+    } catch (const std::exception&) {
+      return false;
+    }
+    out.type = Json::Type::kNumber;
+    return true;
+  }
+
+  bool array(Json& out) {
+    out.type = Json::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Json item;
+      if (!value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool object(Json& out) {
+    out.type = Json::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      Json item;
+      if (!value(item)) return false;
+      out.fields[key] = std::move(item);
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string job_status_json(const service::JobStatus& status) {
+  std::ostringstream out;
+  out << "{\"id\":" << status.id << ",\"state\":\""
+      << service::to_string(status.state) << "\",\"priority\":\""
+      << service::to_string(status.priority)
+      << "\",\"tenant\":" << status.tenant << ",\"reject_reason\":\""
+      << service::to_string(status.reject_reason)
+      << "\",\"cost_units\":" << fmt_double(status.cost_units)
+      << ",\"starts\":" << status.starts
+      << ",\"preemptions\":" << status.preemptions << ",\"error\":\""
+      << json_escape(status.error) << "\"";
+  if (status.state == service::JobState::kSucceeded) {
+    out << ",\"result\":{\"expected_makespan\":"
+        << fmt_double(status.result.expected_makespan) << ",\"actions\":[";
+    for (std::size_t i = 1; i <= status.result.plan.size(); ++i) {
+      if (i > 1) out << ",";
+      out << static_cast<int>(status.result.plan.action(i));
+    }
+    out << "]}";
+  }
+  out << "}";
+  return out.str();
+}
+
+/// Builds a JobRequest from the gateway schema; returns an error string
+/// ("" = ok).
+std::string parse_job_request(const Json& body,
+                              const std::string& tenant_header,
+                              service::JobRequest& request) {
+  if (body.type != Json::Type::kObject) return "body must be a JSON object";
+
+  const Json* algorithm = body.find("algorithm");
+  if (algorithm == nullptr || algorithm->type != Json::Type::kString) {
+    return "missing string field \"algorithm\"";
+  }
+  try {
+    request.work.algorithm = core::algorithm_from_string(algorithm->text);
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+
+  std::vector<double> weights;
+  if (const Json* weights_json = body.find("weights");
+      weights_json != nullptr && weights_json->type == Json::Type::kArray) {
+    for (const Json& item : weights_json->items) {
+      if (item.type != Json::Type::kNumber) return "weights must be numbers";
+      weights.push_back(item.number);
+    }
+  } else if (const Json* n_json = body.find("n");
+             n_json != nullptr && n_json->type == Json::Type::kNumber) {
+    const double n = n_json->number;
+    if (!(n >= 1.0 && n <= 100000.0)) return "bad \"n\"";
+    double weight = 1.0;
+    if (const Json* w = body.find("weight");
+        w != nullptr && w->type == Json::Type::kNumber) {
+      weight = w->number;
+    }
+    weights.assign(static_cast<std::size_t>(n), weight);
+  } else {
+    return "provide \"weights\" (array) or \"n\" (uniform chain)";
+  }
+
+  const Json* platform_json = body.find("platform");
+  if (platform_json == nullptr ||
+      platform_json->type != Json::Type::kObject) {
+    return "missing object field \"platform\"";
+  }
+  platform::Platform platform;
+  const auto number_field = [&](const char* key, double& out) {
+    const Json* field = platform_json->find(key);
+    if (field == nullptr || field->type != Json::Type::kNumber) return false;
+    out = field->number;
+    return true;
+  };
+  if (const Json* name = platform_json->find("name");
+      name != nullptr && name->type == Json::Type::kString) {
+    platform.name = name->text;
+  }
+  double nodes = 0.0;
+  number_field("nodes", nodes);
+  platform.nodes = static_cast<std::size_t>(nodes);
+  if (!number_field("lambda_f", platform.lambda_f) ||
+      !number_field("c_disk", platform.c_disk) ||
+      !number_field("r_disk", platform.r_disk) ||
+      !number_field("v_guaranteed", platform.v_guaranteed)) {
+    return "platform requires lambda_f, c_disk, r_disk, v_guaranteed";
+  }
+  number_field("lambda_s", platform.lambda_s);
+  number_field("c_mem", platform.c_mem);
+  number_field("r_mem", platform.r_mem);
+  number_field("v_partial", platform.v_partial);
+  if (!number_field("recall", platform.recall)) platform.recall = 1.0;
+
+  platform::PlanningLaw law;
+  if (const Json* law_json = body.find("law");
+      law_json != nullptr && law_json->type == Json::Type::kString) {
+    if (law_json->text == "weibull") {
+      law.law = platform::FailureLaw::kWeibull;
+      if (const Json* shape = body.find("weibull_shape");
+          shape != nullptr && shape->type == Json::Type::kNumber) {
+        law.weibull_shape = shape->number;
+      }
+    } else if (law_json->text != "exponential") {
+      return "law must be \"exponential\" or \"weibull\"";
+    }
+  }
+
+  try {
+    request.work.chain = chain::TaskChain(weights);
+    platform::CostModel costs(platform);
+    costs.set_planning_law(law);
+    request.work.costs = std::move(costs);
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+
+  if (const Json* priority = body.find("priority");
+      priority != nullptr && priority->type == Json::Type::kNumber) {
+    const double p = priority->number;
+    if (!(p >= 0.0 && p <= 3.0)) return "priority must be 0..3";
+    request.options.priority =
+        static_cast<service::Priority>(static_cast<int>(p));
+  }
+  if (const Json* deadline = body.find("deadline_ms");
+      deadline != nullptr && deadline->type == Json::Type::kNumber) {
+    request.options.deadline = std::chrono::milliseconds(
+        static_cast<std::int64_t>(deadline->number));
+  }
+
+  // The X-Tenant header wins over the body field: the closest HTTP
+  // analogue of "the edge owns identity".
+  request.options.tenant = 0;
+  if (const Json* tenant = body.find("tenant");
+      tenant != nullptr && tenant->type == Json::Type::kNumber) {
+    request.options.tenant = static_cast<std::uint64_t>(tenant->number);
+  }
+  if (!tenant_header.empty()) {
+    try {
+      request.options.tenant = std::stoull(tenant_header);
+    } catch (const std::exception&) {
+      return "bad X-Tenant header";
+    }
+  }
+  return "";
+}
+
+std::string http_response(int code, const std::string& reason,
+                          const std::string& body,
+                          const std::string& extra_headers = "") {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << code << " " << reason << "\r\n"
+      << "Content-Type: application/json\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << extra_headers << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace
+
+HttpGateway::HttpGateway(service::SolverService& service,
+                         TenantGovernor& governor,
+                         HttpGatewayOptions options)
+    : service_(service), governor_(governor), options_(std::move(options)) {}
+
+HttpGateway::~HttpGateway() { stop(); }
+
+void HttpGateway::start() {
+  if (started_) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("http gateway: socket failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+          1 ||
+      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, options_.listen_backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http gateway: cannot bind " +
+                             options_.bind_address + ":" +
+                             std::to_string(options_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+  started_ = true;
+}
+
+void HttpGateway::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+HttpGatewayStats HttpGateway::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void HttpGateway::serve_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const timeval timeout{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpGateway::handle_connection(int fd) {
+  // Read until the request is complete: headers, then Content-Length
+  // body bytes.  One request per connection.
+  std::string data;
+  std::size_t header_end = std::string::npos;
+  std::size_t content_length = 0;
+  char buffer[16 * 1024];
+  for (;;) {
+    if (header_end == std::string::npos) {
+      header_end = data.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        const std::size_t cl = data.find("Content-Length:");
+        if (cl != std::string::npos && cl < header_end) {
+          content_length = static_cast<std::size_t>(
+              std::strtoul(data.c_str() + cl + 15, nullptr, 10));
+        }
+        if (content_length > options_.max_request_bytes) return;
+      }
+    }
+    if (header_end != std::string::npos &&
+        data.size() >= header_end + 4 + content_length) {
+      break;
+    }
+    if (data.size() > options_.max_request_bytes) return;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) return;  // timeout, EOF, or error: drop the request
+    data.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  const std::string head = data.substr(0, header_end);
+  const std::string body = data.substr(header_end + 4, content_length);
+  std::istringstream request_line(head.substr(0, head.find("\r\n")));
+  std::string method, target;
+  request_line >> method >> target;
+
+  std::string tenant_header;
+  std::size_t pos = head.find("X-Tenant:");
+  if (pos == std::string::npos) pos = head.find("x-tenant:");
+  if (pos != std::string::npos) {
+    std::size_t start = pos + 9;
+    while (start < head.size() && head[start] == ' ') ++start;
+    std::size_t end = head.find("\r\n", start);
+    if (end == std::string::npos) end = head.size();
+    tenant_header = head.substr(start, end - start);
+  }
+
+  const std::string response = respond(method, target, tenant_header, body);
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string HttpGateway::respond(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& tenant_header,
+                                 const std::string& body) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+  }
+
+  if (method == "GET" && target == "/v1/stats") {
+    return http_response(200, "OK",
+                         service_stats_to_json(service_.stats()));
+  }
+
+  if (method == "GET" && target.rfind("/v1/jobs/", 0) == 0) {
+    service::JobHandle handle;
+    try {
+      const service::JobId id = std::stoull(target.substr(9));
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = jobs_.find(id);
+      if (it != jobs_.end()) handle = it->second;
+    } catch (const std::exception&) {
+    }
+    if (!handle.valid()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.client_errors;
+      return http_response(404, "Not Found",
+                           "{\"error\":\"unknown job id\"}");
+    }
+    return http_response(200, "OK", job_status_json(service_.poll(handle)));
+  }
+
+  if (method == "POST" && target == "/v1/jobs") {
+    Json parsed;
+    service::JobRequest request;
+    std::string error;
+    if (!JsonParser(body).parse(parsed)) {
+      error = "request body is not valid JSON";
+    } else {
+      error = parse_job_request(parsed, tenant_header, request);
+    }
+    if (!error.empty()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.client_errors;
+      return http_response(400, "Bad Request",
+                           "{\"error\":\"" + json_escape(error) + "\"}");
+    }
+
+    const std::uint64_t tenant = request.options.tenant;
+    const double units = service::price_units(request.work.algorithm,
+                                              request.work.chain.size());
+    const ThrottleDecision decision =
+        governor_.try_charge(tenant, units, now_seconds());
+    if (!decision.admitted) {
+      const std::uint32_t seconds =
+          (decision.retry_after_ms + 999) / 1000;
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.throttled;
+      return http_response(
+          429, "Too Many Requests",
+          "{\"error\":\"tenant quota exhausted\",\"retry_after_ms\":" +
+              std::to_string(decision.retry_after_ms) + "}",
+          "Retry-After: " + std::to_string(seconds < 1 ? 1 : seconds) +
+              "\r\n");
+    }
+
+    const service::JobHandle handle = service_.submit(std::move(request));
+    const service::JobStatus status = service_.poll(handle);
+    if (status.state == service::JobState::kRejected &&
+        status.reject_reason == service::RejectReason::kQueueFull) {
+      governor_.refund(tenant, units);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.backpressured;
+      return http_response(
+          503, "Service Unavailable",
+          "{\"error\":\"admission queue full\"}",
+          "Retry-After: " +
+              std::to_string(options_.queue_full_retry_seconds) + "\r\n");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobs_[status.id] = handle;
+      if (status.state != service::JobState::kRejected) {
+        ++stats_.submits_accepted;
+      }
+    }
+    return http_response(200, "OK", job_status_json(status));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.client_errors;
+  return http_response(405, "Method Not Allowed",
+                       "{\"error\":\"unsupported method or path\"}");
+}
+
+}  // namespace chainckpt::net

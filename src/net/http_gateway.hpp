@@ -1,0 +1,90 @@
+// Minimal HTTP/JSON gateway over the same SolverService: the curl-able
+// face of the wire protocol for operators and scripts that do not speak
+// binary frames.  Deliberately small -- HTTP/1.1, Connection: close, one
+// request per connection, no TLS, no chunking -- because the binary
+// protocol (net/wire_server.hpp) is the real data path.
+//
+// Endpoints:
+//   POST /v1/jobs        submit one job (JSON body; see docs/PROTOCOL.md)
+//                        -> 200 job JSON | 400 | 429/503 + Retry-After
+//   GET  /v1/jobs/<id>   poll a job by its service JobId
+//                        -> 200 job JSON | 404
+//   GET  /v1/stats       ServiceStats JSON (net/payload.hpp's encoder)
+//
+// Backpressure maps onto HTTP natively: a tenant-quota throttle is
+// 429 Too Many Requests and an admission queue-full verdict is
+// 503 Service Unavailable, both carrying a Retry-After header (seconds,
+// rounded up) -- the same semantics as the binary kRetryAfter frame.
+// The gateway shares the wire server's TenantGovernor so a tenant's
+// budget is one pool regardless of which door it uses; the tenant id
+// comes from the X-Tenant header (or "tenant" in the body, the header
+// winning -- closest analogue of "the edge owns identity").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/tenant.hpp"
+#include "service/solver_service.hpp"
+
+namespace chainckpt::net {
+
+struct HttpGatewayOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral
+  int listen_backlog = 16;
+  /// Cap on request size (start line + headers + body).
+  std::size_t max_request_bytes = 1u << 20;
+  /// Retry-After seconds attached to 503 queue-full responses.
+  std::uint32_t queue_full_retry_seconds = 1;
+};
+
+struct HttpGatewayStats {
+  std::uint64_t requests = 0;
+  std::uint64_t submits_accepted = 0;
+  std::uint64_t throttled = 0;      ///< 429 responses
+  std::uint64_t backpressured = 0;  ///< 503 queue-full responses
+  std::uint64_t client_errors = 0;  ///< 400/404/405 responses
+};
+
+class HttpGateway {
+ public:
+  /// `service` and `governor` must outlive the gateway; pass the wire
+  /// server's governor() to share one quota pool across both edges.
+  HttpGateway(service::SolverService& service, TenantGovernor& governor,
+              HttpGatewayOptions options = {});
+  ~HttpGateway();
+
+  HttpGateway(const HttpGateway&) = delete;
+  HttpGateway& operator=(const HttpGateway&) = delete;
+
+  void start();
+  void stop();
+  std::uint16_t port() const noexcept { return port_; }
+  HttpGatewayStats stats() const;
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  /// Returns the full HTTP response for one parsed request.
+  std::string respond(const std::string& method, const std::string& target,
+                      const std::string& tenant_header,
+                      const std::string& body);
+
+  service::SolverService& service_;
+  TenantGovernor& governor_;
+  HttpGatewayOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  bool started_ = false;
+  mutable std::mutex mutex_;
+  bool stopping_ = false;
+  HttpGatewayStats stats_;
+  /// JobId -> handle so GET /v1/jobs/<id> can poll (gateway submissions
+  /// only; wire-server jobs are polled over the wire).
+  std::map<service::JobId, service::JobHandle> jobs_;
+};
+
+}  // namespace chainckpt::net

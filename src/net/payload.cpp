@@ -1,0 +1,397 @@
+#include "net/payload.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/result_io.hpp"
+
+namespace chainckpt::net {
+
+namespace {
+
+using core::get_f64;
+using core::get_string;
+using core::get_u16;
+using core::get_u32;
+using core::get_u64;
+using core::get_u8;
+using core::put_f64;
+using core::put_string;
+using core::put_u16;
+using core::put_u32;
+using core::put_u64;
+using core::put_u8;
+
+constexpr std::uint8_t kMaxAlgorithm =
+    static_cast<std::uint8_t>(core::Algorithm::kDaly);
+constexpr std::uint8_t kMaxPriority =
+    static_cast<std::uint8_t>(service::Priority::kUrgent);
+constexpr std::uint8_t kMaxJobState =
+    static_cast<std::uint8_t>(service::JobState::kRejected);
+constexpr std::uint8_t kMaxRejectReason =
+    static_cast<std::uint8_t>(service::RejectReason::kShutdown);
+/// Sanity ceiling on decoded element counts (chains, cost streams): far
+/// above any real chain (DpContext::kDefaultMaxN = 900) but small enough
+/// that a hostile count cannot drive a giant allocation before the
+/// per-element bounds checks run.
+constexpr std::uint32_t kMaxElements = 1u << 20;
+
+/// Reads `count` doubles after checking the bytes are actually present.
+bool get_f64_vector(const std::uint8_t* data, std::size_t size,
+                    std::size_t& offset, std::uint32_t count,
+                    std::vector<double>& out) {
+  if (count > kMaxElements) return false;
+  if (offset > size || (size - offset) / 8 < count) return false;
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    double value;
+    if (!get_f64(data, size, offset, value)) return false;
+    out.push_back(value);
+  }
+  return true;
+}
+
+void put_f64_vector(std::vector<std::uint8_t>& out,
+                    const std::vector<double>& values) {
+  put_u32(out, static_cast<std::uint32_t>(values.size()));
+  for (const double value : values) put_f64(out, value);
+}
+
+std::string fmt_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_job_request(
+    const service::JobRequest& request) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(request.work.algorithm));
+  put_u8(out, static_cast<std::uint8_t>(request.options.priority));
+  put_u64(out, static_cast<std::uint64_t>(request.options.deadline.count()));
+  put_f64(out, request.options.cache_epsilon);
+  put_u64(out, request.options.tenant);
+
+  const chain::TaskChain& chain = request.work.chain;
+  put_u32(out, static_cast<std::uint32_t>(chain.size()));
+  for (std::size_t i = 1; i <= chain.size(); ++i) {
+    put_f64(out, chain.weight(i));
+  }
+
+  const platform::CostModel& costs = request.work.costs;
+  const platform::Platform& p = costs.platform();
+  put_string(out, p.name);
+  put_u32(out, static_cast<std::uint32_t>(p.nodes));
+  put_f64(out, p.lambda_f);
+  put_f64(out, p.lambda_s);
+  put_f64(out, p.c_disk);
+  put_f64(out, p.c_mem);
+  put_f64(out, p.r_disk);
+  put_f64(out, p.r_mem);
+  put_f64(out, p.v_guaranteed);
+  put_f64(out, p.v_partial);
+  put_f64(out, p.recall);
+
+  const platform::PlanningLaw& law = costs.planning_law();
+  put_u8(out, static_cast<std::uint8_t>(law.law));
+  put_f64(out, law.weibull_shape);
+
+  // Per-position streams ship exactly as constructed (all empty when
+  // uniform; recovery streams empty when mirrored) so the decoder can
+  // rebuild the model through the matching constructor and reproduce the
+  // mirror semantics, not just today's values.
+  put_u8(out, costs.is_uniform() ? 1 : 0);
+  if (!costs.is_uniform()) {
+    put_f64_vector(out, costs.raw_c_disk());
+    put_f64_vector(out, costs.raw_c_mem());
+    put_f64_vector(out, costs.raw_v_guaranteed());
+    put_f64_vector(out, costs.raw_v_partial());
+    put_f64_vector(out, costs.raw_r_disk());
+    put_f64_vector(out, costs.raw_r_mem());
+  }
+  return out;
+}
+
+bool decode_job_request(const std::uint8_t* data, std::size_t size,
+                        service::JobRequest& request) {
+  std::size_t offset = 0;
+  std::uint8_t algorithm, priority;
+  std::uint64_t deadline_ms, tenant;
+  double cache_epsilon;
+  if (!get_u8(data, size, offset, algorithm) || algorithm > kMaxAlgorithm ||
+      !get_u8(data, size, offset, priority) || priority > kMaxPriority ||
+      !get_u64(data, size, offset, deadline_ms) ||
+      !get_f64(data, size, offset, cache_epsilon) ||
+      !get_u64(data, size, offset, tenant)) {
+    return false;
+  }
+
+  std::uint32_t n;
+  if (!get_u32(data, size, offset, n)) return false;
+  std::vector<double> weights;
+  if (!get_f64_vector(data, size, offset, n, weights)) return false;
+  for (const double w : weights) {
+    if (!std::isfinite(w) || w <= 0.0) return false;
+  }
+
+  platform::Platform p;
+  std::uint32_t nodes;
+  if (!get_string(data, size, offset, p.name) ||
+      !get_u32(data, size, offset, nodes) ||
+      !get_f64(data, size, offset, p.lambda_f) ||
+      !get_f64(data, size, offset, p.lambda_s) ||
+      !get_f64(data, size, offset, p.c_disk) ||
+      !get_f64(data, size, offset, p.c_mem) ||
+      !get_f64(data, size, offset, p.r_disk) ||
+      !get_f64(data, size, offset, p.r_mem) ||
+      !get_f64(data, size, offset, p.v_guaranteed) ||
+      !get_f64(data, size, offset, p.v_partial) ||
+      !get_f64(data, size, offset, p.recall)) {
+    return false;
+  }
+  p.nodes = nodes;
+
+  std::uint8_t law_raw;
+  platform::PlanningLaw law;
+  if (!get_u8(data, size, offset, law_raw) || law_raw > 1 ||
+      !get_f64(data, size, offset, law.weibull_shape)) {
+    return false;
+  }
+  law.law = static_cast<platform::FailureLaw>(law_raw);
+
+  std::uint8_t uniform;
+  if (!get_u8(data, size, offset, uniform) || uniform > 1) return false;
+  std::vector<double> c_disk, c_mem, v_guar, v_part, r_disk, r_mem;
+  if (uniform == 0) {
+    std::uint32_t count;
+    if (!get_u32(data, size, offset, count) || count != n ||
+        !get_f64_vector(data, size, offset, count, c_disk)) {
+      return false;
+    }
+    const auto read_stream = [&](std::vector<double>& stream,
+                                 bool may_be_empty) {
+      std::uint32_t len;
+      if (!get_u32(data, size, offset, len)) return false;
+      if (len != n && !(may_be_empty && len == 0)) return false;
+      return get_f64_vector(data, size, offset, len, stream);
+    };
+    if (!read_stream(c_mem, false) || !read_stream(v_guar, false) ||
+        !read_stream(v_part, false) || !read_stream(r_disk, true) ||
+        !read_stream(r_mem, true)) {
+      return false;
+    }
+  }
+  if (offset != size) return false;  // trailing bytes: malformed
+
+  // Construction validates ranges (rates, recall, positivity) by
+  // throwing; a decoder must be total over hostile bytes, so the throw
+  // becomes `false` here.
+  try {
+    request.work.algorithm = static_cast<core::Algorithm>(algorithm);
+    request.work.chain = chain::TaskChain(weights);
+    platform::CostModel costs =
+        uniform == 1
+            ? platform::CostModel(p)
+            : platform::CostModel(p, std::move(c_disk), std::move(c_mem),
+                                  std::move(v_guar), std::move(v_part),
+                                  std::move(r_disk), std::move(r_mem));
+    costs.set_planning_law(law);
+    request.work.costs = std::move(costs);
+  } catch (const std::exception&) {
+    return false;
+  }
+  request.work.cache_epsilon = cache_epsilon;
+  request.options.priority = static_cast<service::Priority>(priority);
+  request.options.deadline =
+      std::chrono::milliseconds(static_cast<std::int64_t>(deadline_ms));
+  request.options.cache_epsilon = cache_epsilon;
+  request.options.tenant = tenant;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_job_status(
+    const service::JobStatus& status) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, status.id);
+  put_u8(out, static_cast<std::uint8_t>(status.state));
+  put_u8(out, static_cast<std::uint8_t>(status.priority));
+  put_u8(out, static_cast<std::uint8_t>(status.reject_reason));
+  put_u64(out, status.tenant);
+  put_f64(out, status.cost_units);
+  put_u64(out, status.submit_seq);
+  put_u64(out, status.start_seq);
+  put_u32(out, status.starts);
+  put_u32(out, status.preemptions);
+  put_string(out, status.error);
+  const bool has_result = status.state == service::JobState::kSucceeded;
+  put_u8(out, has_result ? 1 : 0);
+  if (has_result) core::append_result(out, status.result);
+  return out;
+}
+
+bool decode_job_status(const std::uint8_t* data, std::size_t size,
+                       service::JobStatus& status) {
+  std::size_t offset = 0;
+  std::uint8_t state, priority, reject;
+  if (!get_u64(data, size, offset, status.id) ||
+      !get_u8(data, size, offset, state) || state > kMaxJobState ||
+      !get_u8(data, size, offset, priority) || priority > kMaxPriority ||
+      !get_u8(data, size, offset, reject) || reject > kMaxRejectReason ||
+      !get_u64(data, size, offset, status.tenant) ||
+      !get_f64(data, size, offset, status.cost_units) ||
+      !get_u64(data, size, offset, status.submit_seq) ||
+      !get_u64(data, size, offset, status.start_seq) ||
+      !get_u32(data, size, offset, status.starts) ||
+      !get_u32(data, size, offset, status.preemptions) ||
+      !get_string(data, size, offset, status.error)) {
+    return false;
+  }
+  status.state = static_cast<service::JobState>(state);
+  status.priority = static_cast<service::Priority>(priority);
+  status.reject_reason = static_cast<service::RejectReason>(reject);
+  std::uint8_t has_result;
+  if (!get_u8(data, size, offset, has_result) || has_result > 1) return false;
+  if (has_result == 1) {
+    if (status.state != service::JobState::kSucceeded) return false;
+    if (!core::read_result(data, size, offset, status.result)) return false;
+  } else {
+    status.result = core::OptimizationResult{};
+  }
+  return offset == size;
+}
+
+std::vector<std::uint8_t> encode_retry_after(
+    const RetryAfterPayload& payload) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, payload.retry_after_ms);
+  put_u8(out, static_cast<std::uint8_t>(payload.reason));
+  put_string(out, payload.message);
+  return out;
+}
+
+bool decode_retry_after(const std::uint8_t* data, std::size_t size,
+                        RetryAfterPayload& payload) {
+  std::size_t offset = 0;
+  std::uint8_t reason;
+  if (!get_u32(data, size, offset, payload.retry_after_ms) ||
+      !get_u8(data, size, offset, reason) || reason > kMaxRejectReason ||
+      !get_string(data, size, offset, payload.message)) {
+    return false;
+  }
+  payload.reason = static_cast<service::RejectReason>(reason);
+  return offset == size;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorPayload& payload) {
+  std::vector<std::uint8_t> out;
+  put_u16(out, static_cast<std::uint16_t>(payload.code));
+  put_string(out, payload.message);
+  return out;
+}
+
+bool decode_error(const std::uint8_t* data, std::size_t size,
+                  ErrorPayload& payload) {
+  std::size_t offset = 0;
+  std::uint16_t code;
+  if (!get_u16(data, size, offset, code) ||
+      code > static_cast<std::uint16_t>(WireError::kNotAccepting) ||
+      !get_string(data, size, offset, payload.message)) {
+    return false;
+  }
+  payload.code = static_cast<WireError>(code);
+  return offset == size;
+}
+
+std::vector<std::uint8_t> encode_welcome(const WelcomePayload& payload) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, payload.version);
+  put_u32(out, payload.max_payload_bytes);
+  put_u32(out, payload.max_n);
+  put_string(out, payload.server);
+  return out;
+}
+
+bool decode_welcome(const std::uint8_t* data, std::size_t size,
+                    WelcomePayload& payload) {
+  std::size_t offset = 0;
+  return get_u8(data, size, offset, payload.version) &&
+         get_u32(data, size, offset, payload.max_payload_bytes) &&
+         get_u32(data, size, offset, payload.max_n) &&
+         get_string(data, size, offset, payload.server) && offset == size;
+}
+
+std::vector<std::uint8_t> encode_hello(const std::string& client) {
+  std::vector<std::uint8_t> out;
+  put_string(out, client);
+  return out;
+}
+
+bool decode_hello(const std::uint8_t* data, std::size_t size,
+                  std::string& client) {
+  std::size_t offset = 0;
+  return get_string(data, size, offset, client) && offset == size;
+}
+
+std::vector<std::uint8_t> encode_cancel_ack(bool cancelled) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, cancelled ? 1 : 0);
+  return out;
+}
+
+bool decode_cancel_ack(const std::uint8_t* data, std::size_t size,
+                       bool& cancelled) {
+  std::size_t offset = 0;
+  std::uint8_t raw;
+  if (!get_u8(data, size, offset, raw) || raw > 1 || offset != size) {
+    return false;
+  }
+  cancelled = raw == 1;
+  return true;
+}
+
+std::string service_stats_to_json(const service::ServiceStats& stats) {
+  std::ostringstream out;
+  out << "{\"submitted\":" << stats.submitted
+      << ",\"rejected\":" << stats.rejected
+      << ",\"succeeded\":" << stats.succeeded
+      << ",\"failed\":" << stats.failed
+      << ",\"cancelled\":" << stats.cancelled
+      << ",\"expired\":" << stats.expired
+      << ",\"preempted\":" << stats.preempted
+      << ",\"queued\":" << stats.queued << ",\"running\":" << stats.running
+      << ",\"inflight_units\":" << fmt_double(stats.inflight_units)
+      << ",\"queued_units\":" << fmt_double(stats.queued_units)
+      << ",\"solver\":{\"jobs_solved\":" << stats.solver.jobs_solved
+      << ",\"tables_built\":" << stats.solver.tables_built
+      << ",\"tables_reused\":" << stats.solver.tables_reused
+      << ",\"tables_evicted\":" << stats.solver.tables_evicted
+      << ",\"jobs_interrupted\":" << stats.solver.jobs_interrupted
+      << ",\"checkpoints_saved\":" << stats.solver.checkpoints_saved
+      << ",\"checkpoints_resumed\":" << stats.solver.checkpoints_resumed
+      << "},\"plan_cache\":{\"lookups\":" << stats.plan_cache.lookups
+      << ",\"exact_hits\":" << stats.plan_cache.exact_hits
+      << ",\"epsilon_hits\":" << stats.plan_cache.epsilon_hits
+      << ",\"cert_rejections\":" << stats.plan_cache.cert_rejections
+      << ",\"misses\":" << stats.plan_cache.misses
+      << "},\"tenants\":{";
+  bool first = true;
+  for (const auto& [tenant, counters] : stats.tenants) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << tenant << "\":{\"submitted\":" << counters.submitted
+        << ",\"rejected\":" << counters.rejected
+        << ",\"succeeded\":" << counters.succeeded
+        << ",\"failed\":" << counters.failed
+        << ",\"cancelled\":" << counters.cancelled
+        << ",\"expired\":" << counters.expired
+        << ",\"preempted\":" << counters.preempted << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace chainckpt::net

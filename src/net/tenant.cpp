@@ -1,0 +1,99 @@
+#include "net/tenant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chainckpt::net {
+
+TenantGovernor::TenantGovernor(TenantQuota default_quota)
+    : default_quota_(default_quota) {}
+
+void TenantGovernor::set_quota(std::uint64_t tenant, TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  quotas_[tenant] = quota;
+  // A quota change resets the bucket: it re-primes (full at the new
+  // burst) on the next charge.
+  buckets_[tenant].primed = false;
+}
+
+TenantQuota TenantGovernor::quota_for(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = quotas_.find(tenant);
+  return it != quotas_.end() ? it->second : default_quota_;
+}
+
+TenantGovernor::Bucket& TenantGovernor::bucket_locked(std::uint64_t tenant) {
+  return buckets_[tenant];
+}
+
+ThrottleDecision TenantGovernor::try_charge(std::uint64_t tenant,
+                                            double units,
+                                            double now_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = quotas_.find(tenant);
+  const TenantQuota quota =
+      it != quotas_.end() ? it->second : default_quota_;
+  Bucket& bucket = bucket_locked(tenant);
+  if (quota.unlimited()) {
+    ++bucket.stats.admitted;
+    bucket.stats.units_charged += units;
+    return {true, 0};
+  }
+
+  const double burst = quota.effective_burst();
+  if (!bucket.primed) {
+    bucket.tokens = burst;
+    bucket.last_refill_seconds = now_seconds;
+    bucket.primed = true;
+  } else if (now_seconds > bucket.last_refill_seconds) {
+    bucket.tokens = std::min(
+        burst, bucket.tokens + quota.rate_units_per_sec *
+                                   (now_seconds - bucket.last_refill_seconds));
+    bucket.last_refill_seconds = now_seconds;
+  }
+
+  // A charge above the burst ceiling can never be fully covered; require
+  // a full bucket instead of starving it forever.
+  const double required = std::min(units, burst);
+  if (bucket.tokens + 1e-12 >= required) {
+    bucket.tokens -= units;  // may go negative: burst debt
+    ++bucket.stats.admitted;
+    bucket.stats.units_charged += units;
+    return {true, 0};
+  }
+
+  const double deficit = required - bucket.tokens;
+  const double wait_seconds = deficit / quota.rate_units_per_sec;
+  const double wait_ms = std::ceil(wait_seconds * 1000.0);
+  std::uint32_t retry_after_ms = 1;
+  if (wait_ms >= 1.0) {
+    retry_after_ms = wait_ms > 4294967294.0
+                         ? 4294967294u
+                         : static_cast<std::uint32_t>(wait_ms);
+  }
+  ++bucket.stats.throttled;
+  return {false, retry_after_ms};
+}
+
+void TenantGovernor::refund(std::uint64_t tenant, double units) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = quotas_.find(tenant);
+  const TenantQuota quota =
+      it != quotas_.end() ? it->second : default_quota_;
+  Bucket& bucket = bucket_locked(tenant);
+  ++bucket.stats.refunded;
+  bucket.stats.units_charged -= units;
+  if (quota.unlimited()) return;
+  bucket.tokens = std::min(quota.effective_burst(), bucket.tokens + units);
+}
+
+std::map<std::uint64_t, TenantEdgeStats> TenantGovernor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::uint64_t, TenantEdgeStats> out;
+  for (const auto& [tenant, bucket] : buckets_) {
+    out[tenant] = bucket.stats;
+  }
+  return out;
+}
+
+}  // namespace chainckpt::net

@@ -4,6 +4,16 @@
 
 namespace chainckpt::platform {
 
+namespace {
+Platform unconfigured_platform() {
+  Platform platform;
+  platform.name = "unconfigured";
+  return platform;
+}
+}  // namespace
+
+CostModel::CostModel() : CostModel(unconfigured_platform()) {}
+
 CostModel::CostModel(const Platform& platform) : platform_(platform) {
   platform_.validate();
 }

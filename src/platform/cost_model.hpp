@@ -43,6 +43,13 @@ struct PlanningLaw {
 
 class CostModel {
  public:
+  /// Placeholder: a uniform all-zero-cost model on an "unconfigured"
+  /// platform.  Exists so request-shaped aggregates (core::BatchJob,
+  /// service::JobRequest) are default-constructible -- wire decoders
+  /// fill them field by field -- and is always overwritten before a
+  /// solve reads it.
+  CostModel();
+
   /// Constant costs taken from a Platform record (the paper's setting).
   explicit CostModel(const Platform& platform);
 
@@ -94,6 +101,24 @@ class CostModel {
   /// True when all costs are position-independent (fast paths and
   /// paper-exact reproduction).
   bool is_uniform() const noexcept { return uniform_; }
+
+  /// Serialization accessors (net/payload.hpp): the raw per-position
+  /// streams exactly as constructed -- all empty for a uniform model, and
+  /// the recovery streams empty when they mirror the checkpoint costs
+  /// (the paper convention).  Reconstructing a model from these via the
+  /// matching constructor reproduces every accessor bit-for-bit,
+  /// including the mirror semantics, so wire round trips cannot perturb
+  /// a solve.
+  const std::vector<double>& raw_c_disk() const noexcept { return c_disk_; }
+  const std::vector<double>& raw_c_mem() const noexcept { return c_mem_; }
+  const std::vector<double>& raw_v_guaranteed() const noexcept {
+    return v_guaranteed_;
+  }
+  const std::vector<double>& raw_v_partial() const noexcept {
+    return v_partial_;
+  }
+  const std::vector<double>& raw_r_disk() const noexcept { return r_disk_; }
+  const std::vector<double>& raw_r_mem() const noexcept { return r_mem_; }
 
  private:
   Platform platform_;

@@ -66,6 +66,16 @@ struct SubmitOptions {
   Priority priority = Priority::kNormal;
   std::chrono::milliseconds deadline{0};
 
+  /// Multi-tenant accounting id.  Purely an accounting label inside the
+  /// service -- scheduling stays (priority, FIFO) regardless of tenant --
+  /// but every terminal counter is additionally attributed to this id in
+  /// ServiceStats::tenants, which is what the network edge's per-tenant
+  /// quotas and the reconciliation battery read.  0 is the anonymous
+  /// default tenant.  The wire server overwrites it with the
+  /// authenticated frame-header tenant (net/wire_server.hpp): the edge,
+  /// not the payload, owns identity.
+  std::uint64_t tenant = 0;
+
   /// Per-submission plan-cache tolerance, copied onto the underlying
   /// core::BatchJob at submit.  Negative (the default) defers to the
   /// service solver's BatchOptions::plan_cache_epsilon; 0 accepts exact
@@ -89,6 +99,8 @@ struct JobStatus {
   JobId id = 0;
   JobState state = JobState::kQueued;
   Priority priority = Priority::kNormal;
+  /// Accounting id the job was submitted under (SubmitOptions::tenant).
+  std::uint64_t tenant = 0;
   /// Admission price of the job (see service/admission.hpp).
   double cost_units = 0.0;
   /// Machine-readable cause when state == kRejected; kNone otherwise.

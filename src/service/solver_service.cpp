@@ -172,6 +172,8 @@ JobHandle SolverService::submit(JobRequest request) {
     const std::lock_guard<std::mutex> lock(mutex_);
     record->id = ++next_id_;
     ++counters_.submitted;
+    TenantCounters& tenant = tenant_counters_[record->options.tenant];
+    ++tenant.submitted;
     const char* reason = nullptr;
     if (stopping_) {
       reason = "service is shut down";
@@ -197,6 +199,7 @@ JobHandle SolverService::submit(JobRequest request) {
       record->state = JobState::kRejected;
       record->error = reason;
       ++counters_.rejected;
+      ++tenant.rejected;
       rejected = true;
       rejected_status = snapshot_locked(*record);
       callback = callback_;
@@ -258,6 +261,7 @@ bool SolverService::cancel(const JobHandle& handle) {
     record->state = JobState::kCancelled;
     record->error = "cancelled while queued";
     ++counters_.cancelled;
+    ++tenant_counters_[record->options.tenant].cancelled;
     status = snapshot_locked(*record);
     callback = callback_;
   }
@@ -287,6 +291,7 @@ void SolverService::shutdown() {
       record->state = JobState::kCancelled;
       record->error = "service shutdown";
       ++counters_.cancelled;
+      ++tenant_counters_[record->options.tenant].cancelled;
       dropped.push_back(snapshot_locked(*record));
     }
     queue_.clear();
@@ -319,6 +324,7 @@ ServiceStats SolverService::stats() const {
     out.running = running_jobs_.size();
     out.inflight_units = inflight_units_;
     out.queued_units = queued_units_;
+    out.tenants = tenant_counters_;
   }
   out.solver = solver_.stats_snapshot();
   out.plan_cache = solver_.plan_cache_stats();
@@ -513,6 +519,7 @@ bool SolverService::requeue_preempted(
     record->queued_at = core::CancelToken::Clock::now();
     ++record->preemptions;
     ++counters_.preempted;
+    ++tenant_counters_[record->options.tenant].preempted;
     inflight_units_ -= record->cost_units;
     queued_units_ += record->cost_units;
     running_jobs_.erase(
@@ -609,18 +616,23 @@ void SolverService::complete(const std::shared_ptr<detail::JobRecord>& record,
                                   record));
     settle_gauges_locked();
     maybe_preempt_locked();  // freed capacity may re-rank a blocked deadline
+    TenantCounters& tenant = tenant_counters_[record->options.tenant];
     switch (state) {
       case JobState::kSucceeded:
         ++counters_.succeeded;
+        ++tenant.succeeded;
         break;
       case JobState::kFailed:
         ++counters_.failed;
+        ++tenant.failed;
         break;
       case JobState::kCancelled:
         ++counters_.cancelled;
+        ++tenant.cancelled;
         break;
       case JobState::kExpired:
         ++counters_.expired;
+        ++tenant.expired;
         break;
       default:
         break;
@@ -644,6 +656,7 @@ JobStatus SolverService::snapshot_locked(
   status.id = record.id;
   status.state = record.state;
   status.priority = record.options.priority;
+  status.tenant = record.options.tenant;
   status.cost_units = record.cost_units;
   status.reject_reason = record.reject_reason;
   status.submit_seq = record.submit_seq;

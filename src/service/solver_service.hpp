@@ -52,6 +52,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -112,6 +113,21 @@ struct ServiceOptions {
   std::chrono::milliseconds aging_interval{0};
 };
 
+/// Per-tenant slice of the terminal counters: every job outcome is
+/// counted once globally and once under its SubmitOptions::tenant, so
+///   sum over tenants == the global counter
+/// holds for each field in every snapshot -- the reconciliation invariant
+/// the multi-tenant batteries (tests/net/tenant_stress_test.cpp) assert.
+struct TenantCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t preempted = 0;
+};
+
 /// Counters + gauges, snapshotted by stats().  The embedded solver's
 /// BatchStats (table builds/reuses/evictions, scan counters) ride along
 /// so one call exports everything docs/SERVER.md lists as metrics.
@@ -135,6 +151,10 @@ struct ServiceStats {
   /// see core/plan_cache.hpp).  lookups == exact_hits + epsilon_hits +
   /// cert_rejections + misses holds in every snapshot.
   core::PlanCacheStats plan_cache;
+  /// Per-tenant attribution of the terminal counters above (ordered map
+  /// for deterministic export).  Only tenants that submitted at least one
+  /// job appear; each field sums to its global counterpart.
+  std::map<std::uint64_t, TenantCounters> tenants;
 };
 
 class SolverService {
@@ -255,6 +275,10 @@ class SolverService {
     std::uint64_t expired = 0;
     std::uint64_t preempted = 0;
   } counters_;
+  /// Per-tenant slices of counters_ (see ServiceStats::tenants); guarded
+  /// by mutex_ like the globals, updated at the same points, so the
+  /// sum-reconciliation invariant holds in every snapshot.
+  std::map<std::uint64_t, TenantCounters> tenant_counters_;
 
   std::size_t workers_ = 1;
   std::thread pool_;

@@ -1,0 +1,286 @@
+// Multi-tenant stress battery over the network edge (ctest label:
+// stress).  A greedy tenant floods kNormal work under a tight quota
+// while polite tenants submit kInteractive work under no quota; asserts
+// (a) the quota actually bites the greedy tenant and never the polite
+// ones, (b) ZERO cross-tenant priority inversions in the dispatch trace
+// (the same event-clock counting rule as the scheduler soak,
+// tests/service/stress_harness.hpp), (c) queue-full turns into
+// kRetryAfter backpressure with quota refunds, and (d) the per-tenant
+// counters in ServiceStats reconcile EXACTLY: each tenant's counters
+// match the client-side tally, and the per-tenant sums equal the global
+// counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "chain/patterns.hpp"
+#include "core/batch_solver.hpp"
+#include "net/wire_client.hpp"
+#include "net/wire_server.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/registry.hpp"
+#include "service/solver_service.hpp"
+#include "../service/stress_harness.hpp"
+
+namespace chainckpt::net {
+namespace {
+
+constexpr std::uint64_t kGreedy = 2;
+constexpr std::uint64_t kPoliteA = 3;
+constexpr std::uint64_t kPoliteB = 4;
+
+struct TenantTally {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t backpressured = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t cancelled = 0;
+  std::vector<service::JobStatus> outcomes;
+};
+
+/// Submits `count` copies of `job` under `priority`, streaming results,
+/// and tallies every verdict client-side.
+TenantTally run_tenant(std::uint16_t port, std::uint64_t tenant,
+                       const core::BatchJob& job,
+                       service::Priority priority, std::size_t count) {
+  TenantTally tally;
+  WireClient::Options options;
+  options.port = port;
+  options.tenant = tenant;
+  WireClient client(options);
+  client.hello();
+
+  std::vector<std::uint64_t> live;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t request_id = i + 1;
+    service::JobRequest request;
+    request.work = job;
+    request.options.priority = priority;
+    const SubmitOutcome outcome =
+        client.submit(request, request_id, /*stream=*/true);
+    if (outcome.retry) {
+      if (outcome.retry_info.reason == service::RejectReason::kQueueFull) {
+        ++tally.backpressured;
+      } else {
+        ++tally.throttled;
+      }
+      continue;
+    }
+    if (outcome.status.state == service::JobState::kRejected) {
+      ++tally.rejected;
+      continue;
+    }
+    ++tally.accepted;
+    live.push_back(request_id);
+  }
+  for (const std::uint64_t request_id : live) {
+    const service::JobStatus status = client.wait_result(request_id);
+    if (status.state == service::JobState::kSucceeded) ++tally.succeeded;
+    if (status.state == service::JobState::kCancelled) ++tally.cancelled;
+    tally.outcomes.push_back(status);
+  }
+  client.goodbye();
+  return tally;
+}
+
+TEST(NetTenantStress, QuotasFairnessAndCounterReconciliation) {
+  CHAINCKPT_REQUIRE_STRESS();
+
+  service::SolverService svc;  // unlimited budget: exact dispatcher
+  WireServerOptions server_options;
+  // Greedy tenant: ~burst admits then throttle (AD@120 prices at
+  // 120^2 * 1e-6 = 0.0144 units; burst covers ~8 of them, the trickle
+  // rate a handful more over the battery's lifetime).
+  TenantQuota greedy_quota;
+  greedy_quota.rate_units_per_sec = 0.01;
+  greedy_quota.burst_units = 0.12;
+  server_options.tenant_quotas[kGreedy] = greedy_quota;
+  WireServer server(svc, server_options);
+  server.start();
+
+  const platform::CostModel hera{platform::hera()};
+  const platform::CostModel atlas{platform::atlas()};
+  const core::BatchJob greedy_job{core::Algorithm::kAD,
+                                  chain::make_uniform(120, 25000.0), hera};
+  const core::BatchJob polite_a_job{core::Algorithm::kADMVstar,
+                                    chain::make_uniform(40, 25000.0), hera};
+  const core::BatchJob polite_b_job{core::Algorithm::kADVstar,
+                                    chain::make_decrease(90, 25000.0),
+                                    atlas};
+
+  // Reference solves: every streamed outcome must be bitwise right even
+  // under contention (cross-tenant corruption would show here).
+  core::BatchSolver reference;
+  const core::OptimizationResult greedy_expected =
+      reference.solve_job(greedy_job);
+  const core::OptimizationResult polite_a_expected =
+      reference.solve_job(polite_a_job);
+  const core::OptimizationResult polite_b_expected =
+      reference.solve_job(polite_b_job);
+
+  TenantTally greedy, polite_a, polite_b;
+  std::thread greedy_thread([&] {
+    greedy = run_tenant(server.port(), kGreedy, greedy_job,
+                        service::Priority::kNormal, 200);
+  });
+  std::thread polite_a_thread([&] {
+    polite_a = run_tenant(server.port(), kPoliteA, polite_a_job,
+                          service::Priority::kInteractive, 60);
+  });
+  std::thread polite_b_thread([&] {
+    polite_b = run_tenant(server.port(), kPoliteB, polite_b_job,
+                          service::Priority::kInteractive, 60);
+  });
+  greedy_thread.join();
+  polite_a_thread.join();
+  polite_b_thread.join();
+  svc.drain();
+
+  // (a) Quota enforcement: the greedy tenant got throttled, admitted at
+  // most burst + trickle; the polite tenants never saw a throttle.
+  EXPECT_GT(greedy.throttled, 0u);
+  EXPECT_GT(greedy.accepted, 0u);  // the burst did admit something
+  EXPECT_LT(greedy.accepted, 200u);
+  EXPECT_EQ(polite_a.throttled, 0u);
+  EXPECT_EQ(polite_b.throttled, 0u);
+  EXPECT_EQ(polite_a.accepted, 60u);
+  EXPECT_EQ(polite_b.accepted, 60u);
+  EXPECT_EQ(polite_a.succeeded, 60u);
+  EXPECT_EQ(polite_b.succeeded, 60u);
+
+  // (b) Bitwise integrity of every stream under contention.
+  for (const auto& status : greedy.outcomes) {
+    ASSERT_EQ(status.state, service::JobState::kSucceeded);
+    ASSERT_EQ(status.result.expected_makespan,
+              greedy_expected.expected_makespan);
+    ASSERT_TRUE(status.result.plan == greedy_expected.plan);
+    ASSERT_EQ(status.tenant, kGreedy);
+  }
+  for (const auto& status : polite_a.outcomes) {
+    ASSERT_EQ(status.result.expected_makespan,
+              polite_a_expected.expected_makespan);
+    ASSERT_TRUE(status.result.plan == polite_a_expected.plan);
+    ASSERT_EQ(status.tenant, kPoliteA);
+  }
+  for (const auto& status : polite_b.outcomes) {
+    ASSERT_EQ(status.result.expected_makespan,
+              polite_b_expected.expected_makespan);
+    ASSERT_TRUE(status.result.plan == polite_b_expected.plan);
+    ASSERT_EQ(status.tenant, kPoliteB);
+  }
+
+  // (c) Zero cross-tenant priority inversions: with an unlimited
+  // admission budget the dispatcher is exact, so no kNormal greedy job
+  // may start inside a queued window of a kInteractive polite job.
+  std::vector<service::JobStatus> all_outcomes;
+  for (const auto* tally : {&greedy, &polite_a, &polite_b}) {
+    all_outcomes.insert(all_outcomes.end(), tally->outcomes.begin(),
+                        tally->outcomes.end());
+  }
+  EXPECT_EQ(service::stress::count_priority_inversions(all_outcomes), 0u);
+
+  // (d) Exact reconciliation: per-tenant counters match the client-side
+  // tallies, and the tenant sums equal the global counters.
+  const service::ServiceStats stats = svc.stats();
+  const auto tenant_counters = [&](std::uint64_t id) {
+    const auto it = stats.tenants.find(id);
+    EXPECT_NE(it, stats.tenants.end());
+    return it != stats.tenants.end() ? it->second
+                                     : service::TenantCounters{};
+  };
+  const service::TenantCounters greedy_counters = tenant_counters(kGreedy);
+  const service::TenantCounters polite_a_counters =
+      tenant_counters(kPoliteA);
+  const service::TenantCounters polite_b_counters =
+      tenant_counters(kPoliteB);
+  // Throttled submits never reached the service: submitted == accepted +
+  // rejected exactly (queue-full bounces never enqueue either).
+  EXPECT_EQ(greedy_counters.submitted, greedy.accepted + greedy.rejected);
+  EXPECT_EQ(greedy_counters.succeeded, greedy.succeeded);
+  EXPECT_EQ(polite_a_counters.submitted, 60u);
+  EXPECT_EQ(polite_a_counters.succeeded, 60u);
+  EXPECT_EQ(polite_b_counters.submitted, 60u);
+  EXPECT_EQ(polite_b_counters.succeeded, 60u);
+
+  std::uint64_t sum_submitted = 0, sum_succeeded = 0, sum_rejected = 0;
+  for (const auto& [id, counters] : stats.tenants) {
+    sum_submitted += counters.submitted;
+    sum_succeeded += counters.succeeded;
+    sum_rejected += counters.rejected;
+  }
+  EXPECT_EQ(sum_submitted, stats.submitted);
+  EXPECT_EQ(sum_succeeded, stats.succeeded);
+  EXPECT_EQ(sum_rejected, stats.rejected);
+
+  // Edge-side accounting agrees with the client-side verdicts.
+  const auto edge = server.tenant_stats();
+  const auto greedy_edge = edge.find(kGreedy);
+  ASSERT_NE(greedy_edge, edge.end());
+  EXPECT_EQ(greedy_edge->second.throttled, greedy.throttled);
+  EXPECT_EQ(greedy_edge->second.admitted,
+            greedy.accepted + greedy.rejected + greedy.backpressured);
+  EXPECT_EQ(greedy_edge->second.refunded, greedy.backpressured);
+
+  server.stop();
+}
+
+TEST(NetTenantStress, QueueFullBackpressuresEveryTenantWithRetryAfter) {
+  CHAINCKPT_REQUIRE_STRESS();
+
+  service::ServiceOptions options;
+  options.workers = 1;
+  options.admission.queue_capacity = 2;
+  service::SolverService svc(options);
+  WireServerOptions server_options;
+  server_options.queue_full_retry_ms = 77;
+  WireServer server(svc, server_options);
+  server.start();
+
+  const core::BatchJob slow_job{core::Algorithm::kADMVstar,
+                                chain::make_uniform(130, 25000.0),
+                                platform::CostModel{platform::hera()}};
+
+  std::atomic<std::uint64_t> backpressured{0};
+  std::vector<std::thread> tenants;
+  for (std::uint64_t tenant = 10; tenant < 13; ++tenant) {
+    tenants.emplace_back([&, tenant] {
+      WireClient::Options client_options;
+      client_options.port = server.port();
+      client_options.tenant = tenant;
+      WireClient client(client_options);
+      for (std::uint64_t id = 1; id <= 10; ++id) {
+        service::JobRequest request;
+        request.work = slow_job;
+        const SubmitOutcome outcome = client.submit(request, id);
+        if (outcome.retry) {
+          EXPECT_EQ(outcome.retry_info.reason,
+                    service::RejectReason::kQueueFull);
+          EXPECT_EQ(outcome.retry_info.retry_after_ms, 77u);
+          ++backpressured;
+        }
+      }
+      client.goodbye();
+    });
+  }
+  for (auto& thread : tenants) thread.join();
+
+  // 30 expensive submits into a 1-worker, 2-deep queue: most bounce.
+  EXPECT_GT(backpressured.load(), 0u);
+  const WireServerStats stats = server.stats();
+  EXPECT_EQ(stats.backpressured, backpressured.load());
+
+  // Refund accounting: every queue-full bounce refunded its charge.
+  std::uint64_t refunded = 0;
+  for (const auto& [tenant, edge] : server.tenant_stats()) {
+    refunded += edge.refunded;
+  }
+  EXPECT_EQ(refunded, backpressured.load());
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace chainckpt::net

@@ -1,0 +1,324 @@
+// Byte-pinned golden captures of every protocol-version-1 frame type.
+// The wire layout is a compatibility contract: an accidental field
+// reorder, a width change, or an endianness slip breaks real clients, so
+// every frame type's exact bytes are checked into tests/net/golden/ and
+// compared here byte for byte.
+//
+// Re-pin workflow (docs/PROTOCOL.md): after an INTENTIONAL protocol
+// change (which must bump kProtocolVersion), regenerate the captures
+// with
+//     CHAINCKPT_WRITE_GOLDEN=1 ./net_wire_golden_test
+// and commit the diff together with the version bump.  A diff here
+// without a version bump is a wire-compatibility bug, not a test to
+// update.
+//
+// Every payload below is built from pinned literals (never from the
+// platform registry or defaults that might legitimately evolve), so the
+// captures only change when the ENCODING changes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chain/chain.hpp"
+#include "net/payload.hpp"
+#include "plan/plan.hpp"
+#include "platform/cost_model.hpp"
+#include "service/solver_service.hpp"
+
+namespace chainckpt::net {
+namespace {
+
+std::string golden_dir() {
+  return std::string(CHAINCKPT_SOURCE_DIR) + "/tests/net/golden";
+}
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  std::ostringstream out;
+  char buffer[4];
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%02x", bytes[i]);
+    out << buffer;
+    if ((i + 1) % 32 == 0) out << "\n";
+  }
+  if (bytes.size() % 32 != 0) out << "\n";
+  return out.str();
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& text) {
+  std::vector<std::uint8_t> bytes;
+  int hi = -1;
+  for (const char c : text) {
+    int nibble = -1;
+    if (c >= '0' && c <= '9') nibble = c - '0';
+    if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') nibble = c - 'A' + 10;
+    if (nibble < 0) continue;  // whitespace
+    if (hi < 0) {
+      hi = nibble;
+    } else {
+      bytes.push_back(static_cast<std::uint8_t>((hi << 4) | nibble));
+      hi = -1;
+    }
+  }
+  return bytes;
+}
+
+struct GoldenFrame {
+  std::string name;
+  std::vector<std::uint8_t> bytes;
+};
+
+FrameHeader header_of(FrameType type, std::uint16_t flags = 0) {
+  FrameHeader header;
+  header.type = type;
+  header.flags = flags;
+  header.tenant_id = 7;
+  header.request_id = 42;
+  return header;
+}
+
+/// All literals pinned: the capture must not depend on registry defaults.
+platform::Platform pinned_platform() {
+  platform::Platform p;
+  p.name = "golden";
+  p.nodes = 128;
+  p.lambda_f = 1.0 / 86400.0;
+  p.lambda_s = 1.0 / 172800.0;
+  p.c_disk = 600.0;
+  p.c_mem = 60.0;
+  p.r_disk = 600.0;
+  p.r_mem = 60.0;
+  p.v_guaranteed = 300.0;
+  p.v_partial = 30.0;
+  p.recall = 0.8;
+  return p;
+}
+
+service::JobStatus pinned_status(service::JobState state) {
+  service::JobStatus status;
+  status.id = 11;
+  status.state = state;
+  status.priority = service::Priority::kInteractive;
+  status.tenant = 7;
+  status.cost_units = 0.25;
+  status.reject_reason = state == service::JobState::kRejected
+                             ? service::RejectReason::kPerJobCap
+                             : service::RejectReason::kNone;
+  status.submit_seq = 3;
+  status.start_seq = 5;
+  status.starts = 1;
+  status.preemptions = 0;
+  if (state == service::JobState::kRejected) status.error = "over the cap";
+  if (state == service::JobState::kSucceeded) {
+    status.result.plan = plan::ResiliencePlan(std::vector<plan::Action>{
+        plan::Action::kNone, plan::Action::kPartialVerif,
+        plan::Action::kGuaranteedVerif, plan::Action::kMemoryCheckpoint,
+        plan::Action::kDiskCheckpoint});
+    status.result.expected_makespan = 123456.78125;  // exact binary
+    status.result.scan.dense_cells = 10;
+    status.result.scan.cells_scanned = 6;
+    status.result.scan.steps = 4;
+  }
+  return status;
+}
+
+/// One capture per frame type, every payload from pinned literals.
+std::vector<GoldenFrame> golden_frames() {
+  std::vector<GoldenFrame> frames;
+  const auto add = [&](const std::string& name, const FrameHeader& header,
+                       const std::vector<std::uint8_t>& payload) {
+    frames.push_back({name, encode_frame(header, payload)});
+  };
+
+  add("01_hello", header_of(FrameType::kHello),
+      encode_hello("golden-client"));
+
+  WelcomePayload welcome;
+  welcome.version = kProtocolVersion;
+  welcome.max_payload_bytes = 16u << 20;
+  welcome.max_n = 900;
+  welcome.server = "golden-server";
+  add("02_welcome", header_of(FrameType::kWelcome), encode_welcome(welcome));
+
+  // Submit with the full codec surface: per-position streams, an EMPTY
+  // r_disk/r_mem pair (the mirror convention), and a Weibull law.
+  service::JobRequest request;
+  request.work.algorithm = core::Algorithm::kADMVstar;
+  request.work.chain =
+      chain::TaskChain(std::vector<double>{1000.0, 2000.0, 3000.0, 4000.0});
+  std::vector<double> c_disk{600.0, 610.0, 620.0, 630.0};
+  std::vector<double> c_mem{60.0, 61.0, 62.0, 63.0};
+  std::vector<double> v_guar{300.0, 300.0, 300.0, 300.0};
+  std::vector<double> v_part{30.0, 30.0, 30.0, 30.0};
+  platform::CostModel costs(pinned_platform(), c_disk, c_mem, v_guar,
+                            v_part);
+  platform::PlanningLaw law;
+  law.law = platform::FailureLaw::kWeibull;
+  law.weibull_shape = 0.7;
+  costs.set_planning_law(law);
+  request.work.costs = costs;
+  request.work.cache_epsilon = 0.125;
+  request.options.priority = service::Priority::kInteractive;
+  request.options.deadline = std::chrono::milliseconds(30000);
+  request.options.cache_epsilon = 0.125;
+  request.options.tenant = 7;
+  add("03_submit", header_of(FrameType::kSubmit, kFlagStreamResult),
+      encode_job_request(request));
+
+  add("04_submit_ack", header_of(FrameType::kSubmitAck),
+      encode_job_status(pinned_status(service::JobState::kQueued)));
+  add("05_poll", header_of(FrameType::kPoll), {});
+  add("06_status", header_of(FrameType::kStatus),
+      encode_job_status(pinned_status(service::JobState::kRejected)));
+  add("07_cancel", header_of(FrameType::kCancel), {});
+  add("08_cancel_ack", header_of(FrameType::kCancelAck),
+      encode_cancel_ack(true));
+  add("09_result", header_of(FrameType::kResult),
+      encode_job_status(pinned_status(service::JobState::kSucceeded)));
+
+  RetryAfterPayload retry;
+  retry.retry_after_ms = 123;
+  retry.reason = service::RejectReason::kQueueFull;
+  retry.message = "queue full";
+  add("10_retry_after", header_of(FrameType::kRetryAfter),
+      encode_retry_after(retry));
+
+  add("11_error", header_of(FrameType::kError),
+      encode_error(ErrorPayload{WireError::kBadMagic, "bad magic"}));
+  add("12_stats_request", header_of(FrameType::kStatsRequest), {});
+
+  service::ServiceStats stats;
+  stats.submitted = 5;
+  stats.succeeded = 4;
+  stats.rejected = 1;
+  stats.queued = 0;
+  stats.running = 0;
+  stats.inflight_units = 0.0;
+  stats.queued_units = 0.0;
+  stats.solver.jobs_solved = 4;
+  stats.solver.tables_built = 2;
+  stats.solver.tables_reused = 2;
+  stats.plan_cache.lookups = 4;
+  stats.plan_cache.exact_hits = 1;
+  stats.plan_cache.misses = 3;
+  service::TenantCounters tenant;
+  tenant.submitted = 5;
+  tenant.succeeded = 4;
+  tenant.rejected = 1;
+  stats.tenants[7] = tenant;
+  const std::string json = service_stats_to_json(stats);
+  add("13_stats_reply", header_of(FrameType::kStatsReply),
+      std::vector<std::uint8_t>(json.begin(), json.end()));
+
+  add("14_goodbye", header_of(FrameType::kGoodbye), {});
+  return frames;
+}
+
+TEST(WireGolden, EveryFrameTypeMatchesItsPinnedCapture) {
+  const bool repin = std::getenv("CHAINCKPT_WRITE_GOLDEN") != nullptr;
+  for (const GoldenFrame& frame : golden_frames()) {
+    const std::string path = golden_dir() + "/" + frame.name + ".hex";
+    if (repin) {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << path;
+      out << to_hex(frame.bytes);
+      continue;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden capture " << path
+        << " (re-pin with CHAINCKPT_WRITE_GOLDEN=1)";
+    std::stringstream text;
+    text << in.rdbuf();
+    const std::vector<std::uint8_t> expected = from_hex(text.str());
+    ASSERT_EQ(frame.bytes.size(), expected.size()) << frame.name;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(frame.bytes[i], expected[i])
+          << frame.name << " differs at byte " << i
+          << " -- wire layout changed without a version bump?";
+    }
+  }
+  if (repin) {
+    GTEST_SKIP() << "golden captures re-pinned; commit the diff together "
+                    "with a protocol version bump";
+  }
+}
+
+TEST(WireGolden, GoldenFramesDecodeAndReencodeIdentically) {
+  for (const GoldenFrame& frame : golden_frames()) {
+    FrameHeader header;
+    ASSERT_EQ(decode_header(frame.bytes.data(), frame.bytes.size(), header),
+              DecodeStatus::kOk)
+        << frame.name;
+    ASSERT_EQ(frame.bytes.size(), kHeaderBytes + header.payload_size);
+    const std::uint8_t* payload = frame.bytes.data() + kHeaderBytes;
+    const std::size_t payload_size = header.payload_size;
+
+    // Decode the payload with the matching codec, re-encode, and demand
+    // the identical bytes: the codecs are mutually inverse on the wire.
+    std::vector<std::uint8_t> reencoded;
+    switch (header.type) {
+      case FrameType::kHello: {
+        std::string client;
+        ASSERT_TRUE(decode_hello(payload, payload_size, client));
+        reencoded = encode_hello(client);
+        break;
+      }
+      case FrameType::kWelcome: {
+        WelcomePayload welcome;
+        ASSERT_TRUE(decode_welcome(payload, payload_size, welcome));
+        reencoded = encode_welcome(welcome);
+        break;
+      }
+      case FrameType::kSubmit: {
+        service::JobRequest request;
+        ASSERT_TRUE(decode_job_request(payload, payload_size, request));
+        reencoded = encode_job_request(request);
+        break;
+      }
+      case FrameType::kSubmitAck:
+      case FrameType::kStatus:
+      case FrameType::kResult: {
+        service::JobStatus status;
+        ASSERT_TRUE(decode_job_status(payload, payload_size, status));
+        reencoded = encode_job_status(status);
+        break;
+      }
+      case FrameType::kCancelAck: {
+        bool cancelled = false;
+        ASSERT_TRUE(decode_cancel_ack(payload, payload_size, cancelled));
+        reencoded = encode_cancel_ack(cancelled);
+        break;
+      }
+      case FrameType::kRetryAfter: {
+        RetryAfterPayload retry;
+        ASSERT_TRUE(decode_retry_after(payload, payload_size, retry));
+        reencoded = encode_retry_after(retry);
+        break;
+      }
+      case FrameType::kError: {
+        ErrorPayload error;
+        ASSERT_TRUE(decode_error(payload, payload_size, error));
+        reencoded = encode_error(error);
+        break;
+      }
+      case FrameType::kPoll:
+      case FrameType::kCancel:
+      case FrameType::kStatsRequest:
+      case FrameType::kStatsReply:
+      case FrameType::kGoodbye:
+        // Empty or free-text payloads: nothing to invert.
+        continue;
+    }
+    ASSERT_EQ(reencoded,
+              std::vector<std::uint8_t>(payload, payload + payload_size))
+        << frame.name;
+  }
+}
+
+}  // namespace
+}  // namespace chainckpt::net
